@@ -1,0 +1,177 @@
+// Command macc is the compiler driver: it compiles a mini-C translation
+// unit for one of the paper's three machine models, optionally dumps the
+// RTL after each pipeline stage or the control-flow graph as Graphviz DOT
+// (the Figure 5 flow graph), and can run a function on the simulator and
+// report cycles and memory references.
+//
+// Examples:
+//
+//	macc -print prog.c
+//	macc -machine m88100 -coalesce loads -dump prog.c
+//	macc -dot f prog.c | dot -Tpng > cfg.png
+//	macc -run 'dotproduct(4096,8192,100)' -mem 65536 prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"macc"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+	"macc/internal/sim"
+)
+
+func main() {
+	machName := flag.String("machine", "alpha", "target machine: alpha, m88100, m68030")
+	coalesce := flag.String("coalesce", "both", "coalescing mode: both, loads, stores, off")
+	unrollFlag := flag.String("unroll", "auto", "unroll factor: auto, off, or a number")
+	schedule := flag.Bool("schedule", true, "run the list scheduler")
+	optimize := flag.Bool("O", true, "run the clean-up optimizations")
+	force := flag.Bool("force", false, "apply coalescing even when predicted unprofitable")
+	static := flag.Bool("static-only", false, "disable run-time checks (compile-time provable cases only)")
+	dump := flag.Bool("dump", false, "dump RTL after every pipeline stage")
+	printRTL := flag.Bool("print", false, "print the final RTL")
+	dotFn := flag.String("dot", "", "print the DOT control-flow graph of the named function")
+	run := flag.String("run", "", "run 'fn(arg,arg,...)' on the simulator")
+	mem := flag.Int("mem", 1<<20, "simulator memory size in bytes")
+	reports := flag.Bool("reports", false, "print the coalescer's per-loop reports")
+	regs := flag.Int("regs", 0, "register file size for the allocator (0 = virtual registers)")
+	profile := flag.Bool("profile", false, "with -run: print the hottest basic blocks")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	isRTL := strings.HasSuffix(flag.Arg(0), ".rtl")
+
+	m, ok := machine.ByName(*machName)
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q", *machName))
+	}
+	cfg := macc.Config{Machine: m, Optimize: *optimize, Schedule: *schedule}
+	switch *coalesce {
+	case "both":
+		cfg.Coalesce = core.Options{Loads: true, Stores: true}
+	case "loads":
+		cfg.Coalesce = core.Options{Loads: true}
+	case "stores":
+		cfg.Coalesce = core.Options{Stores: true}
+	case "off":
+	default:
+		fatal(fmt.Errorf("unknown -coalesce mode %q", *coalesce))
+	}
+	cfg.Coalesce.Force = *force
+	cfg.Coalesce.NoRuntimeChecks = *static
+	switch *unrollFlag {
+	case "auto":
+		cfg.Unroll = true
+	case "off":
+	default:
+		n, err := strconv.Atoi(*unrollFlag)
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -unroll %q", *unrollFlag))
+		}
+		cfg.Unroll = true
+		cfg.UnrollFactor = n
+	}
+	cfg.Registers = *regs
+	if *dump {
+		cfg.DumpStage = func(stage string, f *rtl.Fn) {
+			fmt.Printf("=== %s: %s ===\n%s\n", f.Name, stage, f)
+		}
+	}
+
+	var prog *macc.Program
+	if isRTL {
+		rp, perr := rtl.ParseProgram(string(src))
+		if perr != nil {
+			fatal(perr)
+		}
+		prog, err = macc.CompileRTL(rp, cfg)
+	} else {
+		prog, err = macc.Compile(string(src), cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *reports {
+		for _, r := range prog.Reports {
+			fmt.Printf("loop %-24s applied=%-5v %s (wide %dL/%dS, replaced %dL/%dS, sched %d->%d cycles, %d check instrs)\n",
+				r.Header, r.Applied, r.Reason, r.WideLoads, r.WideStores,
+				r.NarrowLoads, r.NarrowStores, r.CyclesOriginal, r.CyclesCoalesced, r.CheckInstrs)
+		}
+	}
+	if *printRTL {
+		for _, f := range prog.RTL.Fns {
+			fmt.Print(f)
+		}
+	}
+	if *dotFn != "" {
+		f, ok := prog.Fn(*dotFn)
+		if !ok {
+			fatal(fmt.Errorf("no function %q", *dotFn))
+		}
+		fmt.Print(f.Dot())
+	}
+	if *run != "" {
+		name, args, err := parseCall(*run)
+		if err != nil {
+			fatal(err)
+		}
+		s := prog.NewSim(*mem)
+		if *profile {
+			s.EnableProfile()
+		}
+		res, err := s.Run(name, args...)
+		if err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Print(sim.FormatProfile(s.Profile(), 12))
+		}
+		fmt.Printf("ret=%d cycles=%d instrs=%d loads=%d stores=%d memrefs=%d icache-misses=%d dcache-misses=%d\n",
+			res.Ret, res.Cycles, res.Instrs, res.Loads, res.Stores, res.MemRefs(),
+			res.ICacheMisses, res.DCacheMisses)
+	}
+}
+
+// parseCall parses "fn(1,2,3)" into a name and integer arguments.
+func parseCall(s string) (string, []int64, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("bad -run %q, want fn(arg,...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("bad -run %q: missing function name", s)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	var args []int64
+	if inner != "" {
+		for _, part := range strings.Split(inner, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("bad argument %q: %v", part, err)
+			}
+			args = append(args, v)
+		}
+	}
+	return name, args, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "macc:", err)
+	os.Exit(1)
+}

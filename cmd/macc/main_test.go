@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseCall(t *testing.T) {
+	name, args, err := parseCall("dotproduct(4096, 8192, 100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "dotproduct" || len(args) != 3 || args[0] != 4096 || args[2] != 100 {
+		t.Errorf("parsed %q %v", name, args)
+	}
+	if _, args, err := parseCall("f()"); err != nil || len(args) != 0 {
+		t.Errorf("empty call: %v %v", args, err)
+	}
+	if _, args, err := parseCall("f(0x10, -3)"); err != nil || args[0] != 16 || args[1] != -3 {
+		t.Errorf("hex/negative args: %v %v", args, err)
+	}
+	for _, bad := range []string{"f", "f(1", "f(x)", "(1)"} {
+		if _, _, err := parseCall(bad); err == nil {
+			t.Errorf("parseCall(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation on the simulated machines:
+//
+//	-table 1   Table I: the benchmark suite
+//	-table 2   Table II: DEC Alpha cycles and percent savings
+//	-table 3   Table III: Motorola 88100 cycles and percent savings
+//	-table 4   the §3 Motorola 68030 result (slower on every program)
+//	-table 5   run-time check cost (the §4 "10 to 15 instructions" claim)
+//	-figure 1  the dot-product RTL before and after coalescing
+//	-all       everything
+//
+// The default workload matches the paper (500x500 frames); -quick shrinks
+// it for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macc"
+	"macc/internal/bench"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-5)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "use a small workload")
+	flag.Parse()
+
+	wl := bench.DefaultWorkload()
+	if *quick {
+		wl = bench.SmallWorkload()
+	}
+
+	any := false
+	want := func(n int) bool { return *all || *table == n }
+	if want(1) {
+		table1()
+		any = true
+	}
+	if want(2) {
+		machineTable("Table II: DEC Alpha (simulated cycles)", machine.Alpha(), wl)
+		any = true
+	}
+	if want(3) {
+		machineTable("Table III: Motorola 88100 (simulated cycles)", machine.M88100(), wl)
+		any = true
+	}
+	if want(4) {
+		machineTable("Motorola 68030 (simulated cycles; the paper's §3 negative result)", machine.M68030(), wl)
+		any = true
+	}
+	if want(5) {
+		table5()
+		any = true
+	}
+	if *all || *figure == 1 {
+		figure1()
+		any = true
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func table1() {
+	fmt.Println("Table I: compute- and memory-intensive benchmarks")
+	fmt.Printf("%-20s %-52s %8s %8s\n", "Program", "Description", "paperLoC", "ourLoC")
+	desc := map[string]string{
+		"Convolution":        "gradient directional edge convolution of a 500x500 image",
+		"Image add":          "image addition of two 500x500 frames",
+		"Image add (16-bit)": "16-bit variant of image addition",
+		"Image xor":          "exclusive-or of two 500x500 frames",
+		"Translate":          "translate a 500x500 image to a new position",
+		"Eqntott":            "SPEC89 eqntott comparison kernel",
+		"Mirror":             "mirror image of a 500x500 frame",
+	}
+	paperLoC := map[string]int{}
+	for _, b := range bench.Benchmarks() {
+		paperLoC[b.Name] = b.PaperLoC
+	}
+	for _, b := range bench.Benchmarks() {
+		ours := len(strings.Split(strings.TrimSpace(b.Src), "\n"))
+		fmt.Printf("%-20s %-52s %8d %8d\n", b.Name, desc[b.Name], paperLoC[b.Name], ours)
+	}
+	fmt.Println()
+}
+
+func machineTable(title string, m *machine.Machine, wl bench.Workload) {
+	rows, err := bench.RunTable(m, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTable(title, rows))
+	fmt.Println()
+}
+
+func table5() {
+	fmt.Println("Run-time check cost (paper §4: \"10 to 15 instructions ... in the loop preheader\")")
+	fmt.Printf("%-20s %12s %12s %12s\n", "Program", "checkInstrs", "aliasPairs", "alignChecks")
+	for _, b := range bench.Benchmarks() {
+		cfg := macc.BaselineConfig(machine.Alpha())
+		cfg.Coalesce = core.Options{Loads: true, Stores: true}
+		p, err := macc.Compile(b.Src, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		instrs, pairs, aligns := 0, 0, 0
+		for _, r := range p.Reports {
+			if r.Applied {
+				instrs += r.CheckInstrs
+				pairs += r.AliasCheckPairs
+				aligns += r.AlignmentChecks
+			}
+		}
+		fmt.Printf("%-20s %12d %12d %12d\n", b.Name, instrs, pairs, aligns)
+	}
+	fmt.Println()
+}
+
+func figure1() {
+	fmt.Println("Figure 1: dot product (a) source, (b) rolled RTL, (c) unrolled + coalesced RTL")
+	fmt.Println("---- (a) source ----")
+	fmt.Println(strings.TrimSpace(bench.DotProductSrc))
+
+	show := func(title string, cfg macc.Config) {
+		p, err := macc.Compile(bench.DotProductSrc, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		f, _ := p.Fn("dotproduct")
+		fmt.Printf("---- %s ----\n%s", title, f)
+	}
+	plain := macc.Config{Machine: machine.Alpha(), Optimize: true}
+	show("(b) optimized rolled loop", plain)
+	full := macc.DefaultConfig()
+	full.Schedule = false // keep the listing readable, as the paper's is
+	show("(c) unrolled with coalesced memory references", full)
+	_ = rtl.W2
+}

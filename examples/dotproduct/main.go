@@ -1,0 +1,97 @@
+// This example reproduces Figure 1 of the paper: the dot-product source
+// (1a), the optimized rolled RTL (1b), and the unrolled loop with coalesced
+// memory references plus its run-time checks (1c / Figure 5). It prints the
+// RTL at each step and annotates what the coalescer did.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"macc"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+const src = `
+int dotproduct(short a[], short b[], int n) {
+	int c, i;
+	c = 0;
+	for (i = 0; i < n; i++)
+		c += a[i] * b[i];
+	return c;
+}
+`
+
+func main() {
+	fmt.Println("=== Figure 1a: C source ===")
+	fmt.Println(strings.TrimSpace(src))
+	fmt.Println()
+
+	// Figure 1b: the rolled loop after the classic optimizations. Note the
+	// pointer induction variables and the pointer-compare termination test
+	// that replaced the counter (the paper's lines 6-9 compute the same
+	// a+n*2 bound).
+	plain, err := macc.Compile(src, macc.Config{Machine: machine.Alpha(), Optimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := plain.Fn("dotproduct")
+	fmt.Println("=== Figure 1b: optimized rolled loop (vpo-style RTL) ===")
+	fmt.Print(f)
+	fmt.Println()
+
+	// Figure 1c: unroll by four (64-bit word / 16-bit elements) and
+	// coalesce. The two shortword loads per iteration become two quadword
+	// loads per four iterations plus extracts.
+	cfg := macc.Config{
+		Machine:  machine.Alpha(),
+		Optimize: true,
+		Unroll:   true,
+		Coalesce: core.Options{Loads: true, Stores: true},
+	}
+	full, err := macc.Compile(src, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, _ := full.Fn("dotproduct")
+	fmt.Println("=== Figure 1c: unrolled loop with coalesced memory references ===")
+	fmt.Print(fc)
+	fmt.Println()
+
+	for _, r := range full.Reports {
+		if !r.Applied {
+			continue
+		}
+		fmt.Printf("coalescer: replaced %d narrow loads with %d wide loads (schedule estimate %d -> %d cycles/iteration)\n",
+			r.NarrowLoads, r.WideLoads, r.CyclesOriginal, r.CyclesCoalesced)
+		fmt.Printf("coalescer: %d alignment checks and %d alias pairs guard the fast loop (%d preheader instructions — the paper reports 10-15)\n",
+			r.AlignmentChecks, r.AliasCheckPairs, r.CheckInstrs)
+	}
+	fmt.Println()
+
+	// Show the dynamic effect, including what the paper's Figure 1
+	// promises: 2n references become n/2.
+	const n = 4096
+	demo := func(p *macc.Program, label string) {
+		s := p.NewSim(1 << 20)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i], b[i] = int64(i%103), int64(i%97)
+		}
+		s.WriteInts(4096, rtl.W2, a)
+		s.WriteInts(4096+2*n+64, rtl.W2, b)
+		res, err := s.Run("dotproduct", 4096, 4096+2*n+64, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s memrefs=%-6d (per element: %.2f) cycles=%d\n",
+			label, res.MemRefs(), float64(res.MemRefs())/n, res.Cycles)
+	}
+	demo(plain, "rolled")
+	demo(full, "coalesced")
+	fmt.Println("\nthe rolled loop performs 2 references per element; the coalesced loop 1/2")
+}

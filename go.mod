@@ -1,0 +1,3 @@
+module macc
+
+go 1.22

@@ -1,0 +1,22 @@
+package bench_test
+
+import (
+	"testing"
+
+	"macc/internal/bench"
+	"macc/internal/machine"
+)
+
+// TestTablesSmall runs every benchmark under every configuration on every
+// machine with a small workload, verifying outputs against the Go
+// references each time.
+func TestTablesSmall(t *testing.T) {
+	wl := bench.SmallWorkload()
+	for _, m := range machine.All() {
+		rows, err := bench.RunTable(m, wl)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		t.Logf("\n%s", bench.FormatTable(m.Name, rows))
+	}
+}

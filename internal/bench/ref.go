@@ -1,0 +1,102 @@
+package bench
+
+// Reference implementations in Go. Every simulated run is checked against
+// these, so the benchmark numbers can only come from semantically correct
+// compiles — including the run-time check paths.
+
+// RefConvolution mirrors ConvolutionSrc.
+func RefConvolution(src []byte, width, height int) []byte {
+	dst := make([]byte, width*height)
+	at := func(r, c int) int64 { return int64(src[r*width+c]) }
+	for r := 1; r < height-1; r++ {
+		for c := 1; c < width-1; c++ {
+			var sum int64
+			sum += at(r-1, c-1)
+			sum += at(r-1, c) * 2
+			sum += at(r-1, c+1)
+			sum -= at(r+1, c-1)
+			sum -= at(r+1, c) * 2
+			sum -= at(r+1, c+1)
+			sum += at(r, c-1) * 3
+			sum -= at(r, c+1) * 3
+			dst[r*width+c-1] = byte((sum >> 3) & 255)
+		}
+	}
+	return dst
+}
+
+// RefImageAdd mirrors ImageAddSrc.
+func RefImageAdd(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// RefImageAdd16 mirrors ImageAdd16Src.
+func RefImageAdd16(a, b []uint16) []uint16 {
+	out := make([]uint16, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// RefImageXor mirrors ImageXorSrc.
+func RefImageXor(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// RefTranslate mirrors TranslateSrc: dst must already hold its previous
+// contents; the translated image lands at offset.
+func RefTranslate(src, dst []byte, offset int) {
+	for i := range src {
+		dst[i+offset] = src[i]
+	}
+}
+
+// RefEqntott mirrors EqntottSrc.
+func RefEqntott(pts []int16, npt, nterm int) int64 {
+	cmppt := func(a, b []int16) int64 {
+		for i := 0; i < nterm; i++ {
+			if a[i] != b[i] {
+				if a[i] < b[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	var total int64
+	for i := 0; i < npt; i++ {
+		for j := 0; j < npt; j++ {
+			total += cmppt(pts[i*nterm:], pts[j*nterm:])
+		}
+	}
+	return total
+}
+
+// RefMirror mirrors MirrorSrc.
+func RefMirror(src []byte) []byte {
+	dst := make([]byte, len(src))
+	for i := range src {
+		dst[i] = src[len(src)-1-i]
+	}
+	return dst
+}
+
+// RefDotProduct mirrors DotProductSrc. The accumulator is kept at register
+// width, matching the compiler's no-signed-overflow assumption.
+func RefDotProduct(a, b []int16) int64 {
+	var c int64
+	for i := range a {
+		c += int64(a[i]) * int64(b[i])
+	}
+	return c
+}

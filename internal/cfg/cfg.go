@@ -1,0 +1,244 @@
+// Package cfg provides control-flow analyses over rtl functions:
+// predecessor maps, reverse postorder, dominator trees, and natural-loop
+// detection with preheader insertion. The coalescing algorithm of the paper
+// is driven by "for each loop in the current function" (Figure 2), and its
+// run-time checks are emitted into loop preheaders, so these analyses are
+// its substrate.
+package cfg
+
+import (
+	"sort"
+
+	"macc/internal/rtl"
+)
+
+// Graph caches derived control-flow structure for one function. It becomes
+// stale when the function's blocks or terminators change; recompute with New.
+type Graph struct {
+	Fn    *rtl.Fn
+	Preds map[*rtl.Block][]*rtl.Block
+	// RPO is the reverse postorder over reachable blocks.
+	RPO []*rtl.Block
+	// rpoIndex maps a block to its position in RPO (-1 when unreachable).
+	rpoIndex map[*rtl.Block]int
+	// idom maps each reachable block to its immediate dominator; the entry
+	// maps to itself.
+	idom map[*rtl.Block]*rtl.Block
+}
+
+// New computes predecessors, reverse postorder, and dominators for f.
+func New(f *rtl.Fn) *Graph {
+	g := &Graph{
+		Fn:       f,
+		Preds:    make(map[*rtl.Block][]*rtl.Block),
+		rpoIndex: make(map[*rtl.Block]int),
+		idom:     make(map[*rtl.Block]*rtl.Block),
+	}
+	// Depth-first postorder from the entry.
+	seen := make(map[*rtl.Block]bool)
+	var post []*rtl.Block
+	var dfs func(b *rtl.Block)
+	dfs = func(b *rtl.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			g.Preds[s] = append(g.Preds[s], b)
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpoIndex[post[i]] = len(g.RPO)
+		g.RPO = append(g.RPO, post[i])
+	}
+	g.computeDominators()
+	return g
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (g *Graph) Reachable(b *rtl.Block) bool {
+	_, ok := g.rpoIndex[b]
+	return ok
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	entry := g.Fn.Entry()
+	g.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO[1:] {
+			var newIdom *rtl.Block
+			for _, p := range g.Preds[b] {
+				if _, ok := g.idom[p]; !ok {
+					continue // predecessor not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b *rtl.Block) *rtl.Block {
+	for a != b {
+		for g.rpoIndex[a] > g.rpoIndex[b] {
+			a = g.idom[a]
+		}
+		for g.rpoIndex[b] > g.rpoIndex[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (the entry dominates itself).
+func (g *Graph) Idom(b *rtl.Block) *rtl.Block { return g.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (g *Graph) Dominates(a, b *rtl.Block) bool {
+	if !g.Reachable(a) || !g.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := g.idom[b]
+		if next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: a back edge latch->header plus the set of blocks
+// that can reach the latch without passing through the header.
+type Loop struct {
+	Header *rtl.Block
+	Latch  *rtl.Block // source of the back edge; with multiple back edges, one representative
+	Blocks []*rtl.Block
+	// Preheader is the unique out-of-loop predecessor of the header, once
+	// EnsurePreheader has run.
+	Preheader *rtl.Block
+	// Exits are the blocks outside the loop targeted from inside it.
+	Exits []*rtl.Block
+
+	inLoop map[*rtl.Block]bool
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *rtl.Block) bool { return l.inLoop[b] }
+
+// FindLoops discovers all natural loops, merging loops that share a header.
+// The result is sorted innermost-first (fewer blocks first) so the coalescer
+// visits inner loops before enclosing ones.
+func (g *Graph) FindLoops() []*Loop {
+	byHeader := make(map[*rtl.Block]*Loop)
+	for _, b := range g.RPO {
+		for _, s := range b.Succs() {
+			if g.Dominates(s, b) {
+				// back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Latch: b, inLoop: map[*rtl.Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.collect(g, b)
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		for b := range l.inLoop {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Slice(l.Blocks, func(i, j int) bool {
+			return g.rpoIndex[l.Blocks[i]] < g.rpoIndex[l.Blocks[j]]
+		})
+		l.findExits()
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return g.rpoIndex[loops[i].Header] < g.rpoIndex[loops[j].Header]
+	})
+	return loops
+}
+
+func (l *Loop) collect(g *Graph, latch *rtl.Block) {
+	stack := []*rtl.Block{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.inLoop[b] {
+			continue
+		}
+		l.inLoop[b] = true
+		for _, p := range g.Preds[b] {
+			if !l.inLoop[p] && g.Reachable(p) {
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+func (l *Loop) findExits() {
+	seen := make(map[*rtl.Block]bool)
+	l.Exits = nil
+	for _, b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.inLoop[s] && !seen[s] {
+				seen[s] = true
+				l.Exits = append(l.Exits, s)
+			}
+		}
+	}
+}
+
+// EnsurePreheader guarantees the loop header has exactly one predecessor
+// outside the loop, inserting a fresh forwarding block when needed, and
+// records it in l.Preheader. It returns the (possibly new) preheader. The
+// Graph is stale afterwards if a block was inserted.
+func (g *Graph) EnsurePreheader(l *Loop) *rtl.Block {
+	var outside []*rtl.Block
+	for _, p := range g.Preds[l.Header] {
+		if !l.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		// A lone outside predecessor that only falls into the header can
+		// serve as the preheader directly.
+		p := outside[0]
+		if succs := p.Succs(); len(succs) == 1 && succs[0] == l.Header {
+			l.Preheader = p
+			return p
+		}
+	}
+	ph := g.Fn.NewBlock(l.Header.Name + ".preheader")
+	ph.Instrs = append(ph.Instrs, rtl.JumpI(l.Header))
+	for _, p := range outside {
+		t := p.Term()
+		if t.Target == l.Header {
+			t.Target = ph
+		}
+		if t.Else == l.Header {
+			t.Else = ph
+		}
+	}
+	l.Preheader = ph
+	return ph
+}

@@ -1,0 +1,219 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"macc/internal/cfg"
+	"macc/internal/rtl"
+)
+
+// buildLoopFn constructs the canonical counted loop:
+// entry -> header -> {body -> latch -> header | exit}.
+func buildLoopFn() (*rtl.Fn, map[string]*rtl.Block) {
+	f := rtl.NewFn("loopy", 1)
+	entry := f.Entry()
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+
+	i := f.NewReg()
+	cond := f.NewReg()
+	entry.Instrs = []*rtl.Instr{rtl.MovI(i, rtl.C(0)), rtl.JumpI(header)}
+	header.Instrs = []*rtl.Instr{
+		rtl.SBinI(rtl.SetLT, cond, rtl.R(i), rtl.R(f.Params[0])),
+		rtl.BranchI(rtl.R(cond), body, exit),
+	}
+	body.Instrs = []*rtl.Instr{rtl.JumpI(latch)}
+	latch.Instrs = []*rtl.Instr{
+		rtl.BinI(rtl.Add, i, rtl.R(i), rtl.C(1)),
+		rtl.JumpI(header),
+	}
+	exit.Instrs = []*rtl.Instr{rtl.RetI(rtl.R(i))}
+	return f, map[string]*rtl.Block{
+		"entry": entry, "header": header, "body": body, "latch": latch, "exit": exit,
+	}
+}
+
+func TestPredsAndReachability(t *testing.T) {
+	f, bs := buildLoopFn()
+	g := cfg.New(f)
+	if len(g.Preds[bs["header"]]) != 2 {
+		t.Errorf("header preds = %d, want 2", len(g.Preds[bs["header"]]))
+	}
+	for name, b := range bs {
+		if !g.Reachable(b) {
+			t.Errorf("%s should be reachable", name)
+		}
+	}
+	dead := f.NewBlock("dead")
+	dead.Instrs = []*rtl.Instr{rtl.RetI(rtl.C(0))}
+	g = cfg.New(f)
+	if g.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f, bs := buildLoopFn()
+	g := cfg.New(f)
+	entry, header, body, latch, exit :=
+		bs["entry"], bs["header"], bs["body"], bs["latch"], bs["exit"]
+
+	cases := []struct {
+		a, b *rtl.Block
+		want bool
+	}{
+		{entry, exit, true},
+		{header, body, true},
+		{header, latch, true},
+		{header, exit, true},
+		{body, latch, true},
+		{body, exit, false}, // exit reachable from header directly
+		{latch, header, false},
+		{body, body, true},
+	}
+	for _, c := range cases {
+		if got := g.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if g.Idom(body) != header {
+		t.Errorf("idom(body) = %v, want header", g.Idom(body))
+	}
+	if g.Idom(entry) != entry {
+		t.Error("entry must be its own idom")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := rtl.NewFn("d", 1)
+	a := f.Entry()
+	b := f.NewBlock("b")
+	c := f.NewBlock("c")
+	d := f.NewBlock("d")
+	a.Instrs = []*rtl.Instr{rtl.BranchI(rtl.R(f.Params[0]), b, c)}
+	b.Instrs = []*rtl.Instr{rtl.JumpI(d)}
+	c.Instrs = []*rtl.Instr{rtl.JumpI(d)}
+	d.Instrs = []*rtl.Instr{rtl.RetI(rtl.C(0))}
+	g := cfg.New(f)
+	if g.Idom(d) != a {
+		t.Errorf("idom(join) = %v, want entry", g.Idom(d))
+	}
+	if g.Dominates(b, d) || g.Dominates(c, d) {
+		t.Error("diamond arms must not dominate the join")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f, bs := buildLoopFn()
+	g := cfg.New(f)
+	loops := g.FindLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != bs["header"] || l.Latch != bs["latch"] {
+		t.Errorf("wrong header/latch: %v/%v", l.Header, l.Latch)
+	}
+	if len(l.Blocks) != 3 {
+		t.Errorf("loop has %d blocks, want 3 (header, body, latch)", len(l.Blocks))
+	}
+	if l.Contains(bs["exit"]) || l.Contains(bs["entry"]) {
+		t.Error("loop contains out-of-loop blocks")
+	}
+	if len(l.Exits) != 1 || l.Exits[0] != bs["exit"] {
+		t.Errorf("exits = %v", l.Exits)
+	}
+}
+
+func TestNestedLoopsInnermostFirst(t *testing.T) {
+	// entry -> oh -> ih -> ib -> ih (inner back) ; ih -> ol -> oh (outer back); oh -> exit
+	f := rtl.NewFn("nest", 1)
+	entry := f.Entry()
+	oh := f.NewBlock("outerHeader")
+	ih := f.NewBlock("innerHeader")
+	ib := f.NewBlock("innerBody")
+	ol := f.NewBlock("outerLatch")
+	exit := f.NewBlock("exit")
+	c1, c2, c3 := f.NewReg(), f.NewReg(), f.NewReg()
+	entry.Instrs = []*rtl.Instr{rtl.MovI(c1, rtl.C(1)), rtl.MovI(c2, rtl.C(1)), rtl.MovI(c3, rtl.C(1)), rtl.JumpI(oh)}
+	oh.Instrs = []*rtl.Instr{rtl.BranchI(rtl.R(c1), ih, exit)}
+	ih.Instrs = []*rtl.Instr{rtl.BranchI(rtl.R(c2), ib, ol)}
+	ib.Instrs = []*rtl.Instr{rtl.JumpI(ih)}
+	ol.Instrs = []*rtl.Instr{rtl.JumpI(oh)}
+	exit.Instrs = []*rtl.Instr{rtl.RetI(rtl.C(0))}
+
+	g := cfg.New(f)
+	loops := g.FindLoops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	if loops[0].Header != ih {
+		t.Error("innermost loop must come first")
+	}
+	if loops[1].Header != oh {
+		t.Error("outer loop second")
+	}
+	if !loops[1].Contains(ih) || !loops[1].Contains(ib) {
+		t.Error("outer loop must contain the inner loop's blocks")
+	}
+}
+
+func TestEnsurePreheaderReusesLonePred(t *testing.T) {
+	f, bs := buildLoopFn()
+	g := cfg.New(f)
+	l := g.FindLoops()[0]
+	ph := g.EnsurePreheader(l)
+	if ph != bs["entry"] {
+		t.Errorf("expected the entry block to serve as preheader, got %v", ph)
+	}
+	if l.Preheader != ph {
+		t.Error("preheader not recorded")
+	}
+}
+
+func TestEnsurePreheaderInsertsBlock(t *testing.T) {
+	// Give the header two outside predecessors so a forwarding block is
+	// required.
+	f, bs := buildLoopFn()
+	extra := f.NewBlock("extra")
+	extra.Instrs = []*rtl.Instr{rtl.JumpI(bs["header"])}
+	bs["entry"].Term().Target = extra
+	// entry -> extra -> header is still one pred; add a branch in entry.
+	cond := f.NewReg()
+	bs["entry"].Instrs = []*rtl.Instr{
+		rtl.MovI(bs["entry"].Instrs[0].Dst, rtl.C(0)),
+		rtl.MovI(cond, rtl.C(1)),
+		rtl.BranchI(rtl.R(cond), extra, bs["header"]),
+	}
+	g := cfg.New(f)
+	var l *cfg.Loop
+	for _, cand := range g.FindLoops() {
+		if cand.Header == bs["header"] {
+			l = cand
+		}
+	}
+	if l == nil {
+		t.Fatal("loop not found")
+	}
+	before := len(f.Blocks)
+	ph := g.EnsurePreheader(l)
+	if len(f.Blocks) != before+1 {
+		t.Fatal("no forwarding block inserted")
+	}
+	if ph.Term().Op != rtl.Jump || ph.Term().Target != bs["header"] {
+		t.Error("preheader must jump to the header")
+	}
+	// Both outside edges now route through the preheader.
+	if bs["entry"].Term().Else != ph || extra.Term().Target != ph {
+		t.Error("outside edges not rerouted through preheader")
+	}
+	// The back edge must NOT be rerouted.
+	if bs["latch"].Term().Target != bs["header"] {
+		t.Error("back edge must still target the header")
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("function invalid after preheader insertion: %v", err)
+	}
+}

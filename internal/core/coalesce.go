@@ -1,0 +1,399 @@
+// Package core implements memory access coalescing, the contribution of
+// Davidson & Jinturkar, "Memory Access Coalescing: A Technique for
+// Eliminating Redundant Memory Accesses" (PLDI 1994). Narrow loads and
+// stores that an unrolled loop issues at consecutive displacements off the
+// same pointer induction variable are replaced by one wide memory reference
+// plus register extract/insert operations. Safety is established by a
+// hazard analysis (Figure 4 of the paper) backed by run-time alias and
+// alignment checks in the loop preheader (Figure 5), and profitability by
+// statically scheduling the original and transformed loop bodies and
+// keeping the faster (Figure 3).
+//
+// The procedure names follow the paper: CoalesceMemoryAccesses is the
+// Figure 2 driver; classifyPartitions is
+// ClassifyMemoryReferencesIntoPartitions; IsHazard is Figure 4's safety
+// walk; doProfitabilityAnalysisAndModify is Figure 3.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"macc/internal/cfg"
+	"macc/internal/dataflow"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+// Options selects which reference kinds to coalesce, matching the paper's
+// evaluation columns ("coalesce loads" vs "coalesce loads and stores").
+type Options struct {
+	Loads  bool
+	Stores bool
+	// Force applies the transformation even when the schedule comparison
+	// predicts no win (used to reproduce behaviour where the prediction is
+	// wrong, and for ablations).
+	Force bool
+	// NoRuntimeChecks restricts coalescing to cases provable at compile
+	// time: partitions may need no alias checks and, on aligning machines,
+	// no alignment checks. The paper's observation is that this eliminates
+	// almost every opportunity.
+	NoRuntimeChecks bool
+}
+
+// DefaultOptions coalesces both loads and stores with run-time checks.
+func DefaultOptions() Options { return Options{Loads: true, Stores: true} }
+
+// LoopReport describes what happened to one candidate loop.
+type LoopReport struct {
+	Header          string
+	Applied         bool
+	Reason          string
+	WideLoads       int
+	WideStores      int
+	NarrowLoads     int // narrow loads replaced
+	NarrowStores    int // narrow stores replaced
+	CyclesOriginal  int
+	CyclesCoalesced int
+	CheckInstrs     int // run-time check instructions added to the preheader
+	AliasCheckPairs int
+	AlignmentChecks int
+}
+
+// ref is one narrow memory reference inside the loop body.
+type ref struct {
+	in    *rtl.Instr
+	index int // position within the body block
+	disp  int64
+}
+
+// partition groups the references that share a base register, the paper's
+// "unique identifier" (most probably the register containing the start
+// address of the array).
+type partition struct {
+	base     rtl.Reg
+	step     int64 // bytes of base motion per loop iteration (0 = invariant)
+	loads    []ref
+	stores   []ref
+	minDisp  int64
+	maxDisp  int64
+	maxWidth int64
+}
+
+// chunk is one group of consecutive same-width references that a single
+// wide reference can replace.
+type chunk struct {
+	part    *partition
+	isLoad  bool
+	refs    []ref // sorted by displacement; full coverage, no gaps
+	width   rtl.Width
+	wide    rtl.Width
+	minDisp int64
+	// needsAliasCheck lists the partitions whose run-time range must be
+	// shown disjoint from this chunk's partition.
+	needsAliasCheck map[rtl.Reg]bool
+}
+
+// CoalesceMemoryAccesses walks every loop of the function innermost-first
+// and applies memory access coalescing where safe and profitable. It
+// returns one report per candidate loop examined.
+func CoalesceMemoryAccesses(f *rtl.Fn, m *machine.Machine, opts Options) []LoopReport {
+	if !opts.Loads && !opts.Stores {
+		return nil
+	}
+	var reports []LoopReport
+	g := cfg.New(f)
+	loops := g.FindLoops()
+	for _, l := range loops {
+		rep := coalesceLoop(f, g, l, m, opts)
+		if rep != nil {
+			reports = append(reports, *rep)
+		}
+		if rep != nil && rep.Applied {
+			// The CFG is stale after surgery; recompute for further loops.
+			g = cfg.New(f)
+		}
+	}
+	return reports
+}
+
+// bodyBlock finds the single block carrying the loop's memory references;
+// coalescing requires them all in one block (IsHazard's first test).
+func bodyBlock(l *cfg.Loop) (*rtl.Block, bool) {
+	var body *rtl.Block
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.IsMem() {
+				if body != nil && body != b {
+					return nil, false
+				}
+				body = b
+			}
+		}
+	}
+	if body == nil {
+		return nil, false
+	}
+	return body, true
+}
+
+func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts Options) *LoopReport {
+	body, ok := bodyBlock(l)
+	if !ok || body == l.Header && len(l.Blocks) > 2 {
+		return nil
+	}
+	// The body must run exactly once per iteration.
+	if !g.Dominates(body, l.Latch) {
+		return nil
+	}
+	rep := &LoopReport{Header: l.Header.Name}
+	du := dataflow.ComputeDefUse(f)
+	info := iv.Analyze(g, l, du)
+
+	parts := classifyPartitions(body, l, info)
+	if len(parts) == 0 {
+		rep.Reason = "no coalescible partitions"
+		return rep
+	}
+	chunks := findChunks(parts, m, opts)
+	if len(chunks) == 0 {
+		rep.Reason = "no runs of consecutive references"
+		return rep
+	}
+
+	// Safety: hazard analysis per chunk; chunks that fail are dropped,
+	// chunks that need run-time disambiguation record their alias pairs.
+	var safe []*chunk
+	for _, c := range chunks {
+		if hz := IsHazard(body, c, parts, info); hz == hazardUnsafe {
+			continue
+		} else if hz == hazardNeedsChecks && opts.NoRuntimeChecks {
+			continue
+		}
+		if opts.NoRuntimeChecks && m.MustAlign && c.wide > c.width {
+			// Alignment cannot be proven statically for pointer parameters.
+			continue
+		}
+		safe = append(safe, c)
+	}
+	if len(safe) == 0 {
+		rep.Reason = "all runs rejected by hazard analysis"
+		return rep
+	}
+	// Run-time alias ranges need the loop trip count; without a recognized
+	// control test, keep only chunks that need no alias checks.
+	haveTrips := info.Control != nil
+	if !haveTrips {
+		var kept []*chunk
+		for _, c := range safe {
+			if len(c.needsAliasCheck) == 0 {
+				kept = append(kept, c)
+			}
+		}
+		safe = kept
+		if len(safe) == 0 {
+			rep.Reason = "alias checks required but trip count unknown"
+			return rep
+		}
+	}
+
+	EnsureDedicatedPreheader(f, g, l)
+	applied := doProfitabilityAnalysisAndModify(f, g, l, body, m, opts, safe, rep)
+	rep.Applied = applied
+	if applied {
+		rep.Reason = "coalesced"
+	} else if rep.Reason == "" {
+		rep.Reason = "not profitable under static schedule"
+	}
+	return rep
+}
+
+// EnsureDedicatedPreheader guarantees l.Preheader exists and is used only
+// as the loop's entry (safe to grow with check code).
+func EnsureDedicatedPreheader(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop) {
+	if l.Preheader == nil {
+		g.EnsurePreheader(l)
+	}
+}
+
+// classifyPartitions groups the body's memory references by base register.
+// Only bases that are loop invariant or basic induction variables qualify;
+// anything else cannot be described relative to the induction variable and
+// is unsafe to coalesce (CalculateRelativeOffsets failing in the paper).
+func classifyPartitions(body *rtl.Block, l *cfg.Loop, info *iv.Info) map[rtl.Reg]*partition {
+	parts := make(map[rtl.Reg]*partition)
+	for i, in := range body.Instrs {
+		if !in.IsMem() {
+			continue
+		}
+		base, ok := in.A.IsReg()
+		if !ok {
+			continue
+		}
+		var step int64
+		if biv := info.BasicIVs[base]; biv != nil {
+			step = biv.Step
+		} else if !info.Invariant(base) {
+			continue
+		}
+		p := parts[base]
+		if p == nil {
+			p = &partition{base: base, step: step, minDisp: in.Disp, maxDisp: in.Disp}
+			parts[base] = p
+		}
+		r := ref{in: in, index: i, disp: in.Disp}
+		if in.Op == rtl.Load {
+			p.loads = append(p.loads, r)
+		} else {
+			p.stores = append(p.stores, r)
+		}
+		if in.Disp < p.minDisp {
+			p.minDisp = in.Disp
+		}
+		if in.Disp > p.maxDisp {
+			p.maxDisp = in.Disp
+		}
+		if int64(in.Width) > p.maxWidth {
+			p.maxWidth = int64(in.Width)
+		}
+	}
+	return parts
+}
+
+// findChunks slices each partition's sorted references into maximal runs of
+// consecutive displacements and cuts each run into power-of-two groups that
+// a single aligned wide reference covers.
+func findChunks(parts map[rtl.Reg]*partition, m *machine.Machine, opts Options) []*chunk {
+	var bases []rtl.Reg
+	for b := range parts {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	var chunks []*chunk
+	for _, b := range bases {
+		p := parts[b]
+		if opts.Loads {
+			chunks = append(chunks, chunkRefs(p, p.loads, true, m)...)
+		}
+		if opts.Stores {
+			chunks = append(chunks, chunkRefs(p, p.stores, false, m)...)
+		}
+	}
+	return chunks
+}
+
+// dispSlot collects every reference sharing one displacement.
+type dispSlot struct {
+	disp int64
+	refs []ref
+}
+
+func chunkRefs(p *partition, refs []ref, isLoad bool, m *machine.Machine) []*chunk {
+	// Group by width; only same-width references coalesce. Several
+	// references may share one displacement (an unrolled convolution
+	// rereads the same pixels); they all ride the same wide reference —
+	// that reuse is precisely the redundancy the paper's Figure 1 removes.
+	byWidth := make(map[rtl.Width]map[int64][]ref)
+	for _, r := range refs {
+		m := byWidth[r.in.Width]
+		if m == nil {
+			m = make(map[int64][]ref)
+			byWidth[r.in.Width] = m
+		}
+		m[r.disp] = append(m[r.disp], r)
+	}
+	var out []*chunk
+	var widths []rtl.Width
+	for w := range byWidth {
+		widths = append(widths, w)
+	}
+	sort.Slice(widths, func(i, j int) bool { return widths[i] < widths[j] })
+	for _, w := range widths {
+		if w >= m.WordBytes {
+			continue
+		}
+		var slots []dispSlot
+		for d, rs := range byWidth[w] {
+			slots = append(slots, dispSlot{disp: d, refs: rs})
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].disp < slots[j].disp })
+		// Split into maximal runs of consecutive displacements.
+		var run []dispSlot
+		flush := func() {
+			out = append(out, cutRun(p, run, isLoad, w, m)...)
+			run = nil
+		}
+		for _, s := range slots {
+			if len(run) > 0 && s.disp != run[len(run)-1].disp+int64(w) {
+				flush()
+			}
+			run = append(run, s)
+		}
+		flush()
+	}
+	return out
+}
+
+// cutRun cuts one consecutive run of displacement slots into the largest
+// power-of-two groups the machine can load at once; groups covering fewer
+// than two slots stay narrow.
+func cutRun(p *partition, run []dispSlot, isLoad bool, w rtl.Width, m *machine.Machine) []*chunk {
+	var out []*chunk
+	i := 0
+	for i < len(run) {
+		c := m.MaxCoalesceFactor(w)
+		for c > 1 && (i+c > len(run) || !rtl.Width(int64(c)*int64(w)).Valid()) {
+			c /= 2
+		}
+		if c < 2 {
+			i++
+			continue
+		}
+		var group []ref
+		for _, s := range run[i : i+c] {
+			group = append(group, s.refs...)
+		}
+		out = append(out, &chunk{
+			part:            p,
+			isLoad:          isLoad,
+			refs:            group,
+			width:           w,
+			wide:            rtl.Width(int64(c) * int64(w)),
+			minDisp:         run[i].disp,
+			needsAliasCheck: make(map[rtl.Reg]bool),
+		})
+		i += c
+	}
+	return out
+}
+
+// firstIndex and lastIndex give the chunk's extent in program order.
+func (c *chunk) firstIndex() int {
+	min := c.refs[0].index
+	for _, r := range c.refs {
+		if r.index < min {
+			min = r.index
+		}
+	}
+	return min
+}
+
+func (c *chunk) lastIndex() int {
+	max := c.refs[0].index
+	for _, r := range c.refs {
+		if r.index > max {
+			max = r.index
+		}
+	}
+	return max
+}
+
+func (c *chunk) String() string {
+	kind := "stores"
+	if c.isLoad {
+		kind = "loads"
+	}
+	return fmt.Sprintf("%s %s[%d..%d) w%d->w%d", kind, c.part.base,
+		c.minDisp, c.minDisp+int64(c.wide), c.width, c.wide)
+}

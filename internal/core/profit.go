@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sort"
+
+	"macc/internal/cfg"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+	"macc/internal/sched"
+)
+
+// doProfitabilityAnalysisAndModify is the paper's Figure 3: replicate the
+// loop, insert the wide references into the copy, statically schedule both
+// bodies, and adopt the copy only if it is faster (or Force is set). On
+// adoption the preheader gains the run-time alignment and alias checks that
+// select between the coalesced copy and the original safe loop at run time
+// (Figure 5's flow graph).
+func doProfitabilityAnalysisAndModify(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop,
+	body *rtl.Block, m *machine.Machine, opts Options, chunks []*chunk,
+	rep *LoopReport) bool {
+
+	// Static alignment feasibility: the pointer must advance by a multiple
+	// of the wide width or alignment cannot be preserved across iterations.
+	if m.MustAlign {
+		var kept []*chunk
+		for _, c := range chunks {
+			if c.part.step%int64(c.wide) == 0 {
+				kept = append(kept, c)
+			}
+		}
+		chunks = kept
+		if len(chunks) == 0 {
+			rep.Reason = "pointer step incompatible with wide alignment"
+			return false
+		}
+	}
+
+	// DoReplication: clone the loop; the clone becomes the coalesced fast
+	// path, the original remains the safe loop.
+	cmap := f.CloneRegion(l.Blocks, ".coalesced")
+	bodyCopy := cmap[body]
+
+	// InsertWideReferences on the copy.
+	applyChunks(f, bodyCopy, chunks, rep)
+
+	// Schedule both loops and compare.
+	rep.CyclesOriginal = sched.Estimate(body, m)
+	rep.CyclesCoalesced = sched.Estimate(bodyCopy, m)
+	if !opts.Force && rep.CyclesCoalesced >= rep.CyclesOriginal {
+		removeClones(f, cmap)
+		return false
+	}
+
+	// Build the run-time checks in the preheader and point its terminator
+	// at the check branch: coalesced copy when every check passes, original
+	// safe loop otherwise.
+	info := reanalyze(f, g, l)
+	okCond, nInstrs, nPairs, nAligns, ok := emitChecks(f, l, body, m, chunks, info)
+	if !ok {
+		removeClones(f, cmap)
+		rep.Reason = "could not generate run-time checks"
+		return false
+	}
+	rep.CheckInstrs = nInstrs
+	rep.AliasCheckPairs = nPairs
+	rep.AlignmentChecks = nAligns
+
+	ph := l.Preheader
+	term := ph.Term()
+	copyHeader := cmap[l.Header]
+	if okCond.Kind == rtl.KindNone {
+		// Statically safe: enter the coalesced loop unconditionally; the
+		// safe loop stays in place (unreachable-block cleanup removes it).
+		retarget(term, l.Header, copyHeader)
+	} else {
+		*term = *rtl.BranchI(okCond, copyHeader, l.Header)
+	}
+	return true
+}
+
+func retarget(term *rtl.Instr, from, to *rtl.Block) {
+	if term.Target == from {
+		term.Target = to
+	}
+	if term.Else == from {
+		term.Else = to
+	}
+}
+
+func removeClones(f *rtl.Fn, cmap map[*rtl.Block]*rtl.Block) {
+	for _, copy := range cmap {
+		f.RemoveBlock(copy)
+	}
+}
+
+// reanalyze recomputes induction info for the loop (the clone does not
+// disturb it, but check generation wants fresh def/use data).
+func reanalyze(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop) *iv.Info {
+	g2 := cfg.New(f)
+	// Find the same loop by header in the fresh graph.
+	for _, l2 := range g2.FindLoops() {
+		if l2.Header == l.Header {
+			l2.Preheader = l.Preheader
+			du := dataflowDefUse(f)
+			return iv.Analyze(g2, l2, du)
+		}
+	}
+	du := dataflowDefUse(f)
+	return iv.Analyze(g, l, du)
+}
+
+// applyChunks rewrites the body copy: narrow loads become extracts fed by a
+// wide load placed before the first of the group; narrow stores become an
+// insert chain completed by a wide store after the last of the group.
+func applyChunks(f *rtl.Fn, body *rtl.Block, chunks []*chunk, rep *LoopReport) {
+	type insertion struct {
+		pos   int // index in the original instruction numbering
+		after bool
+		in    *rtl.Instr
+	}
+	var insertions []insertion
+
+	for _, c := range chunks {
+		base := rtl.R(c.part.base)
+		if c.isLoad {
+			wideReg := f.NewReg()
+			wl := rtl.LoadI(wideReg, base, c.minDisp, c.wide, false)
+			insertions = append(insertions, insertion{pos: c.firstIndex(), in: wl})
+			for _, r := range c.refs {
+				old := body.Instrs[r.index]
+				off := r.disp - c.minDisp
+				*old = *rtl.ExtractI(old.Dst, rtl.R(wideReg), rtl.C(off), c.width, old.Signed)
+			}
+			rep.WideLoads++
+			rep.NarrowLoads += len(c.refs)
+		} else {
+			// Process stores in program order so the insert chain respects
+			// any same-slot ordering.
+			ordered := append([]ref(nil), c.refs...)
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i].index < ordered[j].index })
+			cur := rtl.Operand{Kind: rtl.KindConst, Const: 0}
+			for _, r := range ordered {
+				old := body.Instrs[r.index]
+				val := old.B
+				off := r.disp - c.minDisp
+				nr := f.NewReg()
+				*old = *rtl.InsertI(nr, cur, val, rtl.C(off), c.width)
+				cur = rtl.R(nr)
+			}
+			ws := rtl.StoreI(base, c.minDisp, cur, c.wide)
+			insertions = append(insertions, insertion{pos: c.lastIndex(), after: true, in: ws})
+			rep.WideStores++
+			rep.NarrowStores += len(c.refs)
+		}
+	}
+
+	// Apply insertions from the highest position down so earlier indices
+	// stay valid.
+	sort.Slice(insertions, func(i, j int) bool {
+		if insertions[i].pos != insertions[j].pos {
+			return insertions[i].pos > insertions[j].pos
+		}
+		// At equal positions, "after" insertions go in first so a "before"
+		// at the same slot ends up earlier in the final order.
+		return insertions[i].after && !insertions[j].after
+	})
+	for _, ins := range insertions {
+		at := ins.pos
+		if ins.after {
+			at++
+		}
+		body.InsertAt(at, ins.in)
+	}
+}

@@ -1,0 +1,79 @@
+package dataflow
+
+import "macc/internal/rtl"
+
+// DefSite locates one definition of a register.
+type DefSite struct {
+	Block *rtl.Block
+	Index int
+	Instr *rtl.Instr
+}
+
+// DefUse summarises definition and use counts across a function. It treats
+// function parameters as implicit definitions at entry.
+type DefUse struct {
+	defCount []int
+	useCount []int
+	single   []DefSite // valid where defCount==1
+	isParam  []bool
+}
+
+// ComputeDefUse scans the function once and tabulates, for each register,
+// how many instructions define it, how many operand slots read it, and (for
+// single-definition registers) where that definition lives.
+func ComputeDefUse(f *rtl.Fn) *DefUse {
+	n := f.NumRegs()
+	du := &DefUse{
+		defCount: make([]int, n),
+		useCount: make([]int, n),
+		single:   make([]DefSite, n),
+		isParam:  make([]bool, n),
+	}
+	for _, p := range f.Params {
+		du.isParam[p] = true
+		du.defCount[p]++
+	}
+	var regs []rtl.Reg
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			regs = in.Uses(regs[:0])
+			for _, r := range regs {
+				du.useCount[r]++
+			}
+			if d, ok := in.Def(); ok {
+				du.defCount[d]++
+				du.single[d] = DefSite{Block: b, Index: i, Instr: in}
+			}
+		}
+	}
+	return du
+}
+
+// DefCount returns how many definitions register r has (parameters count as
+// one definition).
+func (du *DefUse) DefCount(r rtl.Reg) int { return du.defCount[r] }
+
+// UseCount returns how many operand slots read register r.
+func (du *DefUse) UseCount(r rtl.Reg) int { return du.useCount[r] }
+
+// IsParam reports whether r is a function parameter.
+func (du *DefUse) IsParam(r rtl.Reg) bool { return du.isParam[r] }
+
+// SingleDef returns the lone defining instruction of r, if r has exactly one
+// definition and is not a parameter.
+func (du *DefUse) SingleDef(r rtl.Reg) (DefSite, bool) {
+	if du.isParam[r] || du.defCount[r] != 1 {
+		return DefSite{}, false
+	}
+	return du.single[r], true
+}
+
+// Immutable reports whether r is never redefined after its initial value:
+// either a parameter with no further definitions, or a register with exactly
+// one definition. Such registers can be propagated without kill analysis.
+func (du *DefUse) Immutable(r rtl.Reg) bool {
+	if du.isParam[r] {
+		return du.defCount[r] == 1 // the implicit entry definition only
+	}
+	return du.defCount[r] == 1
+}

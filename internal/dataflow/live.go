@@ -1,0 +1,110 @@
+package dataflow
+
+import (
+	"macc/internal/cfg"
+	"macc/internal/rtl"
+)
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	g       *cfg.Graph
+	liveIn  map[*rtl.Block]BitSet
+	liveOut map[*rtl.Block]BitSet
+	nregs   int
+}
+
+// ComputeLiveness runs iterative backward liveness over the function.
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	f := g.Fn
+	n := f.NumRegs()
+	lv := &Liveness{
+		g:       g,
+		liveIn:  make(map[*rtl.Block]BitSet, len(f.Blocks)),
+		liveOut: make(map[*rtl.Block]BitSet, len(f.Blocks)),
+		nregs:   n,
+	}
+	use := make(map[*rtl.Block]BitSet, len(f.Blocks))
+	def := make(map[*rtl.Block]BitSet, len(f.Blocks))
+	for _, b := range f.Blocks {
+		u, d := NewBitSet(n), NewBitSet(n)
+		var regs []rtl.Reg
+		for _, in := range b.Instrs {
+			regs = in.Uses(regs[:0])
+			for _, r := range regs {
+				if !d.Has(int(r)) {
+					u.Set(int(r))
+				}
+			}
+			if dr, ok := in.Def(); ok {
+				d.Set(int(dr))
+			}
+		}
+		use[b], def[b] = u, d
+		lv.liveIn[b] = NewBitSet(n)
+		lv.liveOut[b] = NewBitSet(n)
+	}
+	// Iterate to fixpoint in reverse RPO for fast convergence.
+	changed := true
+	tmp := NewBitSet(n)
+	for changed {
+		changed = false
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			out := lv.liveOut[b]
+			for _, s := range b.Succs() {
+				if out.OrInto(lv.liveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.Copy(out)
+			def[b].ForEach(func(i int) { tmp.Clear(i) })
+			tmp.OrInto(use[b])
+			if lv.liveIn[b].OrInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveIn reports whether register r is live at entry to block b.
+func (lv *Liveness) LiveIn(b *rtl.Block, r rtl.Reg) bool {
+	s, ok := lv.liveIn[b]
+	return ok && s.Has(int(r))
+}
+
+// LiveOut reports whether register r is live at exit from block b.
+func (lv *Liveness) LiveOut(b *rtl.Block, r rtl.Reg) bool {
+	s, ok := lv.liveOut[b]
+	return ok && s.Has(int(r))
+}
+
+// LiveInSet returns the live-in set of b (shared, do not mutate).
+func (lv *Liveness) LiveInSet(b *rtl.Block) BitSet { return lv.liveIn[b] }
+
+// LiveOutSet returns the live-out set of b (shared, do not mutate).
+func (lv *Liveness) LiveOutSet(b *rtl.Block) BitSet { return lv.liveOut[b] }
+
+// MaxPressure estimates the peak number of simultaneously live registers in
+// block b by walking it backwards from the live-out set. The unrolling
+// heuristic uses this to decide whether another unroll factor would spill.
+func (lv *Liveness) MaxPressure(b *rtl.Block) int {
+	cur := lv.liveOut[b].Clone()
+	max := cur.Count()
+	var regs []rtl.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if d, ok := in.Def(); ok {
+			cur.Clear(int(d))
+		}
+		regs = in.Uses(regs[:0])
+		for _, r := range regs {
+			cur.Set(int(r))
+		}
+		if c := cur.Count(); c > max {
+			max = c
+		}
+	}
+	return max
+}

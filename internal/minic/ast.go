@@ -1,0 +1,315 @@
+package minic
+
+import "macc/internal/rtl"
+
+// TypeKind discriminates Type.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	KVoid TypeKind = iota
+	KInt           // integer of Type.Width bytes
+	KPtr           // pointer to Type.Elem
+)
+
+// Type is a mini-C type: void, a sized integer, or a pointer.
+type Type struct {
+	Kind     TypeKind
+	Width    rtl.Width // KInt only
+	Unsigned bool      // KInt only
+	Elem     *Type     // KPtr only
+}
+
+// Prebuilt types.
+var (
+	TypeVoid   = &Type{Kind: KVoid}
+	TypeChar   = &Type{Kind: KInt, Width: rtl.W1}
+	TypeUChar  = &Type{Kind: KInt, Width: rtl.W1, Unsigned: true}
+	TypeShort  = &Type{Kind: KInt, Width: rtl.W2}
+	TypeUShort = &Type{Kind: KInt, Width: rtl.W2, Unsigned: true}
+	TypeInt    = &Type{Kind: KInt, Width: rtl.W4}
+	TypeUInt   = &Type{Kind: KInt, Width: rtl.W4, Unsigned: true}
+	TypeLong   = &Type{Kind: KInt, Width: rtl.W8}
+	TypeULong  = &Type{Kind: KInt, Width: rtl.W8, Unsigned: true}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KPtr, Elem: elem} }
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t != nil && t.Kind == KInt }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t != nil && t.Kind == KPtr }
+
+// Size returns the size in bytes of a value of type t.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KInt:
+		return int64(t.Width)
+	case KPtr:
+		return 8
+	}
+	return 0
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KInt:
+		base := map[rtl.Width]string{rtl.W1: "char", rtl.W2: "short", rtl.W4: "int", rtl.W8: "long"}[t.Width]
+		if t.Unsigned {
+			return "unsigned " + base
+		}
+		return base
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KInt:
+		return t.Width == o.Width && t.Unsigned == o.Unsigned
+	case KPtr:
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// VarSym is a resolved variable (parameter or local).
+type VarSym struct {
+	Name string
+	Type *Type
+	// Reg is assigned during code generation.
+	Reg rtl.Reg
+}
+
+// GlobalSym is a resolved global object: a scalar or an array with static
+// storage. Addr is assigned during lowering.
+type GlobalSym struct {
+	Name  string
+	Elem  *Type
+	Count int // 0 for a scalar, element count for an array
+	Addr  int64
+}
+
+// Size returns the object's size in bytes.
+func (g *GlobalSym) Size() int64 {
+	n := int64(g.Count)
+	if n == 0 {
+		n = 1
+	}
+	return n * g.Elem.Size()
+}
+
+// GlobalDecl is a file-scope variable definition.
+type GlobalDecl struct {
+	Pos   Pos
+	Name  string
+	Elem  *Type
+	Count int     // 0 = scalar
+	Init  []int64 // element initializers, possibly shorter than Count
+	Sym   *GlobalSym
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Funcs   []*FuncDecl
+	Globals []*GlobalDecl
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+	Sym  *VarSym // filled by sema
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is { ... }. Flat marks synthetic groups (multi-declarator
+// declarations) that must not open a new scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+	Flat  bool
+}
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type *Type
+	Init Expr // may be nil
+	Sym  *VarSym
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is for(init; cond; post) body; any clause may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// WhileStmt is while(cond) body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is do body while(cond); — the body runs at least once.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/test.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*ForStmt) stmt()      {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is implemented by all expression nodes. Types are filled by sema.
+type Expr interface {
+	expr()
+	P() Pos
+	Type() *Type
+	setType(*Type)
+}
+
+type exprBase struct {
+	pos Pos
+	typ *Type
+}
+
+func (e *exprBase) expr()           {}
+func (e *exprBase) P() Pos          { return e.pos }
+func (e *exprBase) Type() *Type     { return e.typ }
+func (e *exprBase) setType(t *Type) { e.typ = t }
+
+// Ident references a local variable, parameter, or global.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *VarSym    // locals and parameters
+	GSym *GlobalSym // file-scope objects
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// Binary is a binary operation (arithmetic, shifts, comparisons, && and ||).
+type Binary struct {
+	exprBase
+	Op   TokKind
+	X, Y Expr
+}
+
+// Unary is -x, ~x, !x, or *x.
+type Unary struct {
+	exprBase
+	Op TokKind
+	X  Expr
+}
+
+// Assign is lhs op rhs where op is = or a compound assignment.
+type Assign struct {
+	exprBase
+	Op  TokKind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++x, --x, x++, or x--.
+type IncDec struct {
+	exprBase
+	Op   TokKind // TokInc or TokDec
+	X    Expr
+	Post bool
+}
+
+// Index is x[i].
+type Index struct {
+	exprBase
+	X, Idx Expr
+}
+
+// Call invokes a function by name.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Decl *FuncDecl // filled by sema
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Cast is (type)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+func newIdent(pos Pos, name string) *Ident {
+	return &Ident{exprBase: exprBase{pos: pos}, Name: name}
+}

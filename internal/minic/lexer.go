@@ -1,0 +1,279 @@
+package minic
+
+// lexer turns source text into tokens. It supports decimal, hex, and octal
+// integer literals, character literals with the common escapes, and both
+// comment styles.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans and returns the next token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: text}, nil
+	case isDigit(c):
+		return lx.lexNumber(pos)
+	case c == '\'':
+		return lx.lexChar(pos)
+	}
+	lx.advance()
+	two := func(second byte, withKind, without TokKind) (Token, error) {
+		if lx.peek() == second {
+			lx.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		return Token{Kind: without, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: TokInc, Pos: pos}, nil
+		}
+		return two('=', TokPlusAssign, TokPlus)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: TokDec, Pos: pos}, nil
+		}
+		return two('=', TokMinusAssign, TokMinus)
+	case '*':
+		return two('=', TokStarAssign, TokStar)
+	case '/':
+		return two('=', TokSlashAssign, TokSlash)
+	case '%':
+		return two('=', TokPercentAssign, TokPercent)
+	case '^':
+		return two('=', TokCaretAssign, TokCaret)
+	case '!':
+		return two('=', TokNe, TokBang)
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return two('=', TokAmpAssign, TokAmp)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: pos}, nil
+		}
+		return two('=', TokPipeAssign, TokPipe)
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return two('=', TokShlAssign, TokShl)
+		}
+		return two('=', TokLe, TokLt)
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return two('=', TokShrAssign, TokShr)
+		}
+		return two('=', TokGe, TokGt)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+func (lx *lexer) lexNumber(pos Pos) (Token, error) {
+	var v int64
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		n := 0
+		for lx.off < len(lx.src) && isHex(lx.peek()) {
+			c := lx.advance()
+			var d int64
+			switch {
+			case isDigit(c):
+				d = int64(c - '0')
+			case c >= 'a':
+				d = int64(c-'a') + 10
+			default:
+				d = int64(c-'A') + 10
+			}
+			v = v*16 + d
+			n++
+		}
+		if n == 0 {
+			return Token{}, errf(pos, "malformed hex literal")
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			v = v*10 + int64(lx.advance()-'0')
+		}
+	}
+	// Ignore the L/U suffixes; all literals are 64-bit here.
+	for lx.peek() == 'L' || lx.peek() == 'l' || lx.peek() == 'U' || lx.peek() == 'u' {
+		lx.advance()
+	}
+	return Token{Kind: TokInt, Pos: pos, Val: v}, nil
+}
+
+func (lx *lexer) lexChar(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	var v int64
+	c := lx.advance()
+	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		switch e := lx.advance(); e {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return Token{}, errf(pos, "unknown escape \\%c", e)
+		}
+	} else {
+		v = int64(c)
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	return Token{Kind: TokChar, Pos: pos, Val: v}, nil
+}
+
+// Lex tokenizes src completely, mainly for tests.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,852 @@
+package minic
+
+// parser is a recursive-descent parser with precedence climbing for binary
+// expressions. It produces an untyped AST; sema resolves names and types.
+type parser struct {
+	lx   *lexer
+	tok  Token
+	peek *Token
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseTop(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// parseTop parses one file-scope definition: a function or a global
+// variable (scalar or array, optionally initialized).
+func (p *parser) parseTop(f *File) error {
+	pos := p.tok.Pos
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TokLParen {
+		fd, err := p.parseFuncRest(pos, ret, name.Text)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fd)
+		return nil
+	}
+	gd, err := p.parseGlobalRest(pos, ret, name.Text)
+	if err != nil {
+		return err
+	}
+	f.Globals = append(f.Globals, gd)
+	return nil
+}
+
+// parseGlobalRest parses the remainder of "type name ..." as a global:
+// optional [N], optional initializer, semicolon.
+func (p *parser) parseGlobalRest(pos Pos, t *Type, name string) (*GlobalDecl, error) {
+	if t.Kind == KVoid {
+		return nil, errf(pos, "global %s has void type", name)
+	}
+	gd := &GlobalDecl{Pos: pos, Name: name, Elem: t}
+	if ok, err := p.accept(TokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		if t.Kind == KPtr {
+			// Arrays of pointers would need pointer initializers; keep the
+			// subset to arrays of integers.
+			return nil, errf(pos, "global array of pointers is not supported")
+		}
+		if p.tok.Kind == TokInt {
+			if p.tok.Val <= 0 {
+				return nil, errf(p.tok.Pos, "array size must be positive")
+			}
+			gd.Count = int(p.tok.Val)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			gd.Count = -1 // size from initializer
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.accept(TokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if gd.Count != 0 {
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.tok.Kind != TokRBrace {
+				v, err := p.parseConstValue()
+				if err != nil {
+					return nil, err
+				}
+				gd.Init = append(gd.Init, v)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.parseConstValue()
+			if err != nil {
+				return nil, err
+			}
+			gd.Init = []int64{v}
+		}
+	}
+	if gd.Count == -1 {
+		if len(gd.Init) == 0 {
+			return nil, errf(pos, "array %s needs a size or an initializer", name)
+		}
+		gd.Count = len(gd.Init)
+	}
+	if gd.Count > 0 && len(gd.Init) > gd.Count {
+		return nil, errf(pos, "too many initializers for %s[%d]", name, gd.Count)
+	}
+	_, err := p.expect(TokSemi)
+	return gd, err
+}
+
+// parseConstValue parses an integer or character literal with an optional
+// leading minus.
+func (p *parser) parseConstValue() (int64, error) {
+	neg := false
+	if ok, err := p.accept(TokMinus); err != nil {
+		return 0, err
+	} else if ok {
+		neg = true
+	}
+	if p.tok.Kind != TokInt && p.tok.Kind != TokChar {
+		return 0, errf(p.tok.Pos, "expected constant, found %s", p.tok.Kind)
+	}
+	v := p.tok.Val
+	if neg {
+		v = -v
+	}
+	return v, p.advance()
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (Token, error) {
+	if p.peek == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind == k {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func isTypeStart(k TokKind) bool {
+	switch k {
+	case TokKwChar, TokKwShort, TokKwInt, TokKwLong, TokKwUnsigned, TokKwSigned, TokKwVoid:
+		return true
+	}
+	return false
+}
+
+// parseType parses a type: [unsigned|signed] base {'*'}.
+func (p *parser) parseType() (*Type, error) {
+	pos := p.tok.Pos
+	unsigned := false
+	signedSeen := false
+	switch p.tok.Kind {
+	case TokKwUnsigned:
+		unsigned = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case TokKwSigned:
+		signedSeen = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	var base *Type
+	bare := false // bare "unsigned"/"signed" with no base keyword to consume
+	switch p.tok.Kind {
+	case TokKwChar:
+		base = TypeChar
+	case TokKwShort:
+		base = TypeShort
+	case TokKwInt:
+		base = TypeInt
+	case TokKwLong:
+		base = TypeLong
+	case TokKwVoid:
+		if unsigned || signedSeen {
+			return nil, errf(pos, "void cannot be signed or unsigned")
+		}
+		base = TypeVoid
+	default:
+		if unsigned || signedSeen {
+			base = TypeInt // bare "unsigned"/"signed" means int
+			bare = true
+		} else {
+			return nil, errf(p.tok.Pos, "expected type, found %s", p.tok.Kind)
+		}
+	}
+	if base.Kind == KInt {
+		if !bare {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// "long long" and "short int" style spellings
+			if base == TypeLong && p.tok.Kind == TokKwLong {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if (base == TypeShort || base == TypeLong) && p.tok.Kind == TokKwInt {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if unsigned {
+			switch base {
+			case TypeChar:
+				base = TypeUChar
+			case TypeShort:
+				base = TypeUShort
+			case TypeInt:
+				base = TypeUInt
+			case TypeLong:
+				base = TypeULong
+			}
+		}
+	} else if base.Kind == KVoid {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	t := base
+	for p.tok.Kind == TokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t = PtrTo(t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseFuncRest(pos Pos, ret *Type, name string) (*FuncDecl, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Pos: pos, Name: name, Ret: ret}
+	if p.tok.Kind != TokRParen {
+		if p.tok.Kind == TokKwVoid {
+			// f(void)
+			if pk, err := p.peekTok(); err != nil {
+				return nil, err
+			} else if pk.Kind == TokRParen {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for p.tok.Kind != TokRParen {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			// Array parameters decay to pointers: T a[] / T a[N].
+			if p.tok.Kind == TokLBracket {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.Kind == TokInt {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(TokRBracket); err != nil {
+					return nil, err
+				}
+				pt = PtrTo(pt)
+			}
+			fd.Params = append(fd.Params, Param{Name: pn.Text, Type: pt})
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, errf(pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSemi:
+		pos := p.tok.Pos
+		return &BlockStmt{Pos: pos}, p.advance()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwDo:
+		return p.parseDoWhile()
+	case TokKwReturn:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rs := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != TokSemi {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		_, err := p.expect(TokSemi)
+		return rs, err
+	case TokKwBreak:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &BreakStmt{Pos: pos}, err
+	case TokKwContinue:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &ContinueStmt{Pos: pos}, err
+	}
+	if isTypeStart(p.tok.Kind) {
+		return p.parseDecl(true)
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+// parseDecl parses "type name [= init] {, name [= init]} ;". Multiple
+// declarators become a BlockStmt of DeclStmts.
+func (p *parser) parseDecl(wantSemi bool) (Stmt, error) {
+	pos := p.tok.Pos
+	base, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []Stmt
+	for {
+		t := base
+		// Per-declarator pointer stars were consumed by parseType for the
+		// first declarator; later declarators may add their own.
+		for p.tok.Kind == TokStar {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t = PtrTo(t)
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Pos: name.Pos, Name: name.Text, Type: t}
+		if ok, err := p.accept(TokAssign); err != nil {
+			return nil, err
+		} else if ok {
+			init, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+		if ok, err := p.accept(TokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+		// For "int a, *b": reset to the base scalar type for the next
+		// declarator (strip pointers added to the first declarator).
+		for base.Kind == KPtr {
+			base = base.Elem
+		}
+	}
+	if wantSemi {
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &BlockStmt{Pos: pos, Stmts: decls, Flat: true}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if ok, err := p.accept(TokKwElse); err != nil {
+		return nil, err
+	} else if ok {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		if isTypeStart(p.tok.Kind) {
+			init, err := p.parseDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: x}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = &ExprStmt{X: x}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseDoWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Pos: pos, Body: body, Cond: cond}, nil
+}
+
+// Expression parsing. parseExpr handles comma-free full expressions
+// (assignment level).
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+func isAssignOp(k TokKind) bool {
+	return k >= TokAssign && k <= TokShrAssign
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if isAssignOp(p.tok.Kind) {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: exprBase{pos: pos}, Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokQuestion {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCondExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{exprBase: exprBase{pos: pos}, C: c, T: t, F: f}, nil
+	}
+	return c, nil
+}
+
+// binPrec gives binding strength; higher binds tighter. 0 means "not a
+// binary operator".
+func binPrec(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokPipe:
+		return 3
+	case TokCaret:
+		return 4
+	case TokAmp:
+		return 5
+	case TokEq, TokNe:
+		return 6
+	case TokLt, TokLe, TokGt, TokGe:
+		return 7
+	case TokShl, TokShr:
+		return 8
+	case TokPlus, TokMinus:
+		return 9
+	case TokStar, TokSlash, TokPercent:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseBinExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binPrec(p.tok.Kind)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{pos: pos}, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus, TokTilde, TokBang, TokStar:
+		op := p.tok.Kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{pos: pos}, Op: op, X: x}, nil
+	case TokPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseUnary()
+	case TokInc, TokDec:
+		op := p.tok.Kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{exprBase: exprBase{pos: pos}, Op: op, X: x}, nil
+	case TokLParen:
+		// Could be a cast: "(" type ")" unary.
+		pk, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if isTypeStart(pk.Kind) {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			to, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{exprBase: exprBase{pos: pos}, To: to, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			pos := p.tok.Pos
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{pos: pos}, X: x, Idx: idx}
+		case TokInc, TokDec:
+			op := p.tok.Kind
+			pos := p.tok.Pos
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x = &IncDec{exprBase: exprBase{pos: pos}, Op: op, X: x, Post: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokInt, TokChar:
+		v := p.tok.Val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &IntLit{exprBase: exprBase{pos: pos}, Val: v}, nil
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &Call{exprBase: exprBase{pos: pos}, Name: name}
+			for p.tok.Kind != TokRParen {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return newIdent(pos, name), nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(pos, "expected expression, found %s", p.tok.Kind)
+}

@@ -1,0 +1,480 @@
+package minic
+
+import "macc/internal/rtl"
+
+// sema resolves names, checks types, and annotates the AST in place. The
+// rules are the subset of C the benchmarks need: integer arithmetic is
+// performed on 64-bit values (narrowing happens at stores and explicit
+// casts), pointer arithmetic scales by the element size, and usual
+// arithmetic signedness makes an operation unsigned when either operand is.
+
+type scope struct {
+	parent *scope
+	vars   map[string]*VarSym
+}
+
+func (s *scope) lookup(name string) *VarSym {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalSym
+	cur     *FuncDecl
+	scope   *scope
+	loops   int
+}
+
+// Check resolves and type-checks a parsed file.
+func Check(f *File) error {
+	c := &checker{funcs: make(map[string]*FuncDecl), globals: make(map[string]*GlobalSym)}
+	for _, gd := range f.Globals {
+		if _, dup := c.globals[gd.Name]; dup {
+			return errf(gd.Pos, "global %s redefined", gd.Name)
+		}
+		gd.Sym = &GlobalSym{Name: gd.Name, Elem: gd.Elem, Count: gd.Count}
+		c.globals[gd.Name] = gd.Sym
+	}
+	for _, fd := range f.Funcs {
+		if _, dup := c.funcs[fd.Name]; dup {
+			return errf(fd.Pos, "function %s redefined", fd.Name)
+		}
+		if _, clash := c.globals[fd.Name]; clash {
+			return errf(fd.Pos, "%s is already a global variable", fd.Name)
+		}
+		c.funcs[fd.Name] = fd
+	}
+	for _, fd := range f.Funcs {
+		if err := c.checkFunc(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scope = &scope{parent: c.scope, vars: make(map[string]*VarSym)} }
+func (c *checker) pop()  { c.scope = c.scope.parent }
+
+func (c *checker) declare(pos Pos, name string, t *Type) (*VarSym, error) {
+	if _, exists := c.scope.vars[name]; exists {
+		return nil, errf(pos, "%s redeclared in this scope", name)
+	}
+	if t.Kind == KVoid {
+		return nil, errf(pos, "variable %s has void type", name)
+	}
+	v := &VarSym{Name: name, Type: t}
+	c.scope.vars[name] = v
+	return v, nil
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) error {
+	c.cur = fd
+	c.push()
+	defer c.pop()
+	for i := range fd.Params {
+		p := &fd.Params[i]
+		sym, err := c.declare(fd.Pos, p.Name, p.Type)
+		if err != nil {
+			return err
+		}
+		p.Sym = sym
+	}
+	return c.checkStmt(fd.Body)
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		if !st.Flat {
+			c.push()
+			defer c.pop()
+		}
+		for _, inner := range st.Stmts {
+			if err := c.checkStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := c.checkExpr(st.Init); err != nil {
+				return err
+			}
+			if err := assignable(st.Pos, st.Type, st.Init.Type()); err != nil {
+				return err
+			}
+		}
+		sym, err := c.declare(st.Pos, st.Name, st.Type)
+		if err != nil {
+			return err
+		}
+		st.Sym = sym
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := scalar(st.Pos, st.Cond.Type()); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := scalar(st.Pos, st.Cond.Type()); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := scalar(st.Pos, st.Cond.Type()); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *DoWhileStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := scalar(st.Pos, st.Cond.Type()); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		if st.X == nil {
+			if c.cur.Ret.Kind != KVoid {
+				return errf(st.Pos, "%s: return without value", c.cur.Name)
+			}
+			return nil
+		}
+		if c.cur.Ret.Kind == KVoid {
+			return errf(st.Pos, "%s: returning a value from a void function", c.cur.Name)
+		}
+		if err := c.checkExpr(st.X); err != nil {
+			return err
+		}
+		return assignable(st.Pos, c.cur.Ret, st.X.Type())
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return nil
+}
+
+func scalar(pos Pos, t *Type) error {
+	if t.IsInt() || t.IsPtr() {
+		return nil
+	}
+	return errf(pos, "expected scalar value, have %s", t)
+}
+
+func assignable(pos Pos, dst, src *Type) error {
+	switch {
+	case dst.IsInt() && src.IsInt():
+		return nil
+	case dst.IsPtr() && src.IsPtr():
+		// Allow any pointer-to-pointer assignment, as pre-ANSI C did; the
+		// benchmark kernels cast explicitly where it matters.
+		return nil
+	case dst.IsPtr() && src.IsInt():
+		return nil // allows p = 0
+	default:
+		return errf(pos, "cannot assign %s to %s", src, dst)
+	}
+}
+
+// arithType computes the usual result type of an integer binary operation.
+func arithType(x, y *Type) *Type {
+	if x.Unsigned || y.Unsigned {
+		return TypeULong
+	}
+	return TypeLong
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setType(TypeLong)
+		return nil
+	case *Ident:
+		if sym := c.scope.lookup(x.Name); sym != nil {
+			x.Sym = sym
+			x.setType(sym.Type)
+			return nil
+		}
+		if g, ok := c.globals[x.Name]; ok {
+			x.GSym = g
+			if g.Count > 0 {
+				x.setType(PtrTo(g.Elem)) // arrays decay to a pointer value
+			} else {
+				x.setType(g.Elem)
+			}
+			return nil
+		}
+		return errf(x.P(), "undeclared identifier %s", x.Name)
+	case *Unary:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case TokStar:
+			t := x.X.Type()
+			if !t.IsPtr() {
+				return errf(x.P(), "cannot dereference %s", t)
+			}
+			if t.Elem.Kind == KVoid {
+				return errf(x.P(), "cannot dereference void*")
+			}
+			x.setType(t.Elem)
+		case TokBang:
+			if err := scalar(x.P(), x.X.Type()); err != nil {
+				return err
+			}
+			x.setType(TypeLong)
+		default: // - ~
+			if !x.X.Type().IsInt() {
+				return errf(x.P(), "operator %s needs an integer, have %s", x.Op, x.X.Type())
+			}
+			x.setType(arithType(x.X.Type(), x.X.Type()))
+		}
+		return nil
+	case *Binary:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.Y); err != nil {
+			return err
+		}
+		tx, ty := x.X.Type(), x.Y.Type()
+		switch x.Op {
+		case TokAndAnd, TokOrOr:
+			if err := scalar(x.P(), tx); err != nil {
+				return err
+			}
+			if err := scalar(x.P(), ty); err != nil {
+				return err
+			}
+			x.setType(TypeLong)
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			if tx.IsPtr() != ty.IsPtr() {
+				// Allow pointer vs integer-literal-zero style comparison.
+				if !(tx.IsPtr() && ty.IsInt()) && !(ty.IsPtr() && tx.IsInt()) {
+					return errf(x.P(), "cannot compare %s with %s", tx, ty)
+				}
+			}
+			x.setType(TypeLong)
+		case TokPlus:
+			switch {
+			case tx.IsPtr() && ty.IsInt():
+				x.setType(tx)
+			case tx.IsInt() && ty.IsPtr():
+				x.setType(ty)
+			case tx.IsInt() && ty.IsInt():
+				x.setType(arithType(tx, ty))
+			default:
+				return errf(x.P(), "invalid operands to + (%s and %s)", tx, ty)
+			}
+		case TokMinus:
+			switch {
+			case tx.IsPtr() && ty.IsInt():
+				x.setType(tx)
+			case tx.IsPtr() && ty.IsPtr():
+				if !tx.Elem.Equal(ty.Elem) {
+					return errf(x.P(), "pointer subtraction of incompatible types")
+				}
+				x.setType(TypeLong)
+			case tx.IsInt() && ty.IsInt():
+				x.setType(arithType(tx, ty))
+			default:
+				return errf(x.P(), "invalid operands to - (%s and %s)", tx, ty)
+			}
+		default:
+			if !tx.IsInt() || !ty.IsInt() {
+				return errf(x.P(), "operator %s needs integers (%s and %s)", x.Op, tx, ty)
+			}
+			x.setType(arithType(tx, ty))
+		}
+		return nil
+	case *Assign:
+		if err := c.checkExpr(x.LHS); err != nil {
+			return err
+		}
+		if !isLValue(x.LHS) {
+			return errf(x.P(), "left side of assignment is not assignable")
+		}
+		if err := c.checkExpr(x.RHS); err != nil {
+			return err
+		}
+		if x.Op == TokAssign {
+			if err := assignable(x.P(), x.LHS.Type(), x.RHS.Type()); err != nil {
+				return err
+			}
+		} else {
+			// Compound assignment: ptr += int is allowed, otherwise ints.
+			if x.LHS.Type().IsPtr() {
+				if (x.Op != TokPlusAssign && x.Op != TokMinusAssign) || !x.RHS.Type().IsInt() {
+					return errf(x.P(), "invalid compound assignment to pointer")
+				}
+			} else if !x.LHS.Type().IsInt() || !x.RHS.Type().IsInt() {
+				return errf(x.P(), "invalid compound assignment operands")
+			}
+		}
+		x.setType(x.LHS.Type())
+		return nil
+	case *IncDec:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if !isLValue(x.X) {
+			return errf(x.P(), "operand of %s is not assignable", x.Op)
+		}
+		t := x.X.Type()
+		if !t.IsInt() && !t.IsPtr() {
+			return errf(x.P(), "cannot %s a %s", x.Op, t)
+		}
+		x.setType(t)
+		return nil
+	case *Index:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.Idx); err != nil {
+			return err
+		}
+		if !x.X.Type().IsPtr() {
+			return errf(x.P(), "indexing a non-pointer %s", x.X.Type())
+		}
+		if !x.Idx.Type().IsInt() {
+			return errf(x.P(), "index must be an integer")
+		}
+		if x.X.Type().Elem.Kind == KVoid {
+			return errf(x.P(), "cannot index void*")
+		}
+		x.setType(x.X.Type().Elem)
+		return nil
+	case *Call:
+		fd, ok := c.funcs[x.Name]
+		if !ok {
+			return errf(x.P(), "call to undefined function %s", x.Name)
+		}
+		if len(x.Args) != len(fd.Params) {
+			return errf(x.P(), "%s expects %d arguments, got %d", x.Name, len(fd.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+			if err := assignable(x.P(), fd.Params[i].Type, a.Type()); err != nil {
+				return err
+			}
+		}
+		x.Decl = fd
+		x.setType(fd.Ret)
+		return nil
+	case *CondExpr:
+		if err := c.checkExpr(x.C); err != nil {
+			return err
+		}
+		if err := scalar(x.P(), x.C.Type()); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.T); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.F); err != nil {
+			return err
+		}
+		tt, tf := x.T.Type(), x.F.Type()
+		switch {
+		case tt.IsInt() && tf.IsInt():
+			x.setType(arithType(tt, tf))
+		case tt.IsPtr() && tf.IsPtr():
+			x.setType(tt)
+		default:
+			return errf(x.P(), "mismatched ?: arms (%s and %s)", tt, tf)
+		}
+		return nil
+	case *Cast:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if x.To.Kind == KVoid {
+			x.setType(TypeVoid)
+			return nil
+		}
+		src := x.X.Type()
+		if !src.IsInt() && !src.IsPtr() {
+			return errf(x.P(), "cannot cast %s", src)
+		}
+		x.setType(x.To)
+		return nil
+	}
+	return errf(e.P(), "unhandled expression")
+}
+
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		// A global array name is a constant address, not assignable.
+		return x.GSym == nil || x.GSym.Count == 0
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == TokStar
+	}
+	return false
+}
+
+// Compile parses, checks, and lowers a translation unit to RTL.
+func Compile(src string) (*rtl.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}

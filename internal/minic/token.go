@@ -1,0 +1,143 @@
+// Package minic implements a from-scratch front end for the C subset the
+// paper's benchmarks are written in: integer types of every width, pointers,
+// functions, loops, and expressions. It stands in for the vpcc C front end
+// and lowers directly to the rtl intermediate representation.
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt  // integer literal
+	TokChar // character literal
+
+	// keywords
+	TokKwChar
+	TokKwShort
+	TokKwInt
+	TokKwLong
+	TokKwUnsigned
+	TokKwSigned
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwFor
+	TokKwWhile
+	TokKwDo
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+
+	// punctuation and operators
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokQuestion
+	TokColon
+
+	TokAssign     // =
+	TokPlusAssign // +=
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+	TokPercentAssign
+	TokAmpAssign
+	TokPipeAssign
+	TokCaretAssign
+	TokShlAssign
+	TokShrAssign
+
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokShl
+	TokShr
+	TokInc // ++
+	TokDec // --
+
+	TokEq // ==
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokChar: "char literal",
+	TokKwChar: "char", TokKwShort: "short", TokKwInt: "int", TokKwLong: "long",
+	TokKwUnsigned: "unsigned", TokKwSigned: "signed", TokKwVoid: "void",
+	TokKwIf: "if", TokKwElse: "else", TokKwFor: "for", TokKwWhile: "while",
+	TokKwDo: "do", TokKwReturn: "return", TokKwBreak: "break", TokKwContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokQuestion: "?", TokColon: ":",
+	TokAssign: "=", TokPlusAssign: "+=", TokMinusAssign: "-=", TokStarAssign: "*=",
+	TokSlashAssign: "/=", TokPercentAssign: "%=", TokAmpAssign: "&=",
+	TokPipeAssign: "|=", TokCaretAssign: "^=", TokShlAssign: "<<=", TokShrAssign: ">>=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~", TokBang: "!",
+	TokShl: "<<", TokShr: ">>", TokInc: "++", TokDec: "--",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"char": TokKwChar, "short": TokKwShort, "int": TokKwInt, "long": TokKwLong,
+	"unsigned": TokKwUnsigned, "signed": TokKwSigned, "void": TokKwVoid,
+	"if": TokKwIf, "else": TokKwElse, "for": TokKwFor, "while": TokKwWhile,
+	"do": TokKwDo, "return": TokKwReturn, "break": TokKwBreak, "continue": TokKwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier spelling
+	Val  int64  // literal value
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

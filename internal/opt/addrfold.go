@@ -1,0 +1,134 @@
+package opt
+
+import "macc/internal/rtl"
+
+// NormalizeAddresses is the local pass behind the paper's
+// CalculateRelativeOffsets step. Within each block it tracks which
+// registers currently hold "entry value of register b plus constant k" and
+// uses that to (a) rewrite memory operands into base+displacement form off
+// the block-entry register and (b) turn copies of offset values into adds
+// off the base. After unrolling, the renamed induction chains
+// (p0 = p+2; p1 = p0+2; ...) feed loads at [p+0], [p+2], [p+4], ... and the
+// chain itself dies, leaving exactly the consecutive-displacement pattern
+// the coalescer partitions.
+func NormalizeAddresses(f *rtl.Fn) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if normalizeBlock(b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+type affVal struct {
+	base rtl.Reg // register whose block-entry value anchors this
+	k    int64
+}
+
+func normalizeBlock(b *rtl.Block) bool {
+	changed := false
+	aff := make(map[rtl.Reg]affVal)     // reg -> entry(base)+k
+	redefined := make(map[rtl.Reg]bool) // regs no longer holding entry value
+
+	lookup := func(r rtl.Reg) (affVal, bool) {
+		if v, ok := aff[r]; ok {
+			return v, true
+		}
+		if redefined[r] {
+			return affVal{}, false
+		}
+		return affVal{base: r, k: 0}, true
+	}
+
+	for _, in := range b.Instrs {
+		// Rewrite memory references to anchor at the entry value.
+		if in.IsMem() {
+			if base, ok := in.A.IsReg(); ok {
+				if v, ok := lookup(base); ok && (v.base != base || v.k != 0) {
+					in.A = rtl.R(v.base)
+					in.Disp += v.k
+					changed = true
+				}
+			}
+		}
+
+		d, hasDef := in.Def()
+		if !hasDef {
+			continue
+		}
+
+		// Compute the transfer before recording the redefinition.
+		var newVal *affVal
+		switch in.Op {
+		case rtl.Mov:
+			if r, ok := in.A.IsReg(); ok {
+				if v, ok := lookup(r); ok {
+					newVal = &v
+				}
+			}
+		case rtl.Add:
+			if r, ok := in.A.IsReg(); ok {
+				if c, okc := in.B.IsConst(); okc {
+					if v, ok := lookup(r); ok {
+						nv := affVal{base: v.base, k: v.k + c}
+						newVal = &nv
+					}
+				}
+			}
+			if r, ok := in.B.IsReg(); ok && newVal == nil {
+				if c, okc := in.A.IsConst(); okc {
+					if v, ok := lookup(r); ok {
+						nv := affVal{base: v.base, k: v.k + c}
+						newVal = &nv
+					}
+				}
+			}
+		case rtl.Sub:
+			if r, ok := in.A.IsReg(); ok {
+				if c, okc := in.B.IsConst(); okc {
+					if v, ok := lookup(r); ok {
+						nv := affVal{base: v.base, k: v.k - c}
+						newVal = &nv
+					}
+				}
+			}
+		}
+
+		// Canonicalize the instruction itself onto the entry anchor, which
+		// disconnects it from the renamed chain so the chain can die: e.g.
+		// "p3 = p2 + 2" where p2 = entry(p)+4 becomes "p3 = p + 6", and a
+		// mov-back "p = p3" becomes "p = p + 8".
+		if newVal != nil && !(newVal.base == d && newVal.k == 0) {
+			rewritten := rtl.Instr{Op: rtl.Add, Dst: d, A: rtl.R(newVal.base), B: rtl.C(newVal.k)}
+			if newVal.k == 0 {
+				rewritten = rtl.Instr{Op: rtl.Mov, Dst: d, A: rtl.R(newVal.base)}
+			}
+			if !sameInstr(in, &rewritten) {
+				*in = rewritten
+				changed = true
+			}
+		}
+
+		// Record the redefinition: d stops holding its entry value, and
+		// anything anchored on d's entry value is still fine (the anchor is
+		// the value at block entry, which d no longer holds — so those
+		// entries must be dropped for future rewrites).
+		redefined[d] = true
+		delete(aff, d)
+		for r, v := range aff {
+			if v.base == d {
+				delete(aff, r)
+			}
+		}
+		if newVal != nil && newVal.base != d && !redefined[newVal.base] {
+			aff[d] = *newVal
+		}
+	}
+	return changed
+}
+
+func sameInstr(a, b *rtl.Instr) bool {
+	return a.Op == b.Op && a.Dst == b.Dst && a.A == b.A && a.B == b.B &&
+		a.C == b.C && a.Width == b.Width && a.Signed == b.Signed && a.Disp == b.Disp
+}

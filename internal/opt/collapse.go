@@ -1,0 +1,98 @@
+package opt
+
+import "macc/internal/rtl"
+
+// CollapseMovChains rewrites "t = x op y; ...; v = t" (t defined and used
+// exactly once, both in the same block) into "...; v = x op y", deleting the
+// temporary. Front-end output assigns every expression to a fresh register
+// and then moves it into the variable's home register, which hides
+// induction updates ("i = i + 1" arrives as "t = i + 1; i = t") from the
+// loop analyses; this pass restores the canonical form.
+func CollapseMovChains(f *rtl.Fn) bool {
+	// Global single-def/single-use counts.
+	defCount := make([]int, f.NumRegs())
+	useCount := make([]int, f.NumRegs())
+	var regs []rtl.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if d, ok := in.Def(); ok {
+				defCount[d]++
+			}
+			regs = in.Uses(regs[:0])
+			for _, r := range regs {
+				useCount[r]++
+			}
+		}
+	}
+	for _, p := range f.Params {
+		defCount[p]++
+	}
+
+	changed := false
+	for _, b := range f.Blocks {
+		defAt := make(map[rtl.Reg]int) // reg -> index of def within this block
+		for i, in := range b.Instrs {
+			if in.Op == rtl.Mov {
+				if t, ok := in.A.IsReg(); ok && defCount[t] == 1 && useCount[t] == 1 {
+					if di, here := defAt[t]; here && movable(b, di, i, in.Dst) {
+						def := b.Instrs[di]
+						if fusable(def) {
+							nd := in.Dst
+							*in = *def
+							in.Dst = nd
+							*def = rtl.Instr{Op: rtl.Nop}
+							changed = true
+						}
+					}
+				}
+			}
+			if d, ok := in.Def(); ok {
+				defAt[d] = i
+			}
+		}
+		if changed {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op != rtl.Nop {
+					kept = append(kept, in)
+				}
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}
+
+// fusable ops are pure register computations safe to relocate forward.
+func fusable(in *rtl.Instr) bool {
+	switch in.Op {
+	case rtl.Mov, rtl.Neg, rtl.Not, rtl.Extract, rtl.Insert:
+		return true
+	}
+	return in.Op.IsBinary()
+}
+
+// movable checks that relocating the computation at di down to position j
+// is safe: none of its source registers is redefined in between, and the
+// destination register v is neither read nor written in between.
+func movable(b *rtl.Block, di, j int, v rtl.Reg) bool {
+	def := b.Instrs[di]
+	srcs := def.Uses(nil)
+	for k := di + 1; k < j; k++ {
+		in := b.Instrs[k]
+		if d, ok := in.Def(); ok {
+			if d == v {
+				return false
+			}
+			for _, s := range srcs {
+				if d == s {
+					return false
+				}
+			}
+		}
+		if in.UsesReg(v) {
+			return false
+		}
+	}
+	return true
+}

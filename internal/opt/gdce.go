@@ -1,0 +1,58 @@
+package opt
+
+import (
+	"macc/internal/cfg"
+	"macc/internal/dataflow"
+	"macc/internal/rtl"
+)
+
+// GlobalDCE removes pure instructions whose destination is dead at the
+// definition point, using liveness rather than use counts. The distinction
+// matters after loop replication: the unroller's mov-backs restore
+// loop-carried names for the *other* loop version, so every register has
+// textual uses somewhere, but inside one version many of those values are
+// never live — use-count DCE keeps them, liveness kills them. Iterates to a
+// fixpoint since removing one dead definition can kill the chain feeding it.
+func GlobalDCE(f *rtl.Fn) bool {
+	changedEver := false
+	for {
+		g := cfg.New(f)
+		lv := dataflow.ComputeLiveness(g)
+		changed := false
+		var regs []rtl.Reg
+		for _, b := range f.Blocks {
+			if !g.Reachable(b) {
+				continue
+			}
+			live := lv.LiveOutSet(b).Clone()
+			// Walk backwards; an instruction whose def is not live here is
+			// removable when side-effect free.
+			kept := make([]*rtl.Instr, 0, len(b.Instrs))
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				d, hasDef := in.Def()
+				if hasDef && !live.Has(int(d)) && sideEffectFree(in) {
+					changed = true
+					continue
+				}
+				if hasDef {
+					live.Clear(int(d))
+				}
+				regs = in.Uses(regs[:0])
+				for _, r := range regs {
+					live.Set(int(r))
+				}
+				kept = append(kept, in)
+			}
+			// Reverse back into program order.
+			for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+				kept[l], kept[r] = kept[r], kept[l]
+			}
+			b.Instrs = kept
+		}
+		if !changed {
+			return changedEver
+		}
+		changedEver = true
+	}
+}

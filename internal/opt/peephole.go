@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"math/bits"
+
+	"macc/internal/dataflow"
+	"macc/internal/rtl"
+)
+
+// Peephole applies machine-independent strength reductions and branch
+// simplifications:
+//
+//   - multiply by a power-of-two constant becomes a shift;
+//   - unsigned divide/remainder by a power of two becomes a shift/mask;
+//   - a branch on "x != 0" branches on x directly;
+//   - a branch on "cmp == 0" branches on the inverted comparison.
+//
+// These mirror vpo's peephole stage; they also keep the scheduler's latency
+// estimates honest, since multiplies are the slowest ALU operation on all
+// three machine models.
+func Peephole(f *rtl.Fn) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if reduceInstr(in) {
+				changed = true
+			}
+		}
+	}
+	if simplifyBranches(f) {
+		changed = true
+	}
+	return changed
+}
+
+func reduceInstr(in *rtl.Instr) bool {
+	cOf := func(o rtl.Operand) (int64, bool) {
+		v, ok := o.IsConst()
+		if !ok || v <= 0 || v&(v-1) != 0 {
+			return 0, false
+		}
+		return int64(bits.TrailingZeros64(uint64(v))), true
+	}
+	switch in.Op {
+	case rtl.Mul:
+		if sh, ok := cOf(in.B); ok {
+			*in = rtl.Instr{Op: rtl.Shl, Dst: in.Dst, A: in.A, B: rtl.C(sh)}
+			return true
+		}
+		if sh, ok := cOf(in.A); ok {
+			*in = rtl.Instr{Op: rtl.Shl, Dst: in.Dst, A: in.B, B: rtl.C(sh)}
+			return true
+		}
+	case rtl.Div:
+		if in.Signed {
+			return false // signed division by 2^k needs rounding fixups
+		}
+		if sh, ok := cOf(in.B); ok {
+			*in = rtl.Instr{Op: rtl.Shr, Dst: in.Dst, A: in.A, B: rtl.C(sh)}
+			return true
+		}
+	case rtl.Rem:
+		if in.Signed {
+			return false
+		}
+		if v, ok := in.B.IsConst(); ok && v > 0 && v&(v-1) == 0 {
+			*in = rtl.Instr{Op: rtl.And, Dst: in.Dst, A: in.A, B: rtl.C(v - 1)}
+			return true
+		}
+	}
+	return false
+}
+
+// simplifyBranches looks at each block terminator: when the branch
+// condition is a single-definition, single-use comparison against zero
+// defined in the same block, the comparison folds into the branch.
+func simplifyBranches(f *rtl.Fn) bool {
+	du := dataflow.ComputeDefUse(f)
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != rtl.Branch {
+			continue
+		}
+		condReg, ok := t.A.IsReg()
+		if !ok {
+			continue
+		}
+		site, ok := du.SingleDef(condReg)
+		if !ok || site.Block != b || du.UseCount(condReg) != 1 {
+			continue
+		}
+		def := site.Instr
+		zeroCmp := func() (rtl.Operand, bool) {
+			if v, isC := def.B.IsConst(); isC && v == 0 {
+				return def.A, true
+			}
+			return rtl.Operand{}, false
+		}
+		switch def.Op {
+		case rtl.SetNE:
+			// branch (x != 0) T F  =>  branch x T F
+			if x, ok := zeroCmp(); ok {
+				t.A = x
+				*def = rtl.Instr{Op: rtl.Nop}
+				changed = true
+			}
+		case rtl.SetEQ:
+			// branch (x == 0) T F  =>  branch x F T
+			if x, ok := zeroCmp(); ok {
+				t.A = x
+				t.Target, t.Else = t.Else, t.Target
+				*def = rtl.Instr{Op: rtl.Nop}
+				changed = true
+			}
+		}
+	}
+	if changed {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op != rtl.Nop {
+					kept = append(kept, in)
+				}
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}

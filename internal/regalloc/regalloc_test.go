@@ -1,0 +1,199 @@
+package regalloc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"macc"
+	"macc/internal/machine"
+	"macc/internal/regalloc"
+	"macc/internal/rtl"
+	"macc/internal/sim"
+)
+
+const testSrc = `
+int dotproduct(short a[], short b[], int n) {
+	int c, i;
+	c = 0;
+	for (i = 0; i < n; i++)
+		c += a[i] * b[i];
+	return c;
+}
+`
+
+func compileUnrolled(t *testing.T) *macc.Program {
+	t.Helper()
+	p, err := macc.Compile(testSrc, macc.Config{
+		Machine: machine.Alpha(), Optimize: true, Unroll: true, UnrollFactor: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func maxRegUsed(f *rtl.Fn) rtl.Reg {
+	max := rtl.Reg(-1)
+	var regs []rtl.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if d, ok := in.Def(); ok && d > max {
+				max = d
+			}
+			regs = in.Uses(regs[:0])
+			for _, r := range regs {
+				if r > max {
+					max = r
+				}
+			}
+		}
+	}
+	return max
+}
+
+func runDot(t *testing.T, p *macc.Program, n int64) int64 {
+	t.Helper()
+	s := sim.New(p.RTL, machine.Alpha(), 1<<16)
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i%37 - 18)
+		b[i] = int64(i%31 - 15)
+	}
+	s.WriteInts(1024, rtl.W2, a)
+	s.WriteInts(8192, rtl.W2, b)
+	res, err := s.Run("dotproduct", 1024, 8192, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Ret
+}
+
+func TestAllocationBoundsRegisters(t *testing.T) {
+	for _, k := range []int{8, 12, 16, 32} {
+		p := compileUnrolled(t)
+		f, _ := p.Fn("dotproduct")
+		before := maxRegUsed(f)
+		stats, err := regalloc.Run(f, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("k=%d: invalid after allocation: %v", k, err)
+		}
+		if max := maxRegUsed(f); int(max) >= k {
+			t.Errorf("k=%d: register %d used (had max %d before)", k, max, before)
+		}
+		if k >= 32 && stats.Spilled > 0 {
+			t.Errorf("k=32 should not spill this kernel, spilled %d", stats.Spilled)
+		}
+		if stats.Spilled > 0 && stats.FrameSize == 0 {
+			t.Error("spills without a frame")
+		}
+	}
+}
+
+func TestAllocatedCodeComputesSameResults(t *testing.T) {
+	want := runDot(t, compileUnrolled(t), 57)
+	for _, k := range []int{8, 10, 16, 32} {
+		p := compileUnrolled(t)
+		f, _ := p.Fn("dotproduct")
+		if _, err := regalloc.Run(f, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := runDot(t, p, 57); got != want {
+			t.Errorf("k=%d: result %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSpillsIncreaseMemoryTraffic(t *testing.T) {
+	measure := func(k int) int64 {
+		p := compileUnrolled(t)
+		f, _ := p.Fn("dotproduct")
+		if _, err := regalloc.Run(f, k); err != nil {
+			t.Fatal(err)
+		}
+		s := sim.New(p.RTL, machine.Alpha(), 1<<16)
+		vals := make([]int64, 64)
+		s.WriteInts(1024, rtl.W2, vals)
+		s.WriteInts(8192, rtl.W2, vals)
+		res, err := s.Run("dotproduct", 1024, 8192, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MemRefs()
+	}
+	tight, roomy := measure(8), measure(32)
+	if tight <= roomy {
+		t.Errorf("8 registers (%d refs) should spill more than 32 (%d refs)", tight, roomy)
+	}
+}
+
+func TestRunRejectsTinyFiles(t *testing.T) {
+	p := compileUnrolled(t)
+	f, _ := p.Fn("dotproduct")
+	if _, err := regalloc.Run(f, 4); err == nil {
+		t.Error("4 registers must be rejected")
+	}
+	fMany := rtl.NewFn("many", 6)
+	fMany.Entry().Instrs = []*rtl.Instr{rtl.RetI(rtl.C(0))}
+	if _, err := regalloc.Run(fMany, 8); err == nil {
+		t.Error("too many parameters for the register file must be rejected")
+	}
+}
+
+// TestRandomProgramsSurviveAllocation compiles a family of generated
+// straight-line + loop programs, allocates with small register files, and
+// checks results against the unallocated compile.
+func TestRandomProgramsSurviveAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Generate expression-heavy sources with many simultaneously live
+	// scalars to force spills.
+	for trial := 0; trial < 10; trial++ {
+		nVars := 6 + rng.Intn(6)
+		src := "long f(long a, long b, long n) {\n"
+		for v := 0; v < nVars; v++ {
+			src += fmt.Sprintf("\tlong v%d = a * %d + b;\n", v, rng.Intn(9)+1)
+		}
+		src += "\tlong i, s = 0;\n\tfor (i = 0; i < n; i++) {\n"
+		for v := 0; v < nVars; v++ {
+			src += fmt.Sprintf("\t\ts += v%d * (i + %d);\n", v, rng.Intn(5))
+		}
+		src += "\t}\n\treturn s"
+		for v := 0; v < nVars; v++ {
+			src += fmt.Sprintf(" + v%d", v)
+		}
+		src += ";\n}\n"
+
+		ref, err := macc.Compile(src, macc.Config{Machine: machine.Alpha(), Optimize: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		alloc, err := macc.Compile(src, macc.Config{Machine: machine.Alpha(), Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, _ := alloc.Fn("f")
+		if _, err := regalloc.Run(af, 8); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := af.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		run := func(p *macc.Program) int64 {
+			s := sim.New(p.RTL, machine.Alpha(), 1<<14)
+			res, err := s.Run("f", int64(rngFixed(trial)), 7, 13)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return res.Ret
+		}
+		if w, g := run(ref), run(alloc); w != g {
+			t.Fatalf("trial %d: allocation changed result %d -> %d\n%s", trial, w, g, src)
+		}
+	}
+}
+
+func rngFixed(trial int) int { return 3 + trial }

@@ -1,0 +1,57 @@
+package rtl
+
+// Constructors for the common instruction shapes. They keep pass code and
+// tests terse and make the intended operand layout explicit.
+
+// MovI builds dst = a.
+func MovI(dst Reg, a Operand) *Instr { return &Instr{Op: Mov, Dst: dst, A: a} }
+
+// BinI builds dst = a op b.
+func BinI(op Op, dst Reg, a, b Operand) *Instr {
+	return &Instr{Op: op, Dst: dst, A: a, B: b}
+}
+
+// SBinI builds a signed dst = a op b (Div/Rem/Shr/ordered compares).
+func SBinI(op Op, dst Reg, a, b Operand) *Instr {
+	return &Instr{Op: op, Dst: dst, A: a, B: b, Signed: true}
+}
+
+// UnI builds dst = op a (Neg/Not).
+func UnI(op Op, dst Reg, a Operand) *Instr { return &Instr{Op: op, Dst: dst, A: a} }
+
+// LoadI builds dst = M[w](base + disp).
+func LoadI(dst Reg, base Operand, disp int64, w Width, signed bool) *Instr {
+	return &Instr{Op: Load, Dst: dst, A: base, Disp: disp, Width: w, Signed: signed}
+}
+
+// StoreI builds M[w](base + disp) = val.
+func StoreI(base Operand, disp int64, val Operand, w Width) *Instr {
+	return &Instr{Op: Store, A: base, B: val, Disp: disp, Width: w}
+}
+
+// ExtractI builds dst = extract w bytes of a at byte offset off.
+func ExtractI(dst Reg, a, off Operand, w Width, signed bool) *Instr {
+	return &Instr{Op: Extract, Dst: dst, A: a, B: off, Width: w, Signed: signed}
+}
+
+// InsertI builds dst = a with the low w bytes of val deposited at byte
+// offset off.
+func InsertI(dst Reg, a, val, off Operand, w Width) *Instr {
+	return &Instr{Op: Insert, Dst: dst, A: a, B: val, C: off, Width: w}
+}
+
+// JumpI builds an unconditional jump.
+func JumpI(target *Block) *Instr { return &Instr{Op: Jump, Target: target} }
+
+// BranchI builds: if cond != 0 goto then else goto els.
+func BranchI(cond Operand, then, els *Block) *Instr {
+	return &Instr{Op: Branch, A: cond, Target: then, Else: els}
+}
+
+// RetI builds a return; pass Operand{} for a void return.
+func RetI(val Operand) *Instr { return &Instr{Op: Ret, A: val} }
+
+// CallI builds dst = callee(args...); pass NoReg to discard the result.
+func CallI(dst Reg, callee string, args ...Operand) *Instr {
+	return &Instr{Op: Call, Dst: dst, Callee: callee, Args: args}
+}

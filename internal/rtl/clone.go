@@ -1,0 +1,103 @@
+package rtl
+
+// CloneRegion deep-copies a set of blocks into the function, rewiring
+// control transfers among the copied blocks to their copies while leaving
+// edges that leave the region pointing at the original targets. It returns
+// the original-to-copy mapping. Registers are not renamed; callers that need
+// independent register names apply RenameRegs afterwards.
+//
+// The coalescing pass uses this to build the "safe loop" copy the run-time
+// checks fall back to (Figure 5 of the paper), and the unroller uses it for
+// both body copies and the remainder loop.
+func (f *Fn) CloneRegion(blocks []*Block, nameSuffix string) map[*Block]*Block {
+	m := make(map[*Block]*Block, len(blocks))
+	for _, b := range blocks {
+		nb := f.NewBlock(b.Name + nameSuffix)
+		m[b] = nb
+	}
+	for _, b := range blocks {
+		nb := m[b]
+		for _, in := range b.Instrs {
+			cp := in.Clone()
+			if cp.Target != nil {
+				if t, ok := m[cp.Target]; ok {
+					cp.Target = t
+				}
+			}
+			if cp.Else != nil {
+				if t, ok := m[cp.Else]; ok {
+					cp.Else = t
+				}
+			}
+			nb.Instrs = append(nb.Instrs, cp)
+		}
+	}
+	return m
+}
+
+// RenameRegs rewrites register names in the given blocks according to the
+// rename map applied to both definitions and uses. Registers absent from the
+// map are left untouched (they are live-in values shared with the rest of
+// the function).
+func RenameRegs(blocks []*Block, rename map[Reg]Reg) {
+	for _, b := range blocks {
+		for _, in := range b.Instrs {
+			if d, ok := in.Def(); ok {
+				if nr, ok := rename[d]; ok {
+					in.Dst = nr
+				}
+			}
+			for _, o := range in.SrcOperands() {
+				if r, ok := o.IsReg(); ok {
+					if nr, ok := rename[r]; ok {
+						o.Reg = nr
+					}
+				}
+			}
+		}
+	}
+}
+
+// Clone deep-copies the whole function.
+func (f *Fn) Clone() *Fn {
+	nf := &Fn{Name: f.Name, nextReg: f.nextReg, nextBlk: f.nextBlk,
+		FrameBytes: f.FrameBytes, FrameReg: f.FrameReg}
+	nf.Params = append([]Reg(nil), f.Params...)
+	m := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name}
+		m[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := m[b]
+		for _, in := range b.Instrs {
+			cp := in.Clone()
+			if cp.Target != nil {
+				cp.Target = m[cp.Target]
+			}
+			if cp.Else != nil {
+				cp.Else = m[cp.Else]
+			}
+			nb.Instrs = append(nb.Instrs, cp)
+		}
+	}
+	return nf
+}
+
+// RedirectEdges replaces every control-flow edge in the function that points
+// at from with an edge to to.
+func (f *Fn) RedirectEdges(from, to *Block) {
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		if t.Target == from {
+			t.Target = to
+		}
+		if t.Else == from {
+			t.Else = to
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package rtl
+
+// A parser for the textual RTL format the printer emits, so that test
+// fixtures, golden files, and cmd/macc can work with .rtl files directly.
+// ParseFn(f.String()) round-trips every function the compiler can build;
+// the property tests in parse_test.go pin that.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram parses one or more textual functions.
+func ParseProgram(src string) (*Program, error) {
+	p := NewProgram()
+	rest := src
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return p, nil
+		}
+		fn, remaining, err := parseOneFn(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Add(fn)
+		rest = remaining
+	}
+}
+
+// ParseFn parses a single textual function.
+func ParseFn(src string) (*Fn, error) {
+	fn, rest, err := parseOneFn(strings.TrimSpace(src))
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("rtl: trailing input after function %s", fn.Name)
+	}
+	return fn, nil
+}
+
+type fnParser struct {
+	fn     *Fn
+	blocks map[string]*Block
+	// patches records (instr, label, isElse) fixups resolved after all
+	// blocks are known.
+	patches []patch
+	maxReg  int
+}
+
+type patch struct {
+	in     *Instr
+	label  string
+	isElse bool
+}
+
+func parseOneFn(src string) (*Fn, string, error) {
+	lines := strings.Split(src, "\n")
+	if len(lines) == 0 {
+		return nil, "", fmt.Errorf("rtl: empty input")
+	}
+	head := strings.TrimSpace(lines[0])
+	if !strings.HasPrefix(head, "func ") {
+		return nil, "", fmt.Errorf("rtl: expected 'func', got %q", head)
+	}
+	open := strings.IndexByte(head, '(')
+	closeP := strings.IndexByte(head, ')')
+	if open < 0 || closeP < open || !strings.HasSuffix(head, "{") {
+		return nil, "", fmt.Errorf("rtl: malformed function header %q", head)
+	}
+	name := strings.TrimSpace(head[5:open])
+	fp := &fnParser{fn: &Fn{Name: name}, blocks: make(map[string]*Block)}
+
+	paramList := strings.TrimSpace(head[open+1 : closeP])
+	if paramList != "" {
+		for _, ps := range strings.Split(paramList, ",") {
+			r, err := fp.parseReg(strings.TrimSpace(ps))
+			if err != nil {
+				return nil, "", fmt.Errorf("rtl: bad parameter %q: %v", ps, err)
+			}
+			fp.fn.Params = append(fp.fn.Params, r)
+		}
+	}
+
+	var cur *Block
+	i := 1
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			continue
+		case line == "}":
+			i++
+			goto done
+		case strings.HasSuffix(line, ":"):
+			label := strings.TrimSuffix(line, ":")
+			cur = fp.block(label)
+			fp.fn.Blocks = append(fp.fn.Blocks, cur)
+		default:
+			if cur == nil {
+				return nil, "", fmt.Errorf("rtl: instruction before first label: %q", line)
+			}
+			in, err := fp.parseInstr(line)
+			if err != nil {
+				return nil, "", fmt.Errorf("rtl: %v in %q", err, line)
+			}
+			cur.Instrs = append(cur.Instrs, in)
+		}
+	}
+	return nil, "", fmt.Errorf("rtl: missing closing brace in %s", name)
+
+done:
+	for _, pt := range fp.patches {
+		b, ok := fp.blocks[pt.label]
+		if !ok {
+			return nil, "", fmt.Errorf("rtl: undefined label %q", pt.label)
+		}
+		if pt.isElse {
+			pt.in.Else = b
+		} else {
+			pt.in.Target = b
+		}
+	}
+	// Every referenced block must actually appear in the function.
+	for _, b := range fp.blocks {
+		if !blockDeclared(fp.fn, b) {
+			return nil, "", fmt.Errorf("rtl: label %q referenced but never defined", b.Name)
+		}
+	}
+	fp.fn.EnsureRegs(fp.maxReg + 1)
+	fp.fn.nextBlk = len(fp.fn.Blocks)
+	if err := fp.fn.Verify(); err != nil {
+		return nil, "", fmt.Errorf("rtl: parsed function invalid: %w", err)
+	}
+	return fp.fn, strings.Join(lines[i:], "\n"), nil
+}
+
+func blockDeclared(f *Fn, b *Block) bool {
+	for _, x := range f.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (fp *fnParser) block(label string) *Block {
+	if b, ok := fp.blocks[label]; ok {
+		return b
+	}
+	b := &Block{ID: len(fp.blocks), Name: label}
+	fp.blocks[label] = b
+	return b
+}
+
+func (fp *fnParser) parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return NoReg, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	if n > fp.maxReg {
+		fp.maxReg = n
+	}
+	return Reg(n), nil
+}
+
+func (fp *fnParser) parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "r") {
+		if r, err := fp.parseReg(s); err == nil {
+			return R(r), nil
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return C(v), nil
+}
+
+// binOps maps printed operator spellings back to opcodes (with signedness).
+var binOpSpellings = map[string]struct {
+	op     Op
+	signed bool
+}{
+	"+": {Add, false}, "-": {Sub, false}, "*": {Mul, false},
+	"/": {Div, true}, "/u": {Div, false},
+	"%": {Rem, true}, "%u": {Rem, false},
+	"&": {And, false}, "|": {Or, false}, "^": {Xor, false},
+	"<<": {Shl, false}, ">>": {Shr, true}, ">>u": {Shr, false},
+	"==": {SetEQ, false}, "!=": {SetNE, false},
+	"<": {SetLT, true}, "<u": {SetLT, false},
+	"<=": {SetLE, true}, "<=u": {SetLE, false},
+	">": {SetGT, true}, ">u": {SetGT, false},
+	">=": {SetGE, true}, ">=u": {SetGE, false},
+}
+
+func (fp *fnParser) parseInstr(line string) (*Instr, error) {
+	switch {
+	case line == "nop":
+		return &Instr{Op: Nop}, nil
+	case strings.HasPrefix(line, "jump "):
+		in := &Instr{Op: Jump}
+		fp.patches = append(fp.patches, patch{in: in, label: strings.TrimSpace(line[5:])})
+		fp.block(strings.TrimSpace(line[5:]))
+		return in, nil
+	case strings.HasPrefix(line, "if "):
+		// if COND goto L1 else L2
+		rest := line[3:]
+		gi := strings.Index(rest, " goto ")
+		ei := strings.Index(rest, " else ")
+		if gi < 0 || ei < gi {
+			return nil, fmt.Errorf("malformed branch")
+		}
+		cond, err := fp.parseOperand(rest[:gi])
+		if err != nil {
+			return nil, err
+		}
+		l1 := strings.TrimSpace(rest[gi+6 : ei])
+		l2 := strings.TrimSpace(rest[ei+6:])
+		in := &Instr{Op: Branch, A: cond}
+		fp.patches = append(fp.patches,
+			patch{in: in, label: l1}, patch{in: in, label: l2, isElse: true})
+		fp.block(l1)
+		fp.block(l2)
+		return in, nil
+	case line == "ret":
+		return &Instr{Op: Ret}, nil
+	case strings.HasPrefix(line, "ret "):
+		v, err := fp.parseOperand(line[4:])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: Ret, A: v}, nil
+	case strings.HasPrefix(line, "M."):
+		return fp.parseStore(line)
+	}
+	// Everything else is "dst = rhs" or a bare call.
+	eq := strings.Index(line, " = ")
+	if eq < 0 {
+		return fp.parseCall(NoReg, line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+3:])
+	dst, err := fp.parseReg(lhs)
+	if err != nil {
+		return nil, err
+	}
+	return fp.parseAssign(dst, rhs)
+}
+
+// parseAddr parses "[base]", "[base+4]", "[base-4]", or "[1234]".
+func (fp *fnParser) parseAddr(s string) (base Operand, disp int64, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Operand{}, 0, fmt.Errorf("bad address %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	// Find a +/- separating base and displacement (not a leading sign).
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			base, err = fp.parseOperand(inner[:i])
+			if err != nil {
+				return Operand{}, 0, err
+			}
+			d, derr := strconv.ParseInt(inner[i+1:], 10, 64)
+			if derr != nil {
+				return Operand{}, 0, fmt.Errorf("bad displacement in %q", s)
+			}
+			if inner[i] == '-' {
+				d = -d
+			}
+			return base, d, nil
+		}
+	}
+	base, err = fp.parseOperand(inner)
+	return base, 0, err
+}
+
+// parseWidthSuffix parses "2s"/"4u"/"8" style width(+signedness) suffixes.
+func parseWidthSuffix(s string) (Width, bool, error) {
+	signed := false
+	if strings.HasSuffix(s, "s") {
+		signed = true
+		s = s[:len(s)-1]
+	} else if strings.HasSuffix(s, "u") {
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || !Width(n).Valid() {
+		return 0, false, fmt.Errorf("bad width %q", s)
+	}
+	return Width(n), signed, nil
+}
+
+func (fp *fnParser) parseStore(line string) (*Instr, error) {
+	// M.2[rB+4] = v
+	eq := strings.Index(line, " = ")
+	if eq < 0 {
+		return nil, fmt.Errorf("malformed store")
+	}
+	lhs := line[:eq]
+	bracket := strings.IndexByte(lhs, '[')
+	if bracket < 0 {
+		return nil, fmt.Errorf("malformed store address")
+	}
+	w, _, err := parseWidthSuffix(lhs[2:bracket])
+	if err != nil {
+		return nil, err
+	}
+	base, disp, err := fp.parseAddr(lhs[bracket:])
+	if err != nil {
+		return nil, err
+	}
+	val, err := fp.parseOperand(line[eq+3:])
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: Store, A: base, B: val, Width: w, Disp: disp}, nil
+}
+
+func (fp *fnParser) parseAssign(dst Reg, rhs string) (*Instr, error) {
+	switch {
+	case strings.HasPrefix(rhs, "M."):
+		bracket := strings.IndexByte(rhs, '[')
+		if bracket < 0 {
+			return nil, fmt.Errorf("malformed load")
+		}
+		w, signed, err := parseWidthSuffix(rhs[2:bracket])
+		if err != nil {
+			return nil, err
+		}
+		base, disp, err := fp.parseAddr(rhs[bracket:])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: Load, Dst: dst, A: base, Width: w, Signed: signed, Disp: disp}, nil
+
+	case strings.HasPrefix(rhs, "extract."):
+		// extract.2s rA @off
+		fields := strings.Fields(rhs)
+		if len(fields) != 3 || !strings.HasPrefix(fields[2], "@") {
+			return nil, fmt.Errorf("malformed extract")
+		}
+		w, signed, err := parseWidthSuffix(strings.TrimPrefix(fields[0], "extract."))
+		if err != nil {
+			return nil, err
+		}
+		a, err := fp.parseOperand(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := fp.parseOperand(fields[2][1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: Extract, Dst: dst, A: a, B: off, Width: w, Signed: signed}, nil
+
+	case strings.HasPrefix(rhs, "insert."):
+		// insert.2 rA <- val @off
+		fields := strings.Fields(rhs)
+		if len(fields) != 5 || fields[2] != "<-" || !strings.HasPrefix(fields[4], "@") {
+			return nil, fmt.Errorf("malformed insert")
+		}
+		w, _, err := parseWidthSuffix(strings.TrimPrefix(fields[0], "insert."))
+		if err != nil {
+			return nil, err
+		}
+		a, err := fp.parseOperand(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		val, err := fp.parseOperand(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		off, err := fp.parseOperand(fields[4][1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: Insert, Dst: dst, A: a, B: val, C: off, Width: w}, nil
+
+	}
+
+	fields := strings.Fields(rhs)
+	switch len(fields) {
+	case 1:
+		tok := fields[0]
+		if strings.Contains(tok, "(") {
+			return fp.parseCall(dst, rhs)
+		}
+		// "-rN" and "--5" are negations ("-5" alone is a constant move).
+		if strings.HasPrefix(tok, "-") &&
+			(strings.HasPrefix(tok[1:], "r") || strings.HasPrefix(tok[1:], "-")) {
+			a, err := fp.parseOperand(tok[1:])
+			if err != nil {
+				return nil, err
+			}
+			return &Instr{Op: Neg, Dst: dst, A: a}, nil
+		}
+		if strings.HasPrefix(tok, "~") {
+			a, err := fp.parseOperand(tok[1:])
+			if err != nil {
+				return nil, err
+			}
+			return &Instr{Op: Not, Dst: dst, A: a}, nil
+		}
+		a, err := fp.parseOperand(tok)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: Mov, Dst: dst, A: a}, nil
+	case 3:
+		spec, ok := binOpSpellings[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("unknown operator %q", fields[1])
+		}
+		a, err := fp.parseOperand(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := fp.parseOperand(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: spec.op, Dst: dst, A: a, B: b, Signed: spec.signed}, nil
+	default:
+		if strings.Contains(rhs, "(") {
+			return fp.parseCall(dst, rhs)
+		}
+		return nil, fmt.Errorf("cannot parse %q", rhs)
+	}
+}
+
+func (fp *fnParser) parseCall(dst Reg, s string) (*Instr, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed call %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return nil, fmt.Errorf("call without callee")
+	}
+	in := &Instr{Op: Call, Dst: dst, Callee: name}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner != "" {
+		for _, as := range strings.Split(inner, ",") {
+			a, err := fp.parseOperand(as)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, a)
+		}
+	}
+	return in, nil
+}

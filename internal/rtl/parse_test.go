@@ -1,0 +1,186 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRTL = `
+func dot(r0, r1, r2) {
+entry:
+	r3 = 0
+	r4 = 0
+	jump loop
+loop:
+	r5 = r4 < r2
+	if r5 goto body else exit
+body:
+	r6 = r4 << 1
+	r7 = r0 + r6
+	r8 = M.2s[r7]
+	r9 = r1 + r6
+	r10 = M.2s[r9+0]
+	r11 = r8 * r10
+	r3 = r3 + r11
+	r4 = r4 + 1
+	jump loop
+exit:
+	ret r3
+}
+`
+
+func TestParseFnBasics(t *testing.T) {
+	f, err := ParseFn(sampleRTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "dot" || len(f.Params) != 3 {
+		t.Errorf("header parsed wrong: %s/%d", f.Name, len(f.Params))
+	}
+	if len(f.Blocks) != 4 {
+		t.Errorf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Reparse of the printed form must be stable.
+	printed := f.String()
+	f2, err := ParseFn(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if f2.String() != printed {
+		t.Errorf("print/parse/print not a fixpoint:\n%s\nvs\n%s", printed, f2.String())
+	}
+}
+
+func TestParseRoundTripAllShapes(t *testing.T) {
+	// Build a function exercising every instruction shape the printer can
+	// emit, then check print -> parse -> print is the identity.
+	f := NewFn("shapes", 2)
+	a, b := f.Params[0], f.Params[1]
+	entry := f.Entry()
+	other := f.NewBlock("other")
+	done := f.NewBlock("done")
+	rs := make([]Reg, 24)
+	for i := range rs {
+		rs[i] = f.NewReg()
+	}
+	entry.Instrs = []*Instr{
+		MovI(rs[0], C(-7)),
+		MovI(rs[1], R(a)),
+		UnI(Neg, rs[2], R(b)),
+		UnI(Not, rs[3], R(b)),
+		BinI(Add, rs[4], R(a), C(3)),
+		BinI(Sub, rs[5], R(a), R(b)),
+		BinI(Mul, rs[6], R(a), R(b)),
+		SBinI(Div, rs[7], R(a), C(3)),
+		BinI(Div, rs[8], R(a), C(3)),
+		SBinI(Rem, rs[9], R(a), C(5)),
+		BinI(And, rs[10], R(a), C(255)),
+		BinI(Or, rs[11], R(a), R(b)),
+		BinI(Xor, rs[12], R(a), R(b)),
+		BinI(Shl, rs[13], R(a), C(2)),
+		SBinI(Shr, rs[14], R(a), C(2)),
+		BinI(Shr, rs[15], R(a), C(2)),
+		BinI(SetEQ, rs[16], R(a), R(b)),
+		SBinI(SetLT, rs[17], R(a), R(b)),
+		BinI(SetLT, rs[18], R(a), R(b)),
+		SBinI(SetGE, rs[19], R(a), C(0)),
+		LoadI(rs[20], R(a), -4, W2, true),
+		LoadI(rs[21], R(a), 8, W8, false),
+		ExtractI(rs[22], R(rs[21]), C(2), W2, true),
+		InsertI(rs[23], R(rs[21]), R(rs[20]), C(4), W2),
+		StoreI(R(b), 16, R(rs[23]), W4),
+		BranchI(R(rs[16]), other, done),
+	}
+	other.Instrs = []*Instr{
+		CallI(rs[0], "helper", R(a), C(9)),
+		CallI(NoReg, "effect"),
+		JumpI(done),
+	}
+	done.Instrs = []*Instr{RetI(R(rs[0]))}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	printed := f.String()
+	f2, err := ParseFn(printed)
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, printed)
+	}
+	if got := f2.String(); got != printed {
+		t.Errorf("round trip differs:\n--- printed ---\n%s--- reparsed ---\n%s", printed, got)
+	}
+}
+
+func TestParseProgramMultipleFunctions(t *testing.T) {
+	src := `
+func one() {
+entry:
+	ret 1
+}
+
+func two() {
+entry:
+	r0 = one()
+	ret r0
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fns) != 2 {
+		t.Fatalf("functions = %d", len(p.Fns))
+	}
+	if _, ok := p.Lookup("two"); !ok {
+		t.Error("lookup failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no func", "ret 1"},
+		{"bad header", "func f( {"},
+		{"missing brace", "func f() {\nentry:\n\tret 1"},
+		{"instr before label", "func f() {\n\tret 1\n}"},
+		{"undefined label", "func f() {\nentry:\n\tjump nowhere2\n}"},
+		{"bad operand", "func f() {\nentry:\n\tr0 = @\n\tret r0\n}"},
+		{"bad width", "func f() {\nentry:\n\tr0 = M.3s[r1]\n\tret r0\n}"},
+		{"unknown op", "func f() {\nentry:\n\tr0 = r1 ** r2\n\tret r0\n}"},
+		{"trailing junk", "func f() {\nentry:\n\tret 1\n}\ngarbage"},
+	}
+	for _, c := range cases {
+		if _, err := ParseFn(c.src); err == nil {
+			t.Errorf("%s: ParseFn should fail", c.name)
+		}
+	}
+}
+
+func TestParseNegativeDisplacement(t *testing.T) {
+	f, err := ParseFn("func f(r0) {\nentry:\n\tr1 = M.1u[r0-3]\n\tret r1\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := f.Entry().Instrs[0]
+	if ld.Disp != -3 || ld.Width != W1 || ld.Signed {
+		t.Errorf("load parsed wrong: %s", ld)
+	}
+}
+
+func TestParseAbsoluteAddress(t *testing.T) {
+	f, err := ParseFn("func f() {\nentry:\n\tM.4[4096] = 7\n\tret\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Entry().Instrs[0]
+	if v, ok := st.A.IsConst(); !ok || v != 4096 {
+		t.Errorf("absolute address parsed wrong: %s", st)
+	}
+	if !strings.Contains(st.String(), "[4096]") {
+		t.Errorf("absolute address printed wrong: %s", st)
+	}
+}

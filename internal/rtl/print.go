@@ -1,0 +1,135 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a compact assembly-like syntax that
+// echoes the register transfer lists in Figure 1 of the paper.
+func (in *Instr) String() string {
+	suffix := func() string {
+		s := fmt.Sprintf(".%d", int(in.Width))
+		if in.Signed {
+			s += "s"
+		} else {
+			s += "u"
+		}
+		return s
+	}
+	mem := func() string {
+		if d, ok := in.A.IsConst(); ok {
+			return fmt.Sprintf("[%d]", d+in.Disp)
+		}
+		if in.Disp == 0 {
+			return fmt.Sprintf("[%s]", in.A)
+		}
+		if in.Disp < 0 {
+			return fmt.Sprintf("[%s-%d]", in.A, -in.Disp)
+		}
+		return fmt.Sprintf("[%s+%d]", in.A, in.Disp)
+	}
+	switch in.Op {
+	case Nop:
+		return "nop"
+	case Mov:
+		return fmt.Sprintf("%s = %s", in.Dst, in.A)
+	case Neg:
+		return fmt.Sprintf("%s = -%s", in.Dst, in.A)
+	case Not:
+		return fmt.Sprintf("%s = ~%s", in.Dst, in.A)
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr:
+		sym := map[Op]string{Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+			And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>"}[in.Op]
+		sign := ""
+		if (in.Op == Div || in.Op == Rem || in.Op == Shr) && !in.Signed {
+			sign = "u"
+		}
+		return fmt.Sprintf("%s = %s %s%s %s", in.Dst, in.A, sym, sign, in.B)
+	case SetEQ, SetNE, SetLT, SetLE, SetGT, SetGE:
+		sym := map[Op]string{SetEQ: "==", SetNE: "!=", SetLT: "<", SetLE: "<=",
+			SetGT: ">", SetGE: ">="}[in.Op]
+		sign := ""
+		if in.Op >= SetLT && !in.Signed {
+			sign = "u"
+		}
+		return fmt.Sprintf("%s = %s %s%s %s", in.Dst, in.A, sym, sign, in.B)
+	case Load:
+		return fmt.Sprintf("%s = M%s%s", in.Dst, suffix(), mem())
+	case Store:
+		return fmt.Sprintf("M.%d%s = %s", int(in.Width), mem(), in.B)
+	case Extract:
+		return fmt.Sprintf("%s = extract%s %s @%s", in.Dst, suffix(), in.A, in.B)
+	case Insert:
+		return fmt.Sprintf("%s = insert.%d %s <- %s @%s", in.Dst, int(in.Width), in.A, in.B, in.C)
+	case Jump:
+		return fmt.Sprintf("jump %s", in.Target)
+	case Branch:
+		return fmt.Sprintf("if %s goto %s else %s", in.A, in.Target, in.Else)
+	case Ret:
+		if in.A.Kind == KindNone {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", in.A)
+	case Call:
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, a.String())
+		}
+		callStr := fmt.Sprintf("%s(%s)", in.Callee, strings.Join(args, ", "))
+		if in.Dst == NoReg {
+			return callStr
+		}
+		return fmt.Sprintf("%s = %s", in.Dst, callStr)
+	}
+	return in.Op.String()
+}
+
+// String renders the whole function, one block per label.
+func (f *Fn) String() string {
+	var sb strings.Builder
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, p.String())
+	}
+	fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Dot renders the function's control-flow graph in Graphviz DOT syntax,
+// used to visualise the Figure-5 flow graph (alignment/alias checks feeding
+// either the coalesced or the original safe loop).
+func (f *Fn) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("\tnode [shape=box fontname=\"monospace\"];\n")
+	for _, b := range f.Blocks {
+		var lines []string
+		for _, in := range b.Instrs {
+			lines = append(lines, in.String())
+		}
+		label := b.String() + ":\\l" + strings.Join(lines, "\\l") + "\\l"
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&sb, "\t%q [label=\"%s\"];\n", b.String(), label)
+		for i, s := range b.Succs() {
+			edge := ""
+			if t := b.Term(); t != nil && t.Op == Branch {
+				if i == 0 {
+					edge = " [label=\"T\"]"
+				} else {
+					edge = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "\t%q -> %q%s;\n", b.String(), s.String(), edge)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package rtlgen_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"macc/internal/cfg"
+	"macc/internal/machine"
+	"macc/internal/opt"
+	"macc/internal/regalloc"
+	"macc/internal/rtl"
+	"macc/internal/rtlgen"
+	"macc/internal/sched"
+	"macc/internal/sim"
+)
+
+const memBytes = rtlgen.MemWindow * 2
+
+// behaviour runs f on a fixed set of argument triples and returns a
+// fingerprint of every return value and final memory image.
+func behaviour(t *testing.T, f *rtl.Fn, m *machine.Machine) string {
+	t.Helper()
+	var buf bytes.Buffer
+	argSets := [][]int64{
+		{0, 0, 0},
+		{1, 2, 3},
+		{255, 1023, -7},
+		{4096, 12345, 999},
+	}
+	for _, args := range argSets {
+		prog := rtl.NewProgram(f)
+		s := sim.New(prog, m, memBytes)
+		s.Fuel = 1 << 22
+		for i := range s.Mem {
+			s.Mem[i] = byte(i * 7)
+		}
+		res, err := s.Run("f", args...)
+		if err != nil {
+			t.Fatalf("args %v: %v\n%s", args, err, f)
+		}
+		fmt.Fprintf(&buf, "%v->%d;", args, res.Ret)
+		buf.Write(s.Mem[:rtlgen.MemWindow])
+	}
+	return buf.String()
+}
+
+// checkPass verifies that transform preserves behaviour on many generated
+// programs.
+func checkPass(t *testing.T, name string, seeds int, transform func(*rtl.Fn)) {
+	t.Helper()
+	m := machine.M68030() // tolerant of any alignment; timing irrelevant here
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		f := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		want := behaviour(t, f, m)
+		f2 := f.Clone()
+		transform(f2)
+		if err := f2.Verify(); err != nil {
+			t.Fatalf("%s seed %d: invalid output: %v\n%s", name, seed, err, f2)
+		}
+		got := behaviour(t, f2, m)
+		if got != want {
+			t.Fatalf("%s seed %d: behaviour changed\n--- before ---\n%s--- after ---\n%s",
+				name, seed, f, f2)
+		}
+	}
+}
+
+const seeds = 60
+
+func TestFoldConstantsPreservesBehaviour(t *testing.T) {
+	checkPass(t, "FoldConstants", seeds, func(f *rtl.Fn) { opt.FoldConstants(f) })
+}
+
+func TestPropagateLocalPreservesBehaviour(t *testing.T) {
+	checkPass(t, "PropagateLocal", seeds, func(f *rtl.Fn) { opt.PropagateLocal(f) })
+}
+
+func TestPropagateImmutablePreservesBehaviour(t *testing.T) {
+	checkPass(t, "PropagateImmutable", seeds, func(f *rtl.Fn) { opt.PropagateImmutable(f) })
+}
+
+func TestLocalCSEPreservesBehaviour(t *testing.T) {
+	checkPass(t, "LocalCSE", seeds, func(f *rtl.Fn) { opt.LocalCSE(f) })
+}
+
+func TestCollapseMovChainsPreservesBehaviour(t *testing.T) {
+	checkPass(t, "CollapseMovChains", seeds, func(f *rtl.Fn) { opt.CollapseMovChains(f) })
+}
+
+func TestDeadCodeElimPreservesBehaviour(t *testing.T) {
+	checkPass(t, "DeadCodeElim", seeds, func(f *rtl.Fn) { opt.DeadCodeElim(f) })
+}
+
+func TestEliminateDeadIVsPreservesBehaviour(t *testing.T) {
+	checkPass(t, "EliminateDeadIVs", seeds, func(f *rtl.Fn) { opt.EliminateDeadIVs(f) })
+}
+
+func TestNormalizeAddressesPreservesBehaviour(t *testing.T) {
+	checkPass(t, "NormalizeAddresses", seeds, func(f *rtl.Fn) { opt.NormalizeAddresses(f) })
+}
+
+func TestThreadJumpsPreservesBehaviour(t *testing.T) {
+	checkPass(t, "ThreadJumps", seeds, func(f *rtl.Fn) { opt.ThreadJumps(f) })
+}
+
+func TestCleanPreservesBehaviour(t *testing.T) {
+	checkPass(t, "Clean", seeds, func(f *rtl.Fn) { opt.Clean(f) })
+}
+
+func TestHoistInvariantsPreservesBehaviour(t *testing.T) {
+	checkPass(t, "HoistInvariants", seeds, func(f *rtl.Fn) {
+		g := cfg.New(f)
+		loops := g.FindLoops()
+		for _, l := range loops {
+			g.EnsurePreheader(l)
+		}
+		for _, l := range loops {
+			opt.HoistInvariants(f, g, l)
+		}
+	})
+}
+
+func TestSchedulePreservesBehaviour(t *testing.T) {
+	for _, m := range machine.All() {
+		checkPass(t, "Schedule/"+m.Name, seeds/2, func(f *rtl.Fn) {
+			sched.ScheduleFn(f, m)
+		})
+	}
+}
+
+func TestRegallocPreservesBehaviour(t *testing.T) {
+	for _, k := range []int{8, 16, 32} {
+		checkPass(t, fmt.Sprintf("Regalloc/%d", k), seeds/2, func(f *rtl.Fn) {
+			if _, err := regalloc.Run(f, k); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFullPipelinePreservesBehaviour(t *testing.T) {
+	checkPass(t, "pipeline", seeds, func(f *rtl.Fn) {
+		opt.Clean(f)
+		g := cfg.New(f)
+		loops := g.FindLoops()
+		for _, l := range loops {
+			g.EnsurePreheader(l)
+		}
+		for _, l := range loops {
+			opt.HoistInvariants(f, g, l)
+		}
+		opt.Clean(f)
+		opt.NormalizeAddresses(f)
+		opt.Clean(f)
+		sched.ScheduleFn(f, machine.Alpha())
+	})
+}
+
+func TestGeneratedProgramsParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		f := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		printed := f.String()
+		f2, err := rtl.ParseFn(printed)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, printed)
+		}
+		if got := f2.String(); got != printed {
+			t.Fatalf("seed %d: round trip differs\n%s\nvs\n%s", seed, printed, got)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := rtlgen.Generate(5, rtlgen.DefaultOptions()).String()
+	b := rtlgen.Generate(5, rtlgen.DefaultOptions()).String()
+	if a != b {
+		t.Error("same seed must generate the same program")
+	}
+	c := rtlgen.Generate(6, rtlgen.DefaultOptions()).String()
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}

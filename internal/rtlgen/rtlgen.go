@@ -1,0 +1,243 @@
+// Package rtlgen generates random, well-formed, terminating RTL functions
+// for differential testing: every optimization pass must preserve the
+// observable behaviour (return value and final memory) of any generated
+// program. The generator confines memory accesses to an aligned scratch
+// window, divides only by non-zero constants, and bounds every loop by a
+// constant trip count, so generated programs never trap and always halt.
+package rtlgen
+
+import (
+	"math/rand"
+
+	"macc/internal/rtl"
+)
+
+// MemWindow is the size of the scratch memory region generated programs
+// address; simulators must provide at least this much memory.
+const MemWindow = 4096
+
+// Options tunes generation.
+type Options struct {
+	MaxDepth int // nesting depth of ifs/loops
+	MaxStmts int // statements per block
+	Loops    bool
+	Branches bool
+	MemOps   bool
+	Extracts bool
+}
+
+// DefaultOptions exercises everything.
+func DefaultOptions() Options {
+	return Options{MaxDepth: 2, MaxStmts: 8, Loops: true, Branches: true, MemOps: true, Extracts: true}
+}
+
+type gen struct {
+	rng  *rand.Rand
+	f    *rtl.Fn
+	cur  *rtl.Block
+	opts Options
+	// defined registers usable as operands at the current point.
+	defined []rtl.Reg
+	// counters marks active loop counters, which must never be mutated by
+	// accumulator updates or the program may fail to terminate.
+	counters map[rtl.Reg]bool
+}
+
+// Generate builds a random function "f(a, b, c)" from the seed.
+func Generate(seed int64, opts Options) *rtl.Fn {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), opts: opts, counters: make(map[rtl.Reg]bool)}
+	g.f = rtl.NewFn("f", 3)
+	g.cur = g.f.Entry()
+	// Seed the register pool with masked parameter values so arithmetic
+	// stays interesting but addresses stay bounded.
+	for _, p := range g.f.Params {
+		r := g.f.NewReg()
+		g.emit(rtl.BinI(rtl.And, r, rtl.R(p), rtl.C(1023)))
+		g.defined = append(g.defined, r)
+	}
+	g.stmts(opts.MaxDepth)
+	g.emit(rtl.RetI(rtl.R(g.pick())))
+	// Seal stray unterminated blocks (none expected, but keep Verify happy
+	// if generation logic changes).
+	for _, b := range g.f.Blocks {
+		if b.Term() == nil {
+			b.Instrs = append(b.Instrs, rtl.RetI(rtl.C(0)))
+		}
+	}
+	if err := g.f.Verify(); err != nil {
+		panic("rtlgen produced invalid function: " + err.Error())
+	}
+	return g.f
+}
+
+func (g *gen) emit(in *rtl.Instr) { g.cur.Instrs = append(g.cur.Instrs, in) }
+
+func (g *gen) pick() rtl.Reg {
+	return g.defined[g.rng.Intn(len(g.defined))]
+}
+
+func (g *gen) operand() rtl.Operand {
+	if g.rng.Intn(3) == 0 {
+		return rtl.C(int64(g.rng.Intn(2048) - 1024))
+	}
+	return rtl.R(g.pick())
+}
+
+func (g *gen) stmts(depth int) {
+	n := 1 + g.rng.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(12); {
+		case k < 6:
+			g.arith()
+		case k < 7 && g.opts.Extracts:
+			g.extractInsert()
+		case k < 9 && g.opts.MemOps:
+			g.memOp()
+		case k < 10 && g.opts.Branches && depth > 0:
+			g.diamond(depth - 1)
+		case k < 11 && g.opts.Loops && depth > 0:
+			g.loop(depth - 1)
+		default:
+			g.arith()
+		}
+	}
+}
+
+var pureOps = []rtl.Op{
+	rtl.Add, rtl.Sub, rtl.Mul, rtl.And, rtl.Or, rtl.Xor, rtl.Shl, rtl.Shr,
+	rtl.SetEQ, rtl.SetNE, rtl.SetLT, rtl.SetLE, rtl.SetGT, rtl.SetGE,
+	rtl.Mov, rtl.Neg, rtl.Not, rtl.Div, rtl.Rem,
+}
+
+func (g *gen) arith() {
+	op := pureOps[g.rng.Intn(len(pureOps))]
+	dst := g.f.NewReg()
+	in := &rtl.Instr{Op: op, Dst: dst, Signed: g.rng.Intn(2) == 0}
+	switch op {
+	case rtl.Mov, rtl.Neg, rtl.Not:
+		in.A = g.operand()
+	case rtl.Div, rtl.Rem:
+		in.A = g.operand()
+		c := int64(g.rng.Intn(30) + 1)
+		if g.rng.Intn(2) == 0 {
+			c = -c
+		}
+		in.B = rtl.C(c)
+	case rtl.Shl, rtl.Shr:
+		in.A = g.operand()
+		in.B = rtl.C(int64(g.rng.Intn(63)))
+	default:
+		in.A = g.operand()
+		in.B = g.operand()
+	}
+	g.emit(in)
+	g.defined = append(g.defined, dst)
+}
+
+// addr materializes an 8-aligned address within the scratch window.
+func (g *gen) addr() rtl.Reg {
+	t := g.f.NewReg()
+	g.emit(rtl.BinI(rtl.And, t, rtl.R(g.pick()), rtl.C(MemWindow/2-8)))
+	a := g.f.NewReg()
+	g.emit(rtl.BinI(rtl.And, a, rtl.R(t), rtl.C(^int64(7))))
+	return a
+}
+
+var widths = []rtl.Width{rtl.W1, rtl.W2, rtl.W4, rtl.W8}
+
+func (g *gen) memOp() {
+	base := g.addr()
+	w := widths[g.rng.Intn(len(widths))]
+	disp := int64(g.rng.Intn(MemWindow/16)) * 8
+	if g.rng.Intn(2) == 0 {
+		dst := g.f.NewReg()
+		g.emit(rtl.LoadI(dst, rtl.R(base), disp, w, g.rng.Intn(2) == 0))
+		g.defined = append(g.defined, dst)
+	} else {
+		g.emit(rtl.StoreI(rtl.R(base), disp, g.operand(), w))
+	}
+}
+
+func (g *gen) extractInsert() {
+	w := widths[g.rng.Intn(3)] // 1, 2, 4
+	off := rtl.C(int64(g.rng.Intn(8 - int(w) + 1)))
+	if g.rng.Intn(2) == 0 {
+		dst := g.f.NewReg()
+		g.emit(rtl.ExtractI(dst, rtl.R(g.pick()), off, w, g.rng.Intn(2) == 0))
+		g.defined = append(g.defined, dst)
+	} else {
+		dst := g.f.NewReg()
+		g.emit(rtl.InsertI(dst, rtl.R(g.pick()), g.operand(), off, w))
+		g.defined = append(g.defined, dst)
+	}
+}
+
+// diamond emits if/else with a join; registers defined inside the arms are
+// retired at the join so later code never reads a half-defined value.
+func (g *gen) diamond(depth int) {
+	save := len(g.defined)
+	cond := g.pick()
+	thenB := g.f.NewBlock("")
+	elseB := g.f.NewBlock("")
+	join := g.f.NewBlock("")
+	g.emit(rtl.BranchI(rtl.R(cond), thenB, elseB))
+
+	g.cur = thenB
+	g.stmts(depth)
+	g.emit(rtl.JumpI(join))
+	g.defined = g.defined[:save]
+
+	g.cur = elseB
+	g.stmts(depth)
+	g.emit(rtl.JumpI(join))
+	g.defined = g.defined[:save]
+
+	g.cur = join
+	// A join with no instructions yet; give it at least a landing arith so
+	// blocks are never empty before the next statement arrives.
+	g.arith()
+}
+
+// loop emits a constant-trip counted loop, optionally mutating one
+// pre-existing register as an accumulator (a deliberate multi-def
+// register to stress the analyses).
+func (g *gen) loop(depth int) {
+	save := len(g.defined)
+	i := g.f.NewReg()
+	g.emit(rtl.MovI(i, rtl.C(0)))
+	trips := int64(g.rng.Intn(6) + 2)
+
+	header := g.f.NewBlock("")
+	body := g.f.NewBlock("")
+	latch := g.f.NewBlock("")
+	exit := g.f.NewBlock("")
+	g.emit(rtl.JumpI(header))
+
+	cond := g.f.NewReg()
+	g.cur = header
+	g.emit(rtl.SBinI(rtl.SetLT, cond, rtl.R(i), rtl.C(trips)))
+	g.emit(rtl.BranchI(rtl.R(cond), body, exit))
+
+	g.cur = body
+	g.defined = append(g.defined, i)
+	g.counters[i] = true
+	g.stmts(depth)
+	if g.rng.Intn(2) == 0 && save > 0 {
+		// Mutate a pre-loop register as an accumulator — but never a live
+		// loop counter, or the program may not terminate.
+		acc := g.defined[g.rng.Intn(save)]
+		if !g.counters[acc] {
+			g.emit(rtl.BinI(rtl.Add, acc, rtl.R(acc), g.operand()))
+		}
+	}
+	g.emit(rtl.JumpI(latch))
+
+	g.cur = latch
+	g.emit(rtl.BinI(rtl.Add, i, rtl.R(i), rtl.C(1)))
+	g.emit(rtl.JumpI(header))
+
+	g.defined = g.defined[:save]
+	delete(g.counters, i)
+	g.cur = exit
+	g.arith()
+}

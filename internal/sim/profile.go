@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"macc/internal/rtl"
+)
+
+// BlockProfile reports how often one basic block executed during Run.
+type BlockProfile struct {
+	Fn     string
+	Block  string
+	Execs  int64
+	Instrs int64 // Execs × block length
+}
+
+// EnableProfile turns on per-block execution counting for subsequent Run
+// calls (small overhead; off by default).
+func (s *Sim) EnableProfile() {
+	if s.blockFn == nil {
+		s.blockFn = make(map[*rtl.Block]string)
+		for _, f := range s.prog.Fns {
+			for _, b := range f.Blocks {
+				s.blockFn[b] = f.Name
+			}
+		}
+	}
+	s.blockExecs = make(map[*rtl.Block]int64)
+}
+
+// Profile returns the blocks executed by the last Run, hottest first.
+func (s *Sim) Profile() []BlockProfile {
+	var out []BlockProfile
+	for b, n := range s.blockExecs {
+		out = append(out, BlockProfile{
+			Fn:     s.blockFn[b],
+			Block:  b.Name,
+			Execs:  n,
+			Instrs: n * int64(len(b.Instrs)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instrs != out[j].Instrs {
+			return out[i].Instrs > out[j].Instrs
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// FormatProfile renders the top-n profile rows as a table.
+func FormatProfile(rows []BlockProfile, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-28s %12s %14s\n", "function", "block", "execs", "instrs")
+	for i, r := range rows {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(&sb, "%-16s %-28s %12d %14d\n", r.Fn, r.Block, r.Execs, r.Instrs)
+	}
+	return sb.String()
+}

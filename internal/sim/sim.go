@@ -1,0 +1,502 @@
+// Package sim executes RTL programs on a simulated machine. It plays the
+// role of the paper's hardware testbeds: a byte-addressable memory, an
+// in-order single-issue pipeline timed by the target's Exec cost table, a
+// direct-mapped instruction cache, and per-width memory reference counters.
+// Because the model enforces natural alignment where the target requires it
+// (the Alpha), the coalescer's run-time alignment checks are genuinely load
+// bearing: removing them makes misaligned workloads trap.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+// TrapKind classifies run-time faults.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone TrapKind = iota
+	TrapAlignment
+	TrapOutOfBounds
+	TrapDivideByZero
+	TrapFuel
+	TrapBadProgram
+)
+
+var trapNames = map[TrapKind]string{
+	TrapAlignment:    "alignment fault",
+	TrapOutOfBounds:  "memory access out of bounds",
+	TrapDivideByZero: "integer divide by zero",
+	TrapFuel:         "instruction budget exhausted",
+	TrapBadProgram:   "malformed program",
+}
+
+// Trap is a simulated hardware fault.
+type Trap struct {
+	Kind TrapKind
+	Fn   string
+	Addr int64
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	s := fmt.Sprintf("%s in %s", trapNames[t.Kind], t.Fn)
+	if t.Kind == TrapAlignment || t.Kind == TrapOutOfBounds {
+		s += fmt.Sprintf(" at address %d", t.Addr)
+	}
+	if t.Msg != "" {
+		s += ": " + t.Msg
+	}
+	return s
+}
+
+// IsTrap reports whether err is a trap of the given kind.
+func IsTrap(err error, kind TrapKind) bool {
+	var t *Trap
+	return errors.As(err, &t) && t.Kind == kind
+}
+
+// Stats aggregates the counters the paper's evaluation reports.
+type Stats struct {
+	Cycles        int64
+	Instrs        int64
+	Loads         int64
+	Stores        int64
+	LoadsByWidth  map[rtl.Width]int64
+	StoresByWidth map[rtl.Width]int64
+	ICacheMisses  int64
+	DCacheMisses  int64
+	Branches      int64
+}
+
+// MemRefs is the total number of memory references executed.
+func (s *Stats) MemRefs() int64 { return s.Loads + s.Stores }
+
+func newStats() Stats {
+	return Stats{
+		LoadsByWidth:  make(map[rtl.Width]int64),
+		StoresByWidth: make(map[rtl.Width]int64),
+	}
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.Instrs += o.Instrs
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.ICacheMisses += o.ICacheMisses
+	s.DCacheMisses += o.DCacheMisses
+	s.Branches += o.Branches
+	for w, n := range o.LoadsByWidth {
+		s.LoadsByWidth[w] += n
+	}
+	for w, n := range o.StoresByWidth {
+		s.StoresByWidth[w] += n
+	}
+}
+
+// Result is the outcome of one simulated call.
+type Result struct {
+	Ret int64
+	Stats
+}
+
+const (
+	icacheLineBytes = 16
+	dcacheLineBytes = 16
+	defaultFuel     = 1 << 30
+	maxCallDepth    = 128
+)
+
+// Sim is a loaded program plus machine state. Memory persists across Run
+// calls so harnesses can initialize arrays, run, and inspect results.
+type Sim struct {
+	prog *rtl.Program
+	mach *machine.Machine
+	Mem  []byte
+	// Fuel bounds the number of executed instructions per Run (guards
+	// against miscompiled infinite loops in tests). Zero means default.
+	Fuel int64
+
+	addrOf   map[*rtl.Instr]int64 // static instruction addresses for the icache
+	icache   []int64              // per-set tag, -1 invalid
+	dcache   []int64              // per-set tag, -1 invalid; nil when disabled
+	fuel     int64
+	stats    *Stats
+	stackTop int64 // grows down from the top of memory for spill frames
+
+	// Profiling state (see profile.go); nil unless EnableProfile was called.
+	blockFn    map[*rtl.Block]string
+	blockExecs map[*rtl.Block]int64
+}
+
+// New builds a simulator for prog on mach with memBytes of RAM.
+func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
+	s := &Sim{
+		prog:   prog,
+		mach:   mach,
+		Mem:    make([]byte, memBytes),
+		addrOf: make(map[*rtl.Instr]int64),
+	}
+	// Lay out instruction addresses function by function, block by block,
+	// mirroring a linear code layout.
+	addr := int64(0)
+	for _, f := range prog.Fns {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				s.addrOf[in] = addr
+				addr += int64(mach.BytesPerInstr)
+			}
+		}
+	}
+	sets := mach.ICacheBytes / icacheLineBytes
+	if sets < 1 {
+		sets = 1
+	}
+	s.icache = make([]int64, sets)
+	if mach.DCacheBytes > 0 {
+		dsets := mach.DCacheBytes / dcacheLineBytes
+		if dsets < 1 {
+			dsets = 1
+		}
+		s.dcache = make([]int64, dsets)
+	}
+	return s
+}
+
+// Reset clears memory and the instruction cache.
+func (s *Sim) Reset() {
+	for i := range s.Mem {
+		s.Mem[i] = 0
+	}
+	for i := range s.icache {
+		s.icache[i] = -1
+	}
+}
+
+// Run calls the named function with the given arguments and returns its
+// result and execution statistics.
+func (s *Sim) Run(fnName string, args ...int64) (Result, error) {
+	f, ok := s.prog.Lookup(fnName)
+	if !ok {
+		return Result{}, &Trap{Kind: TrapBadProgram, Fn: fnName, Msg: "no such function"}
+	}
+	s.fuel = s.Fuel
+	if s.fuel == 0 {
+		s.fuel = defaultFuel
+	}
+	for i := range s.icache {
+		s.icache[i] = -1
+	}
+	for i := range s.dcache {
+		s.dcache[i] = -1
+	}
+	s.stackTop = int64(len(s.Mem))
+	s.loadGlobals()
+	st := newStats()
+	s.stats = &st
+	ret, _, err := s.call(f, args, 0)
+	if err != nil {
+		return Result{Stats: st}, err
+	}
+	return Result{Ret: ret, Stats: st}, nil
+}
+
+type frame struct {
+	regs  []int64
+	ready []int64 // cycle at which each register's value is available
+}
+
+func (s *Sim) call(f *rtl.Fn, args []int64, depth int) (ret int64, cycles int64, err error) {
+	if depth > maxCallDepth {
+		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: f.Name, Msg: "call depth exceeded"}
+	}
+	if len(args) != len(f.Params) {
+		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: f.Name,
+			Msg: fmt.Sprintf("expected %d arguments, got %d", len(f.Params), len(args))}
+	}
+	fr := frame{
+		regs:  make([]int64, f.NumRegs()),
+		ready: make([]int64, f.NumRegs()),
+	}
+	for i, p := range f.Params {
+		fr.regs[p] = args[i]
+	}
+	if f.FrameBytes > 0 {
+		// Reserve a spill frame below the current stack top.
+		s.stackTop -= int64(f.FrameBytes)
+		if s.stackTop < 0 {
+			return 0, 0, &Trap{Kind: TrapOutOfBounds, Fn: f.Name, Addr: s.stackTop,
+				Msg: "stack overflow"}
+		}
+		fr.regs[f.FrameReg] = s.stackTop
+		defer func() { s.stackTop += int64(f.FrameBytes) }()
+	}
+	costs := &s.mach.Exec
+	clock := int64(0)
+
+	b := f.Entry()
+	for {
+		if s.blockExecs != nil {
+			s.blockExecs[b]++
+		}
+		for _, in := range b.Instrs {
+			if s.fuel--; s.fuel < 0 {
+				return 0, clock, &Trap{Kind: TrapFuel, Fn: f.Name}
+			}
+			s.stats.Instrs++
+			clock += s.fetch(in)
+
+			// Pipeline timing: issue when the operands are ready.
+			issue := clock
+			for _, o := range in.SrcOperands() {
+				if r, ok := o.IsReg(); ok && fr.ready[r] > issue {
+					issue = fr.ready[r]
+				}
+			}
+			lat := int64(costs.Of(in))
+			if s.mach.Pipelined {
+				clock = issue + int64(costs.OccOf(in))
+			} else {
+				clock = issue + lat
+			}
+			done := issue + lat
+
+			opVal := func(o rtl.Operand) int64 {
+				if r, ok := o.IsReg(); ok {
+					return fr.regs[r]
+				}
+				return o.Const
+			}
+			setDst := func(v int64) {
+				fr.regs[in.Dst] = v
+				fr.ready[in.Dst] = done
+			}
+
+			switch in.Op {
+			case rtl.Nop:
+			case rtl.Mov:
+				setDst(opVal(in.A))
+			case rtl.Neg, rtl.Not:
+				v, _ := rtl.EvalUnary(in.Op, opVal(in.A))
+				setDst(v)
+			case rtl.Load:
+				addr := opVal(in.A) + in.Disp
+				v, trap := s.load(f.Name, addr, in.Width, in.Signed)
+				if trap != nil {
+					return 0, clock, trap
+				}
+				s.stats.Loads++
+				s.stats.LoadsByWidth[in.Width]++
+				if stall := s.dcacheAccess(addr, in.Width); stall > 0 {
+					clock += stall
+					done += stall
+				}
+				setDst(v)
+			case rtl.Store:
+				addr := opVal(in.A) + in.Disp
+				if trap := s.store(f.Name, addr, in.Width, opVal(in.B)); trap != nil {
+					return 0, clock, trap
+				}
+				s.stats.Stores++
+				s.stats.StoresByWidth[in.Width]++
+				if stall := s.dcacheAccess(addr, in.Width); stall > 0 {
+					clock += stall
+				}
+			case rtl.Extract:
+				setDst(rtl.EvalExtract(opVal(in.A), opVal(in.B), in.Width, in.Signed))
+			case rtl.Insert:
+				setDst(rtl.EvalInsert(opVal(in.A), opVal(in.B), opVal(in.C), in.Width))
+			case rtl.Jump:
+				s.stats.Branches++
+				b = in.Target
+			case rtl.Branch:
+				s.stats.Branches++
+				if opVal(in.A) != 0 {
+					b = in.Target
+				} else {
+					b = in.Else
+				}
+			case rtl.Ret:
+				s.stats.Cycles += clock
+				if in.A.Kind == rtl.KindNone {
+					return 0, clock, nil
+				}
+				return opVal(in.A), clock, nil
+			case rtl.Call:
+				callee, ok := s.prog.Lookup(in.Callee)
+				if !ok {
+					return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name,
+						Msg: "call to undefined function " + in.Callee}
+				}
+				var cargs []int64
+				for _, a := range in.Args {
+					cargs = append(cargs, opVal(a))
+				}
+				rv, sub, cerr := callResult(s, callee, cargs, depth)
+				if cerr != nil {
+					return 0, clock, cerr
+				}
+				clock = done + sub
+				if in.Dst != rtl.NoReg {
+					fr.regs[in.Dst] = rv
+					fr.ready[in.Dst] = clock
+				}
+			default:
+				if in.Op.IsBinary() {
+					v, ok := rtl.EvalBinary(in.Op, opVal(in.A), opVal(in.B), in.Signed)
+					if !ok {
+						return 0, clock, &Trap{Kind: TrapDivideByZero, Fn: f.Name}
+					}
+					setDst(v)
+				} else {
+					return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name,
+						Msg: "unknown opcode " + in.Op.String()}
+				}
+			}
+			if in.Op == rtl.Jump || in.Op == rtl.Branch {
+				break
+			}
+		}
+		if t := b.Term(); t == nil {
+			return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name, Msg: "block without terminator"}
+		}
+	}
+}
+
+// callResult runs a nested call; the callee's Ret already added its cycles
+// into stats, and we also thread them into the caller's clock.
+func callResult(s *Sim, callee *rtl.Fn, args []int64, depth int) (int64, int64, error) {
+	rv, cycles, err := s.call(callee, args, depth+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The callee added its own cycles to stats.Cycles at Ret; remove them
+	// there and account for them inline in the caller instead.
+	s.stats.Cycles -= cycles
+	return rv, cycles, nil
+}
+
+// loadGlobals materializes the program's static data. It runs at the start
+// of every Run so a prior run's stores cannot leak into the next.
+func (s *Sim) loadGlobals() {
+	for _, g := range s.prog.Globals {
+		if g.Addr < 0 || g.Addr+g.Size > int64(len(s.Mem)) {
+			continue // impossible layout; execution will trap on access
+		}
+		region := s.Mem[g.Addr : g.Addr+g.Size]
+		copy(region, g.Init)
+		for i := len(g.Init); i < len(region); i++ {
+			region[i] = 0
+		}
+	}
+}
+
+// dcacheAccess charges the data cache for one access touching
+// [addr, addr+w) and returns stall cycles (an access spanning two lines
+// charges both).
+func (s *Sim) dcacheAccess(addr int64, w rtl.Width) int64 {
+	if s.dcache == nil {
+		return 0
+	}
+	var stall int64
+	first := addr / dcacheLineBytes
+	last := (addr + int64(w) - 1) / dcacheLineBytes
+	for line := first; line <= last; line++ {
+		set := line % int64(len(s.dcache))
+		if s.dcache[set] != line {
+			s.dcache[set] = line
+			s.stats.DCacheMisses++
+			stall += int64(s.mach.DCacheMissPenalty)
+		}
+	}
+	return stall
+}
+
+// fetch charges the instruction cache for one instruction fetch and returns
+// the stall cycles.
+func (s *Sim) fetch(in *rtl.Instr) int64 {
+	addr := s.addrOf[in]
+	line := addr / icacheLineBytes
+	set := line % int64(len(s.icache))
+	if s.icache[set] != line {
+		s.icache[set] = line
+		s.stats.ICacheMisses++
+		return int64(s.mach.ICacheMissPenalty)
+	}
+	return 0
+}
+
+func (s *Sim) load(fn string, addr int64, w rtl.Width, signed bool) (int64, *Trap) {
+	if trap := s.checkAddr(fn, addr, w); trap != nil {
+		return 0, trap
+	}
+	var v uint64
+	for i := 0; i < int(w); i++ {
+		v |= uint64(s.Mem[addr+int64(i)]) << (8 * uint(i))
+	}
+	return rtl.Extend(int64(v), w, signed), nil
+}
+
+func (s *Sim) store(fn string, addr int64, w rtl.Width, v int64) *Trap {
+	if trap := s.checkAddr(fn, addr, w); trap != nil {
+		return trap
+	}
+	for i := 0; i < int(w); i++ {
+		s.Mem[addr+int64(i)] = byte(uint64(v) >> (8 * uint(i)))
+	}
+	return nil
+}
+
+func (s *Sim) checkAddr(fn string, addr int64, w rtl.Width) *Trap {
+	if addr < 0 || addr+int64(w) > int64(len(s.Mem)) {
+		return &Trap{Kind: TrapOutOfBounds, Fn: fn, Addr: addr}
+	}
+	if s.mach.MustAlign && addr%int64(w) != 0 {
+		return &Trap{Kind: TrapAlignment, Fn: fn, Addr: addr}
+	}
+	return nil
+}
+
+// WriteBytes copies data into memory at addr.
+func (s *Sim) WriteBytes(addr int64, data []byte) {
+	copy(s.Mem[addr:], data)
+}
+
+// ReadBytes copies n bytes out of memory at addr.
+func (s *Sim) ReadBytes(addr int64, n int) []byte {
+	out := make([]byte, n)
+	copy(out, s.Mem[addr:])
+	return out
+}
+
+// WriteInts stores a slice of integer values of width w starting at addr,
+// little-endian, for harness setup.
+func (s *Sim) WriteInts(addr int64, w rtl.Width, vals []int64) {
+	for i, v := range vals {
+		a := addr + int64(i)*int64(w)
+		for j := 0; j < int(w); j++ {
+			s.Mem[a+int64(j)] = byte(uint64(v) >> (8 * uint(j)))
+		}
+	}
+}
+
+// ReadInts loads n integer values of width w starting at addr.
+func (s *Sim) ReadInts(addr int64, w rtl.Width, n int, signed bool) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		a := addr + int64(i)*int64(w)
+		var v uint64
+		for j := 0; j < int(w); j++ {
+			v |= uint64(s.Mem[a+int64(j)]) << (8 * uint(j))
+		}
+		out[i] = rtl.Extend(int64(v), w, signed)
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package unroll implements UnRollLoopIfProfitable from Figure 2 of the
+// paper: loop unrolling sized so the unrolled body exposes enough
+// consecutive narrow references for coalescing while still fitting the
+// instruction cache, together with a remainder loop so any trip count is
+// handled. Where the paper's example bails out to the rolled loop when the
+// trip count is not a multiple of the unroll factor, this implementation
+// keeps the rolled loop as a post-loop remainder, which also keeps the main
+// loop's first access at the (alignment-checked) partition base.
+package unroll
+
+import (
+	"fmt"
+
+	"macc/internal/cfg"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+// Canonical is the rolled-loop shape the unroller accepts: a header holding
+// the trip test, one straight-line body block, and a latch holding the
+// induction updates.
+type Canonical struct {
+	Preheader *rtl.Block
+	Header    *rtl.Block
+	Body      *rtl.Block
+	Latch     *rtl.Block
+	Exit      *rtl.Block
+}
+
+// Shape checks whether l is canonical and decomposes it.
+func Shape(l *cfg.Loop) (Canonical, bool) {
+	if len(l.Blocks) != 3 || l.Preheader == nil {
+		return Canonical{}, false
+	}
+	header, latch := l.Header, l.Latch
+	var body *rtl.Block
+	for _, b := range l.Blocks {
+		if b != header && b != latch {
+			body = b
+		}
+	}
+	if body == nil || header == latch {
+		return Canonical{}, false
+	}
+	ht := header.Term()
+	if ht == nil || ht.Op != rtl.Branch {
+		return Canonical{}, false
+	}
+	var exit *rtl.Block
+	switch {
+	case ht.Target == body && !l.Contains(ht.Else):
+		exit = ht.Else
+	case ht.Else == body && !l.Contains(ht.Target):
+		exit = ht.Target
+	default:
+		return Canonical{}, false
+	}
+	if bt := body.Term(); bt == nil || bt.Op != rtl.Jump || bt.Target != latch {
+		return Canonical{}, false
+	}
+	if lt := latch.Term(); lt == nil || lt.Op != rtl.Jump || lt.Target != header {
+		return Canonical{}, false
+	}
+	return Canonical{
+		Preheader: l.Preheader, Header: header, Body: body, Latch: latch, Exit: exit,
+	}, true
+}
+
+// Unrolled describes the transformed code: a guarded main loop that runs
+// factor iterations per trip, falling back into the original rolled loop
+// for the remainder.
+type Unrolled struct {
+	Factor    int
+	Preheader *rtl.Block // jumps to the guard header
+	Header    *rtl.Block // guard test: room for a full group?
+	Body      *rtl.Block // factor copies of body+latch work, the back edge
+	Remainder *rtl.Block // the original rolled loop's header
+}
+
+// ChooseFactor picks the unroll factor for memory coalescing on machine m:
+// the widest ratio word/width over the loop's narrow memory references,
+// capped so the unrolled body fits the instruction cache (the paper's
+// heuristic) and capped at 16 to bound register pressure. It returns 1 when
+// unrolling is pointless (no narrow references or non-counted loop).
+func ChooseFactor(m *machine.Machine, c Canonical, info *iv.Info) int {
+	if info.Control == nil {
+		return 1
+	}
+	factor := 1
+	for _, in := range c.Body.Instrs {
+		if in.IsMem() && in.Width < m.WordBytes {
+			if f := m.MaxCoalesceFactor(in.Width); f > factor {
+				factor = f
+			}
+		}
+	}
+	if factor == 1 {
+		return 1
+	}
+	// Instruction-cache heuristic: if the rolled loop fits, the unrolled
+	// loop must fit too.
+	loopInstrs := len(c.Header.Instrs) + len(c.Body.Instrs) + len(c.Latch.Instrs)
+	if loopInstrs*m.BytesPerInstr <= m.ICacheBytes {
+		for factor > 1 && (len(c.Header.Instrs)+factor*(len(c.Body.Instrs)+len(c.Latch.Instrs)))*m.BytesPerInstr > m.ICacheBytes {
+			factor /= 2
+		}
+	}
+	if factor > 16 {
+		factor = 16
+	}
+	return factor
+}
+
+// Unroll builds the guarded unrolled loop. The loop must be canonical, have
+// a controlling test over a basic IV, and have all IV updates in the latch.
+// The rolled loop stays in place as the remainder loop.
+func Unroll(f *rtl.Fn, c Canonical, info *iv.Info, factor int) (*Unrolled, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("unroll factor %d", factor)
+	}
+	ctl := info.Control
+	if ctl == nil {
+		return nil, fmt.Errorf("loop has no recognized trip test")
+	}
+	if ctl.Op != rtl.SetLT && ctl.Op != rtl.SetGT {
+		return nil, fmt.Errorf("trip test %s is not strict", ctl.Op)
+	}
+	civ := info.BasicIVs[ctl.IV]
+	if civ == nil {
+		return nil, fmt.Errorf("control register is not a basic IV")
+	}
+	for _, bi := range info.BasicIVs {
+		for _, inc := range bi.Incs {
+			if c.Latch.Index(inc) < 0 {
+				return nil, fmt.Errorf("IV %s updated outside the latch", bi.Reg)
+			}
+		}
+	}
+
+	uheader := f.NewBlock(c.Header.Name + ".unrolled")
+	ubody := f.NewBlock(c.Body.Name + ".unrolled")
+
+	// Guard: continue into the unrolled body only if a full group of
+	// `factor` iterations remains: IV + (factor-1)*step OP bound.
+	last := f.NewReg()
+	uheader.Instrs = append(uheader.Instrs,
+		rtl.BinI(rtl.Add, last, rtl.R(ctl.IV), rtl.C(int64(factor-1)*civ.Step)))
+	cond := f.NewReg()
+	cmp := rtl.BinI(ctl.Op, cond, rtl.R(last), ctl.Bound)
+	cmp.Signed = ctl.Signed
+	uheader.Instrs = append(uheader.Instrs, cmp,
+		rtl.BranchI(rtl.R(cond), ubody, c.Header))
+
+	// Body: factor copies of (body work, latch work), with per-copy
+	// renaming of defined registers so copies are independent for the
+	// scheduler; loop-carried registers are restored by mov-backs that the
+	// address folder and DCE later collapse.
+	cur := make(map[rtl.Reg]rtl.Reg)
+	mapOp := func(o *rtl.Operand) {
+		if r, ok := o.IsReg(); ok {
+			if nr, exists := cur[r]; exists {
+				o.Reg = nr
+			}
+		}
+	}
+	var renamed []rtl.Reg // in first-rename order
+	copyInstrs := func(src []*rtl.Instr) {
+		for _, in := range src {
+			if in.Op.IsTerminator() {
+				continue
+			}
+			cp := in.Clone()
+			for _, o := range cp.SrcOperands() {
+				mapOp(o)
+			}
+			if d, ok := cp.Def(); ok {
+				if _, seen := cur[d]; !seen {
+					renamed = append(renamed, d)
+				}
+				nd := f.NewReg()
+				cur[d] = nd
+				cp.Dst = nd
+			}
+			ubody.Instrs = append(ubody.Instrs, cp)
+		}
+	}
+	for i := 0; i < factor; i++ {
+		copyInstrs(c.Body.Instrs)
+		copyInstrs(c.Latch.Instrs)
+	}
+	// Restore loop-carried/live-out registers to their canonical names.
+	for _, r := range renamed {
+		ubody.Instrs = append(ubody.Instrs, rtl.MovI(r, rtl.R(cur[r])))
+	}
+	ubody.Instrs = append(ubody.Instrs, rtl.JumpI(uheader))
+
+	// Route the preheader through the guard; the rolled loop remains as
+	// the remainder, entered when fewer than `factor` iterations remain.
+	pt := c.Preheader.Term()
+	if pt.Target == c.Header {
+		pt.Target = uheader
+	}
+	if pt.Else == c.Header {
+		pt.Else = uheader
+	}
+
+	return &Unrolled{
+		Factor:    factor,
+		Preheader: c.Preheader,
+		Header:    uheader,
+		Body:      ubody,
+		Remainder: c.Header,
+	}, nil
+}

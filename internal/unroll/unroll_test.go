@@ -1,0 +1,207 @@
+package unroll_test
+
+import (
+	"testing"
+
+	"macc/internal/cfg"
+	"macc/internal/dataflow"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/opt"
+	"macc/internal/rtl"
+	"macc/internal/sim"
+	"macc/internal/unroll"
+)
+
+// buildSumLoop: for (p = a; p < a+2n; p += 2) acc += M2[p]; return acc.
+func buildSumLoop() (*rtl.Fn, rtl.Reg) {
+	f := rtl.NewFn("sum", 2)
+	a, n := f.Params[0], f.Params[1]
+	entry := f.Entry()
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+	p, end, acc, cond, v, nb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.Instrs = []*rtl.Instr{
+		rtl.MovI(p, rtl.R(a)),
+		rtl.BinI(rtl.Shl, nb, rtl.R(n), rtl.C(1)),
+		rtl.BinI(rtl.Add, end, rtl.R(a), rtl.R(nb)),
+		rtl.MovI(acc, rtl.C(0)),
+		rtl.JumpI(header),
+	}
+	header.Instrs = []*rtl.Instr{
+		rtl.SBinI(rtl.SetLT, cond, rtl.R(p), rtl.R(end)),
+		rtl.BranchI(rtl.R(cond), body, exit),
+	}
+	body.Instrs = []*rtl.Instr{
+		rtl.LoadI(v, rtl.R(p), 0, rtl.W2, true),
+		rtl.BinI(rtl.Add, acc, rtl.R(acc), rtl.R(v)),
+		rtl.JumpI(latch),
+	}
+	latch.Instrs = []*rtl.Instr{rtl.BinI(rtl.Add, p, rtl.R(p), rtl.C(2)), rtl.JumpI(header)}
+	exit.Instrs = []*rtl.Instr{rtl.RetI(rtl.R(acc))}
+	return f, acc
+}
+
+func shape(t *testing.T, f *rtl.Fn) (*cfg.Graph, *cfg.Loop, unroll.Canonical, *iv.Info) {
+	t.Helper()
+	g := cfg.New(f)
+	l := g.FindLoops()[0]
+	g.EnsurePreheader(l)
+	c, ok := unroll.Shape(l)
+	if !ok {
+		t.Fatal("loop not canonical")
+	}
+	du := dataflow.ComputeDefUse(f)
+	return g, l, c, iv.Analyze(g, l, du)
+}
+
+func TestShapeRecognition(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, _ := shape(t, f)
+	if c.Header.Name != "header" || c.Body.Name != "body" || c.Latch.Name != "latch" {
+		t.Errorf("wrong decomposition: %s/%s/%s", c.Header, c.Body, c.Latch)
+	}
+	if c.Exit.Name != "exit" {
+		t.Errorf("exit = %s", c.Exit)
+	}
+}
+
+func TestUnrollSemantics(t *testing.T) {
+	for _, factor := range []int{2, 4, 8} {
+		for _, n := range []int64{0, 1, 3, 4, 7, 8, 9, 31, 32} {
+			f, _ := buildSumLoop()
+			_, _, c, info := shape(t, f)
+			u, err := unroll.Unroll(f, c, info, factor)
+			if err != nil {
+				t.Fatalf("factor %d: %v", factor, err)
+			}
+			if u.Factor != factor {
+				t.Errorf("factor = %d", u.Factor)
+			}
+			opt.NormalizeAddresses(f)
+			opt.Clean(f)
+			if err := f.Verify(); err != nil {
+				t.Fatalf("factor %d: %v", factor, err)
+			}
+			prog := rtl.NewProgram(f)
+			s := sim.New(prog, machine.Alpha(), 1<<14)
+			var want int64
+			for i := int64(0); i < n; i++ {
+				val := i*7 - 20
+				s.WriteInts(256+2*i, rtl.W2, []int64{val})
+				want += rtl.Extend(val, rtl.W2, true)
+			}
+			res, err := s.Run("sum", 256, n)
+			if err != nil {
+				t.Fatalf("factor %d n %d: %v", factor, n, err)
+			}
+			if res.Ret != want {
+				t.Errorf("factor %d n %d: got %d, want %d", factor, n, res.Ret, want)
+			}
+		}
+	}
+}
+
+func TestUnrollProducesDisplacements(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, info := shape(t, f)
+	u, err := unroll.Unroll(f, c, info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NormalizeAddresses(f)
+	opt.Clean(f)
+	var disps []int64
+	for _, in := range u.Body.Instrs {
+		if in.Op == rtl.Load {
+			disps = append(disps, in.Disp)
+		}
+	}
+	want := []int64{0, 2, 4, 6}
+	if len(disps) != len(want) {
+		t.Fatalf("loads = %v, want %v", disps, want)
+	}
+	for i := range want {
+		if disps[i] != want[i] {
+			t.Fatalf("loads = %v, want %v", disps, want)
+		}
+	}
+	// The pointer must advance once by 8.
+	bump := 0
+	for _, in := range u.Body.Instrs {
+		if in.Op == rtl.Add {
+			if r, ok := in.A.IsReg(); ok {
+				if d, okd := in.Def(); okd && d == r {
+					if cst, okc := in.B.IsConst(); okc && cst == 8 {
+						bump++
+					}
+				}
+			}
+		}
+	}
+	if bump != 1 {
+		t.Errorf("expected exactly one folded pointer bump of 8, found %d\n%s", bump, f)
+	}
+}
+
+func TestUnrollRejectsNonStrictOrUncontrolled(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, info := shape(t, f)
+	info.Control.Op = rtl.SetLE
+	if _, err := unroll.Unroll(f, c, info, 4); err == nil {
+		t.Error("non-strict test must be rejected")
+	}
+	f2, _ := buildSumLoop()
+	_, _, c2, info2 := shape(t, f2)
+	info2.Control = nil
+	if _, err := unroll.Unroll(f2, c2, info2, 4); err == nil {
+		t.Error("loop without control must be rejected")
+	}
+}
+
+func TestChooseFactor(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, info := shape(t, f)
+	if got := unroll.ChooseFactor(machine.Alpha(), c, info); got != 4 {
+		t.Errorf("alpha factor for shorts = %d, want 4 (64-bit word)", got)
+	}
+	if got := unroll.ChooseFactor(machine.M88100(), c, info); got != 2 {
+		t.Errorf("m88100 factor for shorts = %d, want 2 (32-bit word)", got)
+	}
+	// Without a control test unrolling is pointless.
+	info.Control = nil
+	if got := unroll.ChooseFactor(machine.Alpha(), c, info); got != 1 {
+		t.Errorf("factor without control = %d, want 1", got)
+	}
+}
+
+func TestChooseFactorICacheCap(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, info := shape(t, f)
+	m := machine.Alpha()
+	// Shrink the cache so factor 8 cannot fit but the rolled loop can.
+	m.ICacheBytes = (len(c.Header.Instrs) + 2*(len(c.Body.Instrs)+len(c.Latch.Instrs))) * m.BytesPerInstr
+	got := unroll.ChooseFactor(m, c, info)
+	if got > 2 {
+		t.Errorf("factor %d exceeds the instruction cache heuristic", got)
+	}
+}
+
+func TestUnrollKeepsRemainderLoop(t *testing.T) {
+	f, _ := buildSumLoop()
+	_, _, c, info := shape(t, f)
+	u, err := unroll.Unroll(f, c, info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard's failure edge must lead to the original rolled header.
+	if u.Header.Term().Else != c.Header && u.Header.Term().Target != c.Header {
+		t.Error("guard does not fall back to the rolled loop")
+	}
+	// The preheader now enters the guard.
+	if c.Preheader.Term().Target != u.Header {
+		t.Error("preheader does not enter the unrolled guard")
+	}
+}

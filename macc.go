@@ -1,0 +1,253 @@
+// Package macc is a retargetable optimizing back end reproducing "Memory
+// Access Coalescing: A Technique for Eliminating Redundant Memory Accesses"
+// (Davidson & Jinturkar, PLDI 1994). It compiles a C subset to a register
+// transfer IR, applies the classic vpo-style optimization pipeline — loop
+// invariant code motion, induction-variable strength reduction and test
+// replacement, loop unrolling with a remainder loop, and list scheduling —
+// and then performs the paper's contribution: coalescing consecutive narrow
+// memory references into wide ones guarded by run-time alias and alignment
+// checks. Compiled programs run on a cycle-accurate-in-spirit simulator of
+// the paper's three evaluation targets (DEC Alpha, Motorola 88100, Motorola
+// 68030), which reports cycles and memory reference counts.
+//
+// Quick start:
+//
+//	prog, err := macc.Compile(src, macc.Config{
+//		Machine:  machine.Alpha(),
+//		Coalesce: core.DefaultOptions(),
+//	})
+//	s := prog.NewSim(1 << 20)
+//	res, err := s.Run("dotproduct", aAddr, bAddr, n)
+package macc
+
+import (
+	"fmt"
+
+	"macc/internal/cfg"
+	"macc/internal/core"
+	"macc/internal/dataflow"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/minic"
+	"macc/internal/opt"
+	"macc/internal/regalloc"
+	"macc/internal/rtl"
+	"macc/internal/sched"
+	"macc/internal/sim"
+	"macc/internal/unroll"
+)
+
+// Config controls the compilation pipeline.
+type Config struct {
+	// Machine is the target description; defaults to the Alpha model.
+	Machine *machine.Machine
+	// Optimize enables the machine-independent clean-up passes. Without it
+	// the pipeline stops after code generation (useful for debugging).
+	Optimize bool
+	// Unroll enables loop unrolling. UnrollFactor forces a factor; zero
+	// selects the paper's heuristic (word width over narrowest reference,
+	// capped by the instruction cache).
+	Unroll       bool
+	UnrollFactor int
+	// Coalesce selects the memory access coalescing mode. The zero value
+	// disables the transformation.
+	Coalesce core.Options
+	// Schedule runs the per-block list scheduler.
+	Schedule bool
+	// Registers, when non-zero, runs the linear-scan register allocator
+	// with a register file of that size after scheduling (spill code is
+	// therefore unscheduled, as in compilers that allocate late). Zero
+	// keeps virtual registers, modelling an unbounded file.
+	Registers int
+	// DumpStage, when non-nil, receives the RTL after each pipeline stage
+	// (stage name, function); used by cmd/macc -dump.
+	DumpStage func(stage string, f *rtl.Fn)
+}
+
+// DefaultConfig enables everything on the Alpha model, mirroring the
+// paper's "vpcc/vpo -O + coalescing" configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:  machine.Alpha(),
+		Optimize: true,
+		Unroll:   true,
+		Coalesce: core.DefaultOptions(),
+		Schedule: true,
+	}
+}
+
+// BaselineConfig is the paper's "vpcc/vpo -O" column: everything except
+// coalescing (loops still unrolled so the comparison isolates coalescing).
+func BaselineConfig(m *machine.Machine) Config {
+	return Config{Machine: m, Optimize: true, Unroll: true, Schedule: true}
+}
+
+// NativeConfig stands in for the native "cc -O" column: a credible but
+// weaker compiler (no scheduling, no unrolling).
+func NativeConfig(m *machine.Machine) Config {
+	return Config{Machine: m, Optimize: true}
+}
+
+// Program is a compiled program bound to a machine model.
+type Program struct {
+	RTL     *rtl.Program
+	Machine *machine.Machine
+	// Reports holds one entry per loop the coalescer examined.
+	Reports []core.LoopReport
+	// Unrolled maps function names to the factors applied.
+	Unrolled map[string]int
+}
+
+// Compile runs the full pipeline over a mini-C translation unit.
+func Compile(src string, cfg Config) (*Program, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	rp, err := minic.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{RTL: rp, Machine: cfg.Machine, Unrolled: make(map[string]int)}
+	for _, f := range rp.Fns {
+		if err := p.optimizeFn(f, cfg); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return p, nil
+}
+
+// CompileRTL applies the pipeline to an already-built RTL program (used by
+// tests and by callers constructing IR directly).
+func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	p := &Program{RTL: rp, Machine: cfg.Machine, Unrolled: make(map[string]int)}
+	for _, f := range rp.Fns {
+		if err := p.optimizeFn(f, cfg); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return p, nil
+}
+
+func (p *Program) dump(cfg Config, stage string, f *rtl.Fn) {
+	if cfg.DumpStage != nil {
+		cfg.DumpStage(stage, f)
+	}
+}
+
+func (p *Program) optimizeFn(f *rtl.Fn, cfg Config) error {
+	p.dump(cfg, "codegen", f)
+	if !cfg.Optimize {
+		return f.Verify()
+	}
+	opt.Clean(f)
+	opt.ThreadJumps(f)
+	p.dump(cfg, "clean", f)
+
+	// Loop-invariant code motion, innermost-first, iterated because
+	// hoisting can expose more loops' invariants.
+	for i := 0; i < 4; i++ {
+		ensurePreheaders(f)
+		g := cfg2(f)
+		loops := g.FindLoops()
+		for _, l := range loops {
+			g.EnsurePreheader(l)
+		}
+		changed := false
+		for _, l := range loops {
+			changed = opt.HoistInvariants(f, g, l) || changed
+		}
+		if changed {
+			opt.Clean(f)
+		} else {
+			break
+		}
+	}
+	p.dump(cfg, "licm", f)
+
+	// Induction-variable strength reduction and test replacement: gives
+	// memory references the base+displacement shape and frees the counter.
+	{
+		ensurePreheaders(f)
+		g := cfg2(f)
+		loops := g.FindLoops()
+		for _, l := range loops {
+			g.EnsurePreheader(l)
+			du := dataflow.ComputeDefUse(f)
+			info := iv.Analyze(g, l, du)
+			if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
+				info.ReplaceTest(f, ptrs)
+			}
+		}
+		opt.EliminateDeadIVs(f)
+		opt.Clean(f)
+	}
+	p.dump(cfg, "strength-reduce", f)
+
+	if cfg.Unroll {
+		ensurePreheaders(f)
+		g := cfg2(f)
+		for _, l := range g.FindLoops() {
+			g.EnsurePreheader(l)
+			c, ok := unroll.Shape(l)
+			if !ok {
+				continue
+			}
+			du := dataflow.ComputeDefUse(f)
+			info := iv.Analyze(g, l, du)
+			factor := cfg.UnrollFactor
+			if factor == 0 {
+				factor = unroll.ChooseFactor(cfg.Machine, c, info)
+			}
+			if factor < 2 {
+				continue
+			}
+			if _, err := unroll.Unroll(f, c, info, factor); err == nil {
+				p.Unrolled[f.Name] = factor
+			}
+		}
+		opt.NormalizeAddresses(f)
+		opt.Clean(f)
+		p.dump(cfg, "unroll", f)
+	}
+
+	if cfg.Coalesce.Loads || cfg.Coalesce.Stores {
+		reports := core.CoalesceMemoryAccesses(f, cfg.Machine, cfg.Coalesce)
+		p.Reports = append(p.Reports, reports...)
+		opt.Clean(f)
+		p.dump(cfg, "coalesce", f)
+	}
+
+	if cfg.Schedule {
+		sched.ScheduleFn(f, cfg.Machine)
+		p.dump(cfg, "schedule", f)
+	}
+	if cfg.Registers > 0 {
+		if _, err := regalloc.Run(f, cfg.Registers); err != nil {
+			return err
+		}
+		p.dump(cfg, "regalloc", f)
+	}
+	return f.Verify()
+}
+
+// ensurePreheaders materializes preheaders for every natural loop so later
+// analyses see a stable shape.
+func ensurePreheaders(f *rtl.Fn) {
+	g := cfg2(f)
+	for _, l := range g.FindLoops() {
+		g.EnsurePreheader(l)
+	}
+}
+
+func cfg2(f *rtl.Fn) *cfg.Graph { return cfg.New(f) }
+
+// NewSim builds a simulator for the compiled program with memBytes of RAM.
+func (p *Program) NewSim(memBytes int) *sim.Sim {
+	return sim.New(p.RTL, p.Machine, memBytes)
+}
+
+// Fn returns the named compiled function for inspection.
+func (p *Program) Fn(name string) (*rtl.Fn, bool) { return p.RTL.Lookup(name) }
