@@ -10,9 +10,20 @@
 //	macc -machine m88100 -coalesce loads -dump prog.c
 //	macc -dot f prog.c | dot -Tpng > cfg.png
 //	macc -run 'dotproduct(4096,8192,100)' -mem 65536 prog.c
+//
+// The pipeline is hardened: by default a pass that panics or emits RTL the
+// verifier rejects is rolled back and compilation continues in degraded
+// mode (reported on stderr); -strict restores fail-fast behaviour. -bisect
+// binary-searches the pass list for the first pass that breaks the -run
+// call, and -inject deliberately sabotages a pass to exercise both.
+//
+//	macc -strict prog.c
+//	macc -inject 'unroll:panic' -run 'dotproduct(4096,8192,100)' prog.c
+//	macc -inject 'coalesce:flip-op:3' -bisect -run 'dotproduct(4096,8192,100)' prog.c
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +32,7 @@ import (
 
 	"macc"
 	"macc/internal/core"
+	"macc/internal/faultinject"
 	"macc/internal/machine"
 	"macc/internal/rtl"
 	"macc/internal/sim"
@@ -42,6 +54,9 @@ func main() {
 	reports := flag.Bool("reports", false, "print the coalescer's per-loop reports")
 	regs := flag.Int("regs", 0, "register file size for the allocator (0 = virtual registers)")
 	profile := flag.Bool("profile", false, "with -run: print the hottest basic blocks")
+	strict := flag.Bool("strict", false, "fail fast on the first pass failure instead of degrading")
+	inject := flag.String("inject", "", "sabotage a pass: 'pass:kind[:seed]' (kinds: panic, clobber-reg, drop-terminator, retarget-branch, flip-op)")
+	bisect := flag.Bool("bisect", false, "with -run: binary-search the pass list for the first pass that breaks the call")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -86,10 +101,25 @@ func main() {
 		cfg.UnrollFactor = n
 	}
 	cfg.Registers = *regs
+	cfg.Strict = *strict
 	if *dump {
 		cfg.DumpStage = func(stage string, f *rtl.Fn) {
 			fmt.Printf("=== %s: %s ===\n%s\n", f.Name, stage, f)
 		}
+	}
+	if *inject != "" {
+		inj, ierr := parseInject(*inject)
+		if ierr != nil {
+			fatal(ierr)
+		}
+		cfg.WrapPass = inj.Hook()
+	}
+
+	if *bisect {
+		if err := runBisect(string(src), isRTL, cfg, *run, *mem); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var prog *macc.Program
@@ -104,6 +134,9 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if prog.Diagnostics.Degraded() {
+		fmt.Fprint(os.Stderr, "macc: compilation completed in degraded mode:\n"+prog.Diagnostics.String())
 	}
 
 	if *reports {
@@ -145,6 +178,66 @@ func main() {
 			res.Ret, res.Cycles, res.Instrs, res.Loads, res.Stores, res.MemRefs(),
 			res.ICacheMisses, res.DCacheMisses)
 	}
+}
+
+// parseInject parses the -inject spec "pass:kind[:seed]".
+func parseInject(spec string) (*faultinject.Injector, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("bad -inject %q, want pass:kind[:seed]", spec)
+	}
+	kind, err := faultinject.ParseKind(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	inj := &faultinject.Injector{Pass: parts[0], Kind: kind}
+	if len(parts) == 3 {
+		seed, err := strconv.ParseInt(parts[2], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -inject seed %q: %v", parts[2], err)
+		}
+		inj.Seed = seed
+	}
+	return inj, nil
+}
+
+// runBisect identifies the first pipeline pass that breaks the -run call:
+// it rebuilds the unoptimized RTL, fingerprints its simulator behaviour,
+// and binary-searches pass prefixes for the first behavioural divergence,
+// verifier rejection, or pass panic.
+func runBisect(src string, isRTL bool, cfg macc.Config, run string, mem int) error {
+	if run == "" {
+		return errors.New("-bisect requires -run 'fn(arg,...)'")
+	}
+	name, args, err := parseCall(run)
+	if err != nil {
+		return err
+	}
+	var rp *rtl.Program
+	if isRTL {
+		if rp, err = rtl.ParseProgram(src); err != nil {
+			return err
+		}
+	} else {
+		plain := cfg
+		plain.Optimize = false
+		plain.WrapPass = nil
+		prog, cerr := macc.Compile(src, plain)
+		if cerr != nil {
+			return cerr
+		}
+		rp = prog.RTL
+	}
+	bad, err := macc.DifferentialPredicate(rp, name, cfg, mem, [][]int64{args})
+	if err != nil {
+		return err
+	}
+	res, err := macc.Bisect(rp, name, cfg, bad)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
 }
 
 // parseCall parses "fn(1,2,3)" into a name and integer arguments.

@@ -93,11 +93,19 @@ func table1() {
 	fmt.Println()
 }
 
+// machineTable prints one paper table. Rows whose kernel or configuration
+// failed to compile (or validate) render as diagnostic lines — one bad loop
+// no longer takes the whole table down.
 func machineTable(title string, m *machine.Machine, wl bench.Workload) {
 	rows, err := bench.RunTable(m, wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
+		return
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v (row degraded)\n", r.Name, r.Err)
+		}
 	}
 	fmt.Print(bench.FormatTable(title, rows))
 	fmt.Println()
@@ -111,8 +119,8 @@ func table5() {
 		cfg.Coalesce = core.Options{Loads: true, Stores: true}
 		p, err := macc.Compile(b.Src, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tables:", err)
-			os.Exit(1)
+			fmt.Printf("%-20s FAILED: %v\n", b.Name, err)
+			continue
 		}
 		instrs, pairs, aligns := 0, 0, 0
 		for _, r := range p.Reports {
@@ -135,8 +143,8 @@ func figure1() {
 	show := func(title string, cfg macc.Config) {
 		p, err := macc.Compile(bench.DotProductSrc, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tables:", err)
-			os.Exit(1)
+			fmt.Printf("---- %s ----\nFAILED: %v\n", title, err)
+			return
 		}
 		f, _ := p.Fn("dotproduct")
 		fmt.Printf("---- %s ----\n%s", title, f)

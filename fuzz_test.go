@@ -12,7 +12,9 @@ import (
 
 	"macc"
 	"macc/internal/core"
+	"macc/internal/faultinject"
 	"macc/internal/machine"
+	"macc/internal/pipeline"
 	"macc/internal/rtl"
 	"macc/internal/rtlgen"
 	"macc/internal/sim"
@@ -78,7 +80,10 @@ func FuzzPipelinePreservation(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		gen := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		gen, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		m := machine.M68030()
 		run := func(fn *rtl.Fn) (int64, []byte) {
 			s := sim.New(rtl.NewProgram(fn), m, rtlgen.MemWindow*2)
@@ -102,6 +107,64 @@ func FuzzPipelinePreservation(f *testing.F) {
 		r2, m2 := run(fn2)
 		if r1 != r2 || !bytes.Equal(m1, m2) {
 			t.Fatalf("seed %d: pipeline changed behaviour (%d vs %d)", seed, r1, r2)
+		}
+	})
+}
+
+// FuzzCompile is the hardened-pipeline fuzz target: it injects a
+// deterministic fault (panic or structural RTL corruption) into an
+// arbitrary pass while compiling a generated program, and asserts the
+// resilience contract — the non-strict compile never fails, the degraded
+// output behaves bit-identically to the unoptimized build, and the
+// diagnostics attribute the sabotaged pass.
+func FuzzCompile(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s, uint8(s), uint8(s))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, passRaw, kindRaw uint8) {
+		gen, err := rtlgen.Generate(seed&63, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m := machine.M68030()
+		cfg := macc.Config{
+			Machine: m, Optimize: true, Unroll: true, Schedule: true,
+			Coalesce: core.Options{Loads: true, Stores: true},
+		}
+		passes := macc.Passes(cfg)
+		// Structural kinds only: FlipOp is a silent miscompile by design
+		// and legitimately changes behaviour.
+		kinds := []faultinject.Kind{
+			faultinject.Panic, faultinject.ClobberReg,
+			faultinject.DropTerminator, faultinject.RetargetBranch,
+		}
+		inj := &faultinject.Injector{
+			Pass: passes[int(passRaw)%len(passes)],
+			Kind: kinds[int(kindRaw)%len(kinds)],
+			Seed: seed,
+		}
+		cfg.WrapPass = inj.Hook()
+
+		want, err := pipeline.Behavior(rtl.NewProgram(gen), m, rtlgen.MemWindow*2, "f", [][]int64{{11, 22, 33}})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		p, err := macc.CompileRTL(rtl.NewProgram(gen.Clone()), cfg)
+		if err != nil {
+			t.Fatalf("seed %d: non-strict compile failed: %v", seed, err)
+		}
+		got, err := pipeline.Behavior(p.RTL, m, rtlgen.MemWindow*2, "f", [][]int64{{11, 22, 33}})
+		if err != nil {
+			t.Fatalf("seed %d: degraded program trapped: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: degraded program diverges from unoptimized build", seed)
+		}
+		if inj.Fired() {
+			failed := p.Diagnostics.FailedPasses()
+			if len(failed) == 0 || failed[0] != inj.Pass {
+				t.Fatalf("seed %d: diagnostics %v do not attribute %q", seed, failed, inj.Pass)
+			}
 		}
 	})
 }

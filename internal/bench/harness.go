@@ -46,6 +46,10 @@ type Row struct {
 	Vpo         Cell // vpcc/vpo -O (unrolled, scheduled, no coalescing)
 	Loads       Cell // + coalesce loads
 	LoadsStores Cell // + coalesce loads and stores
+	// Err, when non-nil, marks the row as failed: one of the benchmark's
+	// configurations did not compile or did not validate against the Go
+	// reference. The other rows of the table are still measured.
+	Err error
 }
 
 // SavingsLoads is the percent cycle saving of load coalescing over the vpo
@@ -325,6 +329,11 @@ func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s: compile: %w", b.Name, err)
 	}
+	if p.Diagnostics.Degraded() {
+		// A degraded compile is still correct but no longer measures the
+		// configuration it claims to; surface it as a row diagnostic.
+		return Cell{}, fmt.Errorf("%s: compile degraded: %s", b.Name, strings.Join(p.Diagnostics.FailedPasses(), ", "))
+	}
 	res, err := b.Run(p, wl)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s: %w", b.Name, err)
@@ -332,7 +341,11 @@ func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
 	return Cell{Cycles: res.Cycles, MemRefs: res.MemRefs()}, nil
 }
 
-// RunTable produces the paper-table rows for machine m.
+// RunTable produces the paper-table rows for machine m. A benchmark whose
+// compile or reference validation fails does not abort the table: its row
+// carries the error (Row.Err) and the remaining rows are still measured.
+// The returned error is reserved for harness-level failures and is
+// currently always nil.
 func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
 	cfgs := Configs(m)
 	var rows []Row
@@ -342,7 +355,8 @@ func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
 		for i, cfgc := range cfgs {
 			cell, err := Measure(b, cfgc, wl)
 			if err != nil {
-				return nil, err
+				row.Err = err
+				break
 			}
 			*cells[i] = cell
 		}
@@ -358,6 +372,10 @@ func FormatTable(title string, rows []Row) string {
 	fmt.Fprintf(&sb, "%-20s %12s %12s %12s %12s %9s %9s %8s\n",
 		"Program", "native", "vpo", "loads", "loads+st", "sav(ld)%", "sav(l+s)%", "refs-%")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-20s FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-20s %12d %12d %12d %12d %9.2f %9.2f %8.2f\n",
 			r.Name, r.Native.Cycles, r.Vpo.Cycles, r.Loads.Cycles, r.LoadsStores.Cycles,
 			r.SavingsLoads(), r.SavingsBoth(), r.MemRefSavings())

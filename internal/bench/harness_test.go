@@ -17,6 +17,11 @@ func TestTablesSmall(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
+		for _, r := range rows {
+			if r.Err != nil {
+				t.Errorf("%s/%s: %v", m.Name, r.Name, r.Err)
+			}
+		}
 		t.Logf("\n%s", bench.FormatTable(m.Name, rows))
 	}
 }

@@ -1,0 +1,176 @@
+// Package faultinject provides deterministic, seedable fault injectors that
+// sabotage optimization passes on purpose: they wrap a pipeline.Pass so that
+// after the real pass runs, the function is corrupted (or the pass panics).
+// The injectors exist to prove the hardened pipeline's guarantees — every
+// injected fault must be caught by the per-pass checkpoint, rolled back to
+// behaviour bit-identical with the unoptimized build, and attributed to the
+// sabotaged pass by pipeline.Bisect.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"macc/internal/pipeline"
+	"macc/internal/rtl"
+)
+
+// Kind selects the fault to inject.
+type Kind int
+
+const (
+	// Panic makes the pass panic after running.
+	Panic Kind = iota
+	// ClobberReg rewrites one source operand to a register outside the
+	// function's pool (caught by the verifier's register check).
+	ClobberReg
+	// DropTerminator deletes one block's terminator instruction (caught
+	// by the verifier's block-shape check).
+	DropTerminator
+	// RetargetBranch points one control transfer at a block that does not
+	// belong to the function (caught by the verifier's edge check).
+	RetargetBranch
+	// FlipOp swaps one arithmetic/compare opcode for its opposite
+	// (Add<->Sub, SetLT<->SetGE, ...). The result still verifies — this
+	// is a silent miscompile, visible only to differential execution, and
+	// exercises the behavioural predicates of pipeline.Bisect.
+	FlipOp
+)
+
+var kindNames = map[Kind]string{
+	Panic:          "panic",
+	ClobberReg:     "clobber-reg",
+	DropTerminator: "drop-terminator",
+	RetargetBranch: "retarget-branch",
+	FlipOp:         "flip-op",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every injectable fault.
+func Kinds() []Kind {
+	return []Kind{Panic, ClobberReg, DropTerminator, RetargetBranch, FlipOp}
+}
+
+// ParseKind resolves a fault name as printed by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q (want panic, clobber-reg, drop-terminator, retarget-branch, or flip-op)", s)
+}
+
+// Injector sabotages the named pass. The zero Seed is valid; equal seeds
+// pick the same victim instruction, so failures reproduce exactly.
+type Injector struct {
+	Pass string // name of the pass to sabotage; "" sabotages every pass
+	Kind Kind
+	Seed int64
+
+	fired bool
+}
+
+// Fired reports whether the injector actually corrupted (or panicked) at
+// least one function. It stays false when the sabotaged pass never ran or
+// the function had no instruction eligible for the chosen fault.
+func (in *Injector) Fired() bool { return in.fired }
+
+// Hook returns a pass wrapper suitable for macc's Config.WrapPass: passes
+// other than the target are returned unchanged.
+func (in *Injector) Hook() func(pipeline.Pass) pipeline.Pass {
+	return in.Wrap
+}
+
+// Wrap returns p with the fault appended to its Run step. The pass keeps
+// its name and OnSuccess hook, so a caught fault suppresses the pass's side
+// records exactly as a real pass bug would.
+func (in *Injector) Wrap(p pipeline.Pass) pipeline.Pass {
+	if in.Pass != "" && p.Name != in.Pass {
+		return p
+	}
+	inner := p.Run
+	p.Run = func(f *rtl.Fn) error {
+		if inner != nil {
+			if err := inner(f); err != nil {
+				return err
+			}
+		}
+		in.apply(f)
+		return nil
+	}
+	return p
+}
+
+// apply corrupts f (or panics) according to the injector's kind.
+func (in *Injector) apply(f *rtl.Fn) {
+	rng := rand.New(rand.NewSource(in.Seed))
+	switch in.Kind {
+	case Panic:
+		in.fired = true
+		panic(fmt.Sprintf("faultinject: injected panic in %s", f.Name))
+	case ClobberReg:
+		var cands []*rtl.Operand
+		for _, b := range f.Blocks {
+			for _, instr := range b.Instrs {
+				for _, o := range instr.SrcOperands() {
+					if _, ok := o.IsReg(); ok {
+						cands = append(cands, o)
+					}
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		cands[rng.Intn(len(cands))].Reg = rtl.Reg(f.NumRegs() + 7)
+		in.fired = true
+	case DropTerminator:
+		b := f.Blocks[rng.Intn(len(f.Blocks))]
+		if len(b.Instrs) == 0 {
+			return
+		}
+		b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		in.fired = true
+	case RetargetBranch:
+		var cands []*rtl.Instr
+		for _, b := range f.Blocks {
+			for _, instr := range b.Instrs {
+				if instr.Op == rtl.Jump || instr.Op == rtl.Branch {
+					cands = append(cands, instr)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		cands[rng.Intn(len(cands))].Target = &rtl.Block{Name: "phantom"}
+		in.fired = true
+	case FlipOp:
+		flip := map[rtl.Op]rtl.Op{
+			rtl.Add: rtl.Sub, rtl.Sub: rtl.Add,
+			rtl.SetLT: rtl.SetGE, rtl.SetGE: rtl.SetLT,
+			rtl.SetEQ: rtl.SetNE, rtl.SetNE: rtl.SetEQ,
+		}
+		var cands []*rtl.Instr
+		for _, b := range f.Blocks {
+			for _, instr := range b.Instrs {
+				if _, ok := flip[instr.Op]; ok {
+					cands = append(cands, instr)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		victim := cands[rng.Intn(len(cands))]
+		victim.Op = flip[victim.Op]
+		in.fired = true
+	}
+}

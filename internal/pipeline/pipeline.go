@@ -1,0 +1,166 @@
+// Package pipeline is the hardened pass manager for the optimizer: it runs
+// a sequence of named transformation passes over an RTL function with
+// per-pass panic recovery, a post-pass verification checkpoint, and rollback
+// to the last-known-good snapshot when a pass misbehaves.
+//
+// The design mirrors the paper's Figure-5 philosophy at the level of the
+// compiler itself: every unsafe transformation is guarded by a check, and
+// when the check fails the system falls back to the safe version (the
+// function as it stood before the pass) instead of dying. In the default,
+// non-strict mode a faulty pass therefore degrades a compile — the remaining
+// safe passes still run, and the incident is recorded in a Diagnostics
+// report — while Strict mode restores classic fail-fast behaviour.
+package pipeline
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"macc/internal/rtl"
+)
+
+// Pass is one named transformation stage.
+type Pass struct {
+	// Name identifies the stage in diagnostics, dumps, and bisection.
+	Name string
+	// Run applies the transformation in place. A returned error (or a
+	// panic, or a subsequent verifier rejection) marks the pass as failed.
+	Run func(f *rtl.Fn) error
+	// OnSuccess, when non-nil, is called only after the pass has run AND
+	// the verification checkpoint has accepted the result. Side records
+	// (coalescing reports, unroll factors) belong here so a rolled-back
+	// pass leaves no trace of work that was undone.
+	OnSuccess func()
+}
+
+// Options configures a Run.
+type Options struct {
+	// Strict makes the first pass failure abort the run with a *PassError
+	// (today's fail-fast behaviour). The default rolls the function back
+	// and continues with the remaining passes.
+	Strict bool
+	// NoVerify skips the post-pass verification checkpoints; panics are
+	// still recovered. Used by probes that apply their own predicate.
+	NoVerify bool
+	// OnPass, when non-nil, observes the function after each successful
+	// pass (the -dump hook).
+	OnPass func(name string, f *rtl.Fn)
+	// Diags, when non-nil, collects an Incident for every pass that was
+	// rolled back.
+	Diags *Diagnostics
+}
+
+// PassError describes a pass failure: a recovered panic, a pass-returned
+// error, or a verification rejection of the pass's output.
+type PassError struct {
+	Pass      string // pass name
+	Fn        string // function being compiled
+	Recovered any    // non-nil when the pass panicked
+	Stack     []byte // goroutine stack at the panic, when Recovered != nil
+	Err       error  // pass-returned or verifier error, when Recovered == nil
+}
+
+func (e *PassError) Error() string {
+	if e.Recovered != nil {
+		return fmt.Sprintf("pass %s on %s: panic: %v", e.Pass, e.Fn, e.Recovered)
+	}
+	return fmt.Sprintf("pass %s on %s: %v", e.Pass, e.Fn, e.Err)
+}
+
+func (e *PassError) Unwrap() error { return e.Err }
+
+// Incident is one rolled-back pass failure in a degraded compile.
+type Incident struct {
+	Pass string
+	Fn   string
+	Err  *PassError
+}
+
+// Diagnostics accumulates the incidents of one compilation. A compile with
+// an empty Diagnostics ran every pass cleanly; a non-empty one completed in
+// degraded mode (the named passes were undone, the rest applied).
+type Diagnostics struct {
+	Incidents []Incident
+}
+
+// Degraded reports whether any pass was rolled back.
+func (d *Diagnostics) Degraded() bool { return d != nil && len(d.Incidents) > 0 }
+
+// FailedPasses returns the distinct names of passes that were rolled back,
+// in first-failure order.
+func (d *Diagnostics) FailedPasses() []string {
+	if d == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, in := range d.Incidents {
+		if !seen[in.Pass] {
+			seen[in.Pass] = true
+			names = append(names, in.Pass)
+		}
+	}
+	return names
+}
+
+// String renders a one-line-per-incident report.
+func (d *Diagnostics) String() string {
+	if !d.Degraded() {
+		return "clean"
+	}
+	var sb strings.Builder
+	for _, in := range d.Incidents {
+		fmt.Fprintf(&sb, "degraded: %s (rolled back)\n", in.Err)
+	}
+	return sb.String()
+}
+
+// Run executes the passes over f. Each pass runs under panic recovery and,
+// unless NoVerify is set, is followed by an f.Verify() checkpoint. On
+// failure the function is restored from the snapshot taken after the last
+// good pass; in Strict mode the *PassError is returned instead and f is
+// left rolled back to that same snapshot.
+func Run(f *rtl.Fn, passes []Pass, opts Options) error {
+	good := f.Clone()
+	for _, p := range passes {
+		perr := runOne(p, f)
+		if perr == nil && !opts.NoVerify {
+			if verr := f.Verify(); verr != nil {
+				perr = &PassError{Pass: p.Name, Fn: f.Name, Err: verr}
+			}
+		}
+		if perr != nil {
+			f.Restore(good)
+			if opts.Strict {
+				return perr
+			}
+			if opts.Diags != nil {
+				opts.Diags.Incidents = append(opts.Diags.Incidents,
+					Incident{Pass: p.Name, Fn: f.Name, Err: perr})
+			}
+			continue
+		}
+		good = f.Clone()
+		if p.OnSuccess != nil {
+			p.OnSuccess()
+		}
+		if opts.OnPass != nil {
+			opts.OnPass(p.Name, f)
+		}
+	}
+	return nil
+}
+
+// runOne applies one pass, converting a panic into a structured *PassError.
+func runOne(p Pass, f *rtl.Fn) (perr *PassError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PassError{Pass: p.Name, Fn: f.Name, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := p.Run(f); err != nil {
+		return &PassError{Pass: p.Name, Fn: f.Name, Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package pipeline_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"macc/internal/machine"
+	"macc/internal/pipeline"
+	"macc/internal/rtl"
+)
+
+// testFn builds a small function with arithmetic, memory traffic, and
+// control flow:
+//
+//	f(a) { if (a) M[64] = a+5; else M[64] = a-5; return M[64] }
+func testFn() *rtl.Fn {
+	f := rtl.NewFn("f", 1)
+	a := f.Params[0]
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	f.Entry().Instrs = append(f.Entry().Instrs, rtl.BranchI(rtl.R(a), then, els))
+	r1 := f.NewReg()
+	then.Instrs = append(then.Instrs,
+		rtl.BinI(rtl.Add, r1, rtl.R(a), rtl.C(5)),
+		rtl.StoreI(rtl.C(64), 0, rtl.R(r1), rtl.W8),
+		rtl.JumpI(join))
+	r2 := f.NewReg()
+	els.Instrs = append(els.Instrs,
+		rtl.BinI(rtl.Sub, r2, rtl.R(a), rtl.C(5)),
+		rtl.StoreI(rtl.C(64), 0, rtl.R(r2), rtl.W8),
+		rtl.JumpI(join))
+	r3 := f.NewReg()
+	join.Instrs = append(join.Instrs,
+		rtl.LoadI(r3, rtl.C(64), 0, rtl.W8, true),
+		rtl.RetI(rtl.R(r3)))
+	return f
+}
+
+var testArgs = [][]int64{{0}, {1}, {-9}, {1024}}
+
+func behavior(t *testing.T, f *rtl.Fn) string {
+	t.Helper()
+	fp, err := pipeline.Behavior(rtl.NewProgram(f), machine.M68030(), 4096, f.Name, testArgs)
+	if err != nil {
+		t.Fatalf("behavior of %s: %v", f.Name, err)
+	}
+	return fp
+}
+
+func noop(name string) pipeline.Pass {
+	return pipeline.Pass{Name: name, Run: func(*rtl.Fn) error { return nil }}
+}
+
+// faultyPasses are the misbehaviours the recovery machinery must contain.
+// Every entry both corrupts behaviour and (except where noted) fails the
+// verification checkpoint, so rollback is observable two ways.
+var faultyPasses = []struct {
+	name      string
+	pass      pipeline.Pass
+	wantPanic bool // incident should carry a recovered panic + stack
+}{
+	{
+		name: "panic-in-pass",
+		pass: pipeline.Pass{Name: "bad", Run: func(f *rtl.Fn) error {
+			f.Blocks[0].Instrs = nil // corrupt first, then die
+			panic("pass exploded")
+		}},
+		wantPanic: true,
+	},
+	{
+		name: "verifier-rejection",
+		pass: pipeline.Pass{Name: "bad", Run: func(f *rtl.Fn) error {
+			b := f.Blocks[len(f.Blocks)-1]
+			b.Instrs = b.Instrs[:len(b.Instrs)-1] // drop the terminator
+			return nil
+		}},
+	},
+	{
+		name: "pass-returned-error",
+		pass: pipeline.Pass{Name: "bad", Run: func(f *rtl.Fn) error {
+			f.Blocks[0].Instrs = nil
+			return errors.New("resource exhausted")
+		}},
+	},
+}
+
+func TestRecoveryRollsBackAndContinues(t *testing.T) {
+	for _, tc := range faultyPasses {
+		t.Run(tc.name, func(t *testing.T) {
+			f := testFn()
+			orig := f.String()
+			wantFP := behavior(t, f)
+
+			var after int
+			diags := &pipeline.Diagnostics{}
+			passes := []pipeline.Pass{noop("pre"), tc.pass,
+				{Name: "post", Run: func(*rtl.Fn) error { after++; return nil }}}
+			if err := pipeline.Run(f, passes, pipeline.Options{Diags: diags}); err != nil {
+				t.Fatalf("non-strict Run returned %v", err)
+			}
+			if after != 1 {
+				t.Errorf("degraded mode must still run the remaining passes; post ran %d times", after)
+			}
+			if got := f.String(); got != orig {
+				t.Errorf("function not rolled back:\n%s\nwant:\n%s", got, orig)
+			}
+			if got := behavior(t, f); got != wantFP {
+				t.Error("rollback did not preserve simulator behaviour")
+			}
+			if !diags.Degraded() || len(diags.Incidents) != 1 {
+				t.Fatalf("want exactly one incident, got %+v", diags.Incidents)
+			}
+			in := diags.Incidents[0]
+			if in.Pass != "bad" || in.Fn != "f" {
+				t.Errorf("incident attributes pass %q fn %q", in.Pass, in.Fn)
+			}
+			if tc.wantPanic {
+				if in.Err.Recovered == nil || len(in.Err.Stack) == 0 {
+					t.Error("panic incident must carry the recovered value and stack")
+				}
+			} else if in.Err.Err == nil {
+				t.Error("non-panic incident must carry the underlying error")
+			}
+			if got := diags.FailedPasses(); len(got) != 1 || got[0] != "bad" {
+				t.Errorf("FailedPasses = %v", got)
+			}
+			if !strings.Contains(diags.String(), "bad") {
+				t.Errorf("diagnostics report %q does not name the pass", diags.String())
+			}
+		})
+	}
+}
+
+func TestStrictModePropagatesPassError(t *testing.T) {
+	for _, tc := range faultyPasses {
+		t.Run(tc.name, func(t *testing.T) {
+			f := testFn()
+			orig := f.String()
+			err := pipeline.Run(f, []pipeline.Pass{noop("pre"), tc.pass, noop("post")},
+				pipeline.Options{Strict: true})
+			var pe *pipeline.PassError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PassError, got %v", err)
+			}
+			if pe.Pass != "bad" || pe.Fn != "f" {
+				t.Errorf("PassError names pass %q fn %q", pe.Pass, pe.Fn)
+			}
+			if tc.wantPanic != (pe.Recovered != nil) {
+				t.Errorf("Recovered = %v, wantPanic = %v", pe.Recovered, tc.wantPanic)
+			}
+			if got := f.String(); got != orig {
+				t.Error("strict mode must still leave the function rolled back")
+			}
+		})
+	}
+}
+
+func TestHooksFireOnlyOnSuccess(t *testing.T) {
+	f := testFn()
+	var committed, observed []string
+	mk := func(name string, fail bool) pipeline.Pass {
+		return pipeline.Pass{
+			Name: name,
+			Run: func(f *rtl.Fn) error {
+				if fail {
+					panic(name)
+				}
+				return nil
+			},
+			OnSuccess: func() { committed = append(committed, name) },
+		}
+	}
+	err := pipeline.Run(f, []pipeline.Pass{mk("a", false), mk("b", true), mk("c", false)},
+		pipeline.Options{OnPass: func(name string, _ *rtl.Fn) { observed = append(observed, name) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(committed); got != "[a c]" {
+		t.Errorf("OnSuccess fired for %v, want [a c]", committed)
+	}
+	if got := fmt.Sprint(observed); got != "[a c]" {
+		t.Errorf("OnPass fired for %v, want [a c]", observed)
+	}
+}
+
+// flipPass silently miscompiles: it turns the then-arm's Add into a Sub,
+// which still verifies and is only visible to differential execution.
+func flipPass(name string) pipeline.Pass {
+	return pipeline.Pass{Name: name, Run: func(f *rtl.Fn) error {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == rtl.Add {
+					in.Op = rtl.Sub
+					return nil
+				}
+			}
+		}
+		return nil
+	}}
+}
+
+func TestBisectFindsBehaviouralCulprit(t *testing.T) {
+	orig := testFn()
+	want := behavior(t, orig)
+	bad := func(f *rtl.Fn) error {
+		if got := behavior(t, f); got != want {
+			return errors.New("diverges")
+		}
+		return nil
+	}
+	passes := []pipeline.Pass{noop("a"), flipPass("culprit"), noop("c"), noop("d")}
+	res, err := pipeline.Bisect(func() *rtl.Fn { return orig.Clone() }, passes, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() || res.Index != 1 || res.Pass != "culprit" {
+		t.Fatalf("bisect = %v, want culprit at index 1", res)
+	}
+}
+
+func TestBisectFindsStructuralCulprit(t *testing.T) {
+	orig := testFn()
+	healthy := func(*rtl.Fn) error { return nil }
+	passes := []pipeline.Pass{noop("a"), noop("b"),
+		{Name: "boom", Run: func(*rtl.Fn) error { panic("boom") }}, noop("d")}
+	res, err := pipeline.Bisect(func() *rtl.Fn { return orig.Clone() }, passes, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() || res.Index != 2 || res.Pass != "boom" {
+		t.Fatalf("bisect = %v, want boom at index 2", res)
+	}
+	var pe *pipeline.PassError
+	if !errors.As(res.Err, &pe) || pe.Pass != "boom" {
+		t.Errorf("culprit error should be the pass's own *PassError, got %v", res.Err)
+	}
+}
+
+func TestBisectHealthyPipeline(t *testing.T) {
+	orig := testFn()
+	res, err := pipeline.Bisect(func() *rtl.Fn { return orig.Clone() },
+		[]pipeline.Pass{noop("a"), noop("b")}, func(*rtl.Fn) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Fatalf("healthy pipeline reported culprit %v", res)
+	}
+}
+
+func TestBisectRejectsBrokenBaseline(t *testing.T) {
+	orig := testFn()
+	_, err := pipeline.Bisect(func() *rtl.Fn { return orig.Clone() },
+		[]pipeline.Pass{noop("a")}, func(*rtl.Fn) error { return errors.New("always bad") })
+	if err == nil {
+		t.Fatal("a predicate failing before any pass must be reported as an error")
+	}
+}

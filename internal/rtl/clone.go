@@ -85,6 +85,21 @@ func (f *Fn) Clone() *Fn {
 	return nf
 }
 
+// Restore overwrites f in place with a deep copy of snap, so every existing
+// pointer to f (program tables, simulators) observes the restored body. The
+// pass pipeline uses this to roll a function back to its last-known-good
+// snapshot after a pass panics or fails verification; snap itself is left
+// untouched and may be restored from again.
+func (f *Fn) Restore(snap *Fn) {
+	c := snap.Clone()
+	f.Params = c.Params
+	f.Blocks = c.Blocks
+	f.FrameBytes = c.FrameBytes
+	f.FrameReg = c.FrameReg
+	f.nextReg = c.nextReg
+	f.nextBlk = c.nextBlk
+}
+
 // RedirectEdges replaces every control-flow edge in the function that points
 // at from with an edge to to.
 func (f *Fn) RedirectEdges(from, to *Block) {

@@ -17,6 +17,17 @@ import (
 
 const memBytes = rtlgen.MemWindow * 2
 
+// mustGen generates the seed's function, failing the test on a generator
+// bug instead of panicking.
+func mustGen(t *testing.T, seed int64) *rtl.Fn {
+	t.Helper()
+	f, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 // behaviour runs f on a fixed set of argument triples and returns a
 // fingerprint of every return value and final memory image.
 func behaviour(t *testing.T, f *rtl.Fn, m *machine.Machine) string {
@@ -51,7 +62,7 @@ func checkPass(t *testing.T, name string, seeds int, transform func(*rtl.Fn)) {
 	t.Helper()
 	m := machine.M68030() // tolerant of any alignment; timing irrelevant here
 	for seed := int64(0); seed < int64(seeds); seed++ {
-		f := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		f := mustGen(t, seed)
 		want := behaviour(t, f, m)
 		f2 := f.Clone()
 		transform(f2)
@@ -159,7 +170,7 @@ func TestFullPipelinePreservesBehaviour(t *testing.T) {
 
 func TestGeneratedProgramsParseRoundTrip(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
-		f := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		f := mustGen(t, seed)
 		printed := f.String()
 		f2, err := rtl.ParseFn(printed)
 		if err != nil {
@@ -172,12 +183,12 @@ func TestGeneratedProgramsParseRoundTrip(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	a := rtlgen.Generate(5, rtlgen.DefaultOptions()).String()
-	b := rtlgen.Generate(5, rtlgen.DefaultOptions()).String()
+	a := mustGen(t, 5).String()
+	b := mustGen(t, 5).String()
 	if a != b {
 		t.Error("same seed must generate the same program")
 	}
-	c := rtlgen.Generate(6, rtlgen.DefaultOptions()).String()
+	c := mustGen(t, 6).String()
 	if a == c {
 		t.Error("different seeds should differ")
 	}

@@ -7,6 +7,7 @@
 package rtlgen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"macc/internal/rtl"
@@ -43,8 +44,10 @@ type gen struct {
 	counters map[rtl.Reg]bool
 }
 
-// Generate builds a random function "f(a, b, c)" from the seed.
-func Generate(seed int64, opts Options) *rtl.Fn {
+// Generate builds a random function "f(a, b, c)" from the seed. It returns
+// an error (rather than a function that would corrupt downstream passes) if
+// generation ever produces RTL the verifier rejects.
+func Generate(seed int64, opts Options) (*rtl.Fn, error) {
 	g := &gen{rng: rand.New(rand.NewSource(seed)), opts: opts, counters: make(map[rtl.Reg]bool)}
 	g.f = rtl.NewFn("f", 3)
 	g.cur = g.f.Entry()
@@ -65,9 +68,9 @@ func Generate(seed int64, opts Options) *rtl.Fn {
 		}
 	}
 	if err := g.f.Verify(); err != nil {
-		panic("rtlgen produced invalid function: " + err.Error())
+		return nil, fmt.Errorf("rtlgen seed %d produced invalid function: %w", seed, err)
 	}
-	return g.f
+	return g.f, nil
 }
 
 func (g *gen) emit(in *rtl.Instr) { g.cur.Instrs = append(g.cur.Instrs, in) }

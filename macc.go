@@ -30,6 +30,7 @@ import (
 	"macc/internal/machine"
 	"macc/internal/minic"
 	"macc/internal/opt"
+	"macc/internal/pipeline"
 	"macc/internal/regalloc"
 	"macc/internal/rtl"
 	"macc/internal/sched"
@@ -62,6 +63,16 @@ type Config struct {
 	// DumpStage, when non-nil, receives the RTL after each pipeline stage
 	// (stage name, function); used by cmd/macc -dump.
 	DumpStage func(stage string, f *rtl.Fn)
+	// Strict makes the first pass failure (panic, pass error, or verifier
+	// rejection of the pass's output) abort compilation with a
+	// *pipeline.PassError. The default rolls the function back to its
+	// last-known-good form, records the incident in Program.Diagnostics,
+	// and continues with the remaining passes (degraded mode).
+	Strict bool
+	// WrapPass, when non-nil, wraps every optimization pass before it
+	// runs; fault injection (internal/faultinject) and tracing hook in
+	// here.
+	WrapPass func(pipeline.Pass) pipeline.Pass
 }
 
 // DefaultConfig enables everything on the Alpha model, mirroring the
@@ -96,6 +107,9 @@ type Program struct {
 	Reports []core.LoopReport
 	// Unrolled maps function names to the factors applied.
 	Unrolled map[string]int
+	// Diagnostics records every pass that was rolled back during a
+	// non-strict compile; empty when every pass ran cleanly.
+	Diagnostics *pipeline.Diagnostics
 }
 
 // Compile runs the full pipeline over a mini-C translation unit.
@@ -107,7 +121,7 @@ func Compile(src string, cfg Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Program{RTL: rp, Machine: cfg.Machine, Unrolled: make(map[string]int)}
+	p := newProgram(rp, cfg.Machine)
 	for _, f := range rp.Fns {
 		if err := p.optimizeFn(f, cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
@@ -122,7 +136,7 @@ func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = machine.Alpha()
 	}
-	p := &Program{RTL: rp, Machine: cfg.Machine, Unrolled: make(map[string]int)}
+	p := newProgram(rp, cfg.Machine)
 	for _, f := range rp.Fns {
 		if err := p.optimizeFn(f, cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
@@ -131,106 +145,233 @@ func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
 	return p, nil
 }
 
+func newProgram(rp *rtl.Program, m *machine.Machine) *Program {
+	return &Program{RTL: rp, Machine: m, Unrolled: make(map[string]int),
+		Diagnostics: &pipeline.Diagnostics{}}
+}
+
 func (p *Program) dump(cfg Config, stage string, f *rtl.Fn) {
 	if cfg.DumpStage != nil {
 		cfg.DumpStage(stage, f)
 	}
 }
 
+// optimizeFn runs the optimization pipeline over f under the hardened pass
+// manager: every stage gets panic recovery, a post-stage verification
+// checkpoint, and (in non-strict mode) rollback to the last-known-good
+// form with the incident recorded in p.Diagnostics.
 func (p *Program) optimizeFn(f *rtl.Fn, cfg Config) error {
 	p.dump(cfg, "codegen", f)
+	if err := f.Verify(); err != nil {
+		return err
+	}
 	if !cfg.Optimize {
-		return f.Verify()
+		return nil
 	}
-	opt.Clean(f)
-	opt.ThreadJumps(f)
-	p.dump(cfg, "clean", f)
+	passes := p.passList(cfg)
+	if cfg.WrapPass != nil {
+		for i := range passes {
+			passes[i] = cfg.WrapPass(passes[i])
+		}
+	}
+	return pipeline.Run(f, passes, pipeline.Options{
+		Strict: cfg.Strict,
+		Diags:  p.Diagnostics,
+		OnPass: func(stage string, f *rtl.Fn) { p.dump(cfg, stage, f) },
+	})
+}
 
-	// Loop-invariant code motion, innermost-first, iterated because
-	// hoisting can expose more loops' invariants.
-	for i := 0; i < 4; i++ {
-		ensurePreheaders(f)
-		g := cfg2(f)
-		loops := g.FindLoops()
-		for _, l := range loops {
-			g.EnsurePreheader(l)
-		}
-		changed := false
-		for _, l := range loops {
-			changed = opt.HoistInvariants(f, g, l) || changed
-		}
-		if changed {
+// passList builds the stage sequence for cfg. Side records (coalescing
+// reports, unroll factors) are staged inside each pass and committed by its
+// OnSuccess hook, so a rolled-back pass leaves no trace of undone work.
+func (p *Program) passList(cfg Config) []pipeline.Pass {
+	passes := []pipeline.Pass{
+		{Name: "clean", Run: func(f *rtl.Fn) error {
 			opt.Clean(f)
-		} else {
-			break
-		}
-	}
-	p.dump(cfg, "licm", f)
-
-	// Induction-variable strength reduction and test replacement: gives
-	// memory references the base+displacement shape and frees the counter.
-	{
-		ensurePreheaders(f)
-		g := cfg2(f)
-		loops := g.FindLoops()
-		for _, l := range loops {
-			g.EnsurePreheader(l)
-			du := dataflow.ComputeDefUse(f)
-			info := iv.Analyze(g, l, du)
-			if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
-				info.ReplaceTest(f, ptrs)
+			opt.ThreadJumps(f)
+			return nil
+		}},
+		// Loop-invariant code motion, innermost-first, iterated because
+		// hoisting can expose more loops' invariants.
+		{Name: "licm", Run: func(f *rtl.Fn) error {
+			for i := 0; i < 4; i++ {
+				ensurePreheaders(f)
+				g := cfg2(f)
+				loops := g.FindLoops()
+				for _, l := range loops {
+					g.EnsurePreheader(l)
+				}
+				changed := false
+				for _, l := range loops {
+					changed = opt.HoistInvariants(f, g, l) || changed
+				}
+				if changed {
+					opt.Clean(f)
+				} else {
+					break
+				}
 			}
-		}
-		opt.EliminateDeadIVs(f)
-		opt.Clean(f)
+			return nil
+		}},
+		// Induction-variable strength reduction and test replacement:
+		// gives memory references the base+displacement shape and frees
+		// the counter.
+		{Name: "strength-reduce", Run: func(f *rtl.Fn) error {
+			ensurePreheaders(f)
+			g := cfg2(f)
+			loops := g.FindLoops()
+			for _, l := range loops {
+				g.EnsurePreheader(l)
+				du := dataflow.ComputeDefUse(f)
+				info := iv.Analyze(g, l, du)
+				if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
+					info.ReplaceTest(f, ptrs)
+				}
+			}
+			opt.EliminateDeadIVs(f)
+			opt.Clean(f)
+			return nil
+		}},
 	}
-	p.dump(cfg, "strength-reduce", f)
-
 	if cfg.Unroll {
-		ensurePreheaders(f)
-		g := cfg2(f)
-		for _, l := range g.FindLoops() {
-			g.EnsurePreheader(l)
-			c, ok := unroll.Shape(l)
-			if !ok {
-				continue
-			}
-			du := dataflow.ComputeDefUse(f)
-			info := iv.Analyze(g, l, du)
-			factor := cfg.UnrollFactor
-			if factor == 0 {
-				factor = unroll.ChooseFactor(cfg.Machine, c, info)
-			}
-			if factor < 2 {
-				continue
-			}
-			if _, err := unroll.Unroll(f, c, info, factor); err == nil {
-				p.Unrolled[f.Name] = factor
-			}
-		}
-		opt.NormalizeAddresses(f)
-		opt.Clean(f)
-		p.dump(cfg, "unroll", f)
+		var staged map[string]int
+		passes = append(passes, pipeline.Pass{
+			Name: "unroll",
+			Run: func(f *rtl.Fn) error {
+				staged = make(map[string]int)
+				ensurePreheaders(f)
+				g := cfg2(f)
+				for _, l := range g.FindLoops() {
+					g.EnsurePreheader(l)
+					c, ok := unroll.Shape(l)
+					if !ok {
+						continue
+					}
+					du := dataflow.ComputeDefUse(f)
+					info := iv.Analyze(g, l, du)
+					factor := cfg.UnrollFactor
+					if factor == 0 {
+						factor = unroll.ChooseFactor(cfg.Machine, c, info)
+					}
+					if factor < 2 {
+						continue
+					}
+					if _, err := unroll.Unroll(f, c, info, factor); err == nil {
+						staged[f.Name] = factor
+					}
+				}
+				opt.NormalizeAddresses(f)
+				opt.Clean(f)
+				return nil
+			},
+			OnSuccess: func() {
+				for name, factor := range staged {
+					p.Unrolled[name] = factor
+				}
+			},
+		})
 	}
-
 	if cfg.Coalesce.Loads || cfg.Coalesce.Stores {
-		reports := core.CoalesceMemoryAccesses(f, cfg.Machine, cfg.Coalesce)
-		p.Reports = append(p.Reports, reports...)
-		opt.Clean(f)
-		p.dump(cfg, "coalesce", f)
+		var staged []core.LoopReport
+		passes = append(passes, pipeline.Pass{
+			Name: "coalesce",
+			Run: func(f *rtl.Fn) error {
+				staged = core.CoalesceMemoryAccesses(f, cfg.Machine, cfg.Coalesce)
+				opt.Clean(f)
+				return nil
+			},
+			OnSuccess: func() { p.Reports = append(p.Reports, staged...) },
+		})
 	}
-
 	if cfg.Schedule {
-		sched.ScheduleFn(f, cfg.Machine)
-		p.dump(cfg, "schedule", f)
+		passes = append(passes, pipeline.Pass{Name: "schedule", Run: func(f *rtl.Fn) error {
+			sched.ScheduleFn(f, cfg.Machine)
+			return nil
+		}})
 	}
 	if cfg.Registers > 0 {
-		if _, err := regalloc.Run(f, cfg.Registers); err != nil {
+		passes = append(passes, pipeline.Pass{Name: "regalloc", Run: func(f *rtl.Fn) error {
+			_, err := regalloc.Run(f, cfg.Registers)
+			return err
+		}})
+	}
+	return passes
+}
+
+// Passes returns the names of the pipeline stages cfg would run, in order.
+func Passes(cfg Config) []string {
+	p := newProgram(rtl.NewProgram(), cfg.Machine)
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	var names []string
+	for _, ps := range p.passList(cfg) {
+		names = append(names, ps.Name)
+	}
+	return names
+}
+
+// Bisect binary-searches the optimization pipeline for the first pass that
+// breaks function name, in the style of LLVM's -opt-bisect-limit. rp must
+// be the *unoptimized* RTL program (front-end output, or Optimize: false);
+// each probe reruns a prefix of the pass list on a fresh clone of the
+// function and applies bad — typically DifferentialPredicate, which
+// compares simulator behaviour against the unoptimized build. The WrapPass
+// hook is honoured, so injected faults are attributed like real pass bugs.
+func Bisect(rp *rtl.Program, name string, cfg Config, bad pipeline.Predicate) (pipeline.BisectResult, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	orig, ok := rp.Lookup(name)
+	if !ok {
+		return pipeline.BisectResult{}, fmt.Errorf("no function %q", name)
+	}
+	scratch := newProgram(rp, cfg.Machine)
+	passes := scratch.passList(cfg)
+	if cfg.WrapPass != nil {
+		for i := range passes {
+			passes[i] = cfg.WrapPass(passes[i])
+		}
+	}
+	return pipeline.Bisect(func() *rtl.Fn { return orig.Clone() }, passes, bad)
+}
+
+// DifferentialPredicate builds a bisection predicate that flags behavioural
+// divergence: it fingerprints the unoptimized program's simulator behaviour
+// on the given argument sets, then judges a candidate function by running
+// it in place of the original within the same program. Verifier rejections
+// and simulator traps also count as failures.
+func DifferentialPredicate(rp *rtl.Program, name string, cfg Config, memBytes int, argSets [][]int64) (pipeline.Predicate, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	want, err := pipeline.Behavior(rp, cfg.Machine, memBytes, name, argSets)
+	if err != nil {
+		return nil, fmt.Errorf("reference run: %w", err)
+	}
+	return func(f *rtl.Fn) error {
+		if err := f.Verify(); err != nil {
 			return err
 		}
-		p.dump(cfg, "regalloc", f)
-	}
-	return f.Verify()
+		fns := make([]*rtl.Fn, len(rp.Fns))
+		for i, fn := range rp.Fns {
+			if fn.Name == name {
+				fns[i] = f
+			} else {
+				fns[i] = fn
+			}
+		}
+		cand := rtl.NewProgram(fns...)
+		cand.Globals = rp.Globals
+		got, err := pipeline.Behavior(cand, cfg.Machine, memBytes, name, argSets)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("behaviour diverges from the unoptimized build (fingerprint %s, want %s)", got, want)
+		}
+		return nil
+	}, nil
 }
 
 // ensurePreheaders materializes preheaders for every natural loop so later
