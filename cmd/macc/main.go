@@ -20,6 +20,19 @@
 //	macc -strict prog.c
 //	macc -inject 'unroll:panic' -run 'dotproduct(4096,8192,100)' prog.c
 //	macc -inject 'coalesce:flip-op:3' -bisect -run 'dotproduct(4096,8192,100)' prog.c
+//
+// The observability layer explains every optimization decision: -remarks
+// prints the coalescer/unroller/IV-analysis optimization remarks (one
+// Passed or Missed per examined loop, with a machine-readable reason;
+// -remarks=json for JSONL), -trace writes the per-pass spans as Chrome
+// trace_event JSON loadable in about://tracing, -metrics dumps the metrics
+// registry — which, combined with -run, holds the static coalescing
+// counters and the measured memory traffic side by side — and -profile n
+// prints the n hottest basic blocks of the simulated run.
+//
+//	macc -remarks prog.c
+//	macc -remarks=json -trace trace.json -metrics metrics.json -run 'f(4096,100)' prog.c
+//	macc -profile 10 -run 'f(4096,100)' prog.c
 package main
 
 import (
@@ -36,7 +49,30 @@ import (
 	"macc/internal/machine"
 	"macc/internal/rtl"
 	"macc/internal/sim"
+	"macc/internal/telemetry"
 )
+
+// remarksFlag implements -remarks[=json|text]: a bool-style flag whose bare
+// form means text output.
+type remarksFlag struct{ mode string }
+
+func (r *remarksFlag) String() string { return r.mode }
+
+func (r *remarksFlag) Set(s string) error {
+	switch s {
+	case "true", "text":
+		r.mode = "text"
+	case "false", "off", "":
+		r.mode = ""
+	case "json":
+		r.mode = "json"
+	default:
+		return fmt.Errorf("bad -remarks mode %q (want text or json)", s)
+	}
+	return nil
+}
+
+func (r *remarksFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	machName := flag.String("machine", "alpha", "target machine: alpha, m88100, m68030")
@@ -53,7 +89,11 @@ func main() {
 	mem := flag.Int("mem", 1<<20, "simulator memory size in bytes")
 	reports := flag.Bool("reports", false, "print the coalescer's per-loop reports")
 	regs := flag.Int("regs", 0, "register file size for the allocator (0 = virtual registers)")
-	profile := flag.Bool("profile", false, "with -run: print the hottest basic blocks")
+	profile := flag.Int("profile", 0, "with -run: print the n hottest basic blocks")
+	var remarks remarksFlag
+	flag.Var(&remarks, "remarks", "print optimization remarks (-remarks=json for JSONL)")
+	traceOut := flag.String("trace", "", "write per-pass spans as Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics", "", "write the metrics registry as JSON to this file ('-' for stdout)")
 	strict := flag.Bool("strict", false, "fail fast on the first pass failure instead of degrading")
 	inject := flag.String("inject", "", "sabotage a pass: 'pass:kind[:seed]' (kinds: panic, clobber-reg, drop-terminator, retarget-branch, flip-op)")
 	bisect := flag.Bool("bisect", false, "with -run: binary-search the pass list for the first pass that breaks the call")
@@ -114,6 +154,11 @@ func main() {
 		}
 		cfg.WrapPass = inj.Hook()
 	}
+	var rec *telemetry.Recorder
+	if remarks.mode != "" || *traceOut != "" || *metricsOut != "" {
+		rec = telemetry.NewRecorder()
+		cfg.Telemetry = rec
+	}
 
 	if *bisect {
 		if err := runBisect(string(src), isRTL, cfg, *run, *mem); err != nil {
@@ -146,6 +191,9 @@ func main() {
 				r.NarrowLoads, r.NarrowStores, r.CyclesOriginal, r.CyclesCoalesced, r.CheckInstrs)
 		}
 	}
+	if remarks.mode != "" {
+		fmt.Print(telemetry.FormatRemarks(rec.Remarks(), remarks.mode))
+	}
 	if *printRTL {
 		for _, f := range prog.RTL.Fns {
 			fmt.Print(f)
@@ -164,19 +212,48 @@ func main() {
 			fatal(err)
 		}
 		s := prog.NewSim(*mem)
-		if *profile {
+		if *profile > 0 {
 			s.EnableProfile()
+		}
+		if rec != nil {
+			s.AttachMetrics(rec.Metrics())
 		}
 		res, err := s.Run(name, args...)
 		if err != nil {
 			fatal(err)
 		}
-		if *profile {
-			fmt.Print(sim.FormatProfile(s.Profile(), 12))
+		if *profile > 0 {
+			fmt.Print(sim.FormatProfile(s.Profile(), *profile))
 		}
 		fmt.Printf("ret=%d cycles=%d instrs=%d loads=%d stores=%d memrefs=%d icache-misses=%d dcache-misses=%d\n",
 			res.Ret, res.Cycles, res.Instrs, res.Loads, res.Stores, res.MemRefs(),
 			res.ICacheMisses, res.DCacheMisses)
+	}
+	if *traceOut != "" {
+		fw, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(fw); err != nil {
+			fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		w := os.Stdout
+		if *metricsOut != "-" {
+			fw, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer fw.Close()
+			w = fw
+		}
+		if err := rec.WriteMetrics(w); err != nil {
+			fatal(err)
+		}
 	}
 }
 

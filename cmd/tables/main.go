@@ -11,12 +11,21 @@
 //
 // The default workload matches the paper (500x500 frames); -quick shrinks
 // it for a fast smoke run.
+//
+// Machine-readable output for CI:
+//
+//	-json BENCH_macc.json   write the Alpha table as a benchmark artifact
+//	                        (per-kernel cycles, memory references, and
+//	                        coalesce counts; "-" writes to stdout)
+//	-dump-kernels DIR       write each benchmark's C source into DIR so
+//	                        other tools (e.g. macc -remarks) can run them
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"macc"
@@ -24,6 +33,7 @@ import (
 	"macc/internal/core"
 	"macc/internal/machine"
 	"macc/internal/rtl"
+	"macc/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +41,8 @@ func main() {
 	figure := flag.Int("figure", 0, "figure number to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "use a small workload")
+	jsonOut := flag.String("json", "", "write the Alpha table as a JSON benchmark artifact to this path (\"-\" for stdout)")
+	dumpDir := flag.String("dump-kernels", "", "write each benchmark's C source into this directory")
 	flag.Parse()
 
 	wl := bench.DefaultWorkload()
@@ -39,6 +51,20 @@ func main() {
 	}
 
 	any := false
+	if *dumpDir != "" {
+		if err := dumpKernels(*dumpDir); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		any = true
+	}
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, wl); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		any = true
+	}
 	want := func(n int) bool { return *all || *table == n }
 	if want(1) {
 		table1()
@@ -68,6 +94,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeArtifact measures the Alpha table and writes it as the BENCH_macc
+// JSON artifact CI uploads. Failed rows are preserved in the artifact (with
+// their error text) and reported on stderr, but do not fail the run: the
+// artifact is a record of what happened, not a gate.
+func writeArtifact(path string, wl bench.Workload) error {
+	m := machine.Alpha()
+	rows, err := bench.RunTable(m, wl)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v (row degraded)\n", r.Name, r.Err)
+		}
+	}
+	a := bench.NewArtifact(m, wl, rows)
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return a.WriteJSON(w)
+}
+
+// dumpKernels writes each benchmark's C source (plus the Figure 1 dot
+// product) into dir, named after the entry point, so CI can run cmd/macc
+// with -remarks=json over the exact sources the tables measure.
+func dumpKernels(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	kernels := append(bench.Benchmarks(), bench.DotProduct())
+	for _, b := range kernels {
+		path := filepath.Join(dir, b.Entry+".c")
+		if err := os.WriteFile(path, []byte(b.Src), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func table1() {
@@ -111,26 +182,28 @@ func machineTable(title string, m *machine.Machine, wl bench.Workload) {
 	fmt.Println()
 }
 
+// table5 reports the run-time check cost. The columns come from the
+// telemetry metrics registry each compile populates (the same counters
+// cmd/macc -metrics reports), not from hand-rolled sums over loop reports.
 func table5() {
 	fmt.Println("Run-time check cost (paper §4: \"10 to 15 instructions ... in the loop preheader\")")
-	fmt.Printf("%-20s %12s %12s %12s\n", "Program", "checkInstrs", "aliasPairs", "alignChecks")
+	fmt.Printf("%-20s %12s %12s %12s %12s\n", "Program", "checkInstrs", "aliasPairs", "alignChecks", "loops")
 	for _, b := range bench.Benchmarks() {
+		rec := telemetry.NewRecorder()
 		cfg := macc.BaselineConfig(machine.Alpha())
 		cfg.Coalesce = core.Options{Loads: true, Stores: true}
-		p, err := macc.Compile(b.Src, cfg)
+		cfg.Telemetry = rec
+		_, err := macc.Compile(b.Src, cfg)
 		if err != nil {
 			fmt.Printf("%-20s FAILED: %v\n", b.Name, err)
 			continue
 		}
-		instrs, pairs, aligns := 0, 0, 0
-		for _, r := range p.Reports {
-			if r.Applied {
-				instrs += r.CheckInstrs
-				pairs += r.AliasCheckPairs
-				aligns += r.AlignmentChecks
-			}
-		}
-		fmt.Printf("%-20s %12d %12d %12d\n", b.Name, instrs, pairs, aligns)
+		reg := rec.Metrics()
+		fmt.Printf("%-20s %12d %12d %12d %12d\n", b.Name,
+			reg.CounterValue("coalesce.check_instrs"),
+			reg.CounterValue("coalesce.alias_check_pairs"),
+			reg.CounterValue("coalesce.alignment_checks"),
+			reg.CounterValue("coalesce.loops_coalesced"))
 	}
 	fmt.Println()
 }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"macc/internal/machine"
+)
+
+// ArtifactSchema versions the BENCH_macc.json layout so downstream tooling
+// (CI trend plots, regression gates) can detect incompatible changes.
+const ArtifactSchema = "macc-bench/v1"
+
+// Artifact is the machine-readable benchmark result uploaded by CI as
+// BENCH_macc.json: one kernel entry per paper benchmark, each carrying the
+// four configuration cells (cycles, memory references, and the static
+// coalesce counts sourced from the telemetry registry).
+type Artifact struct {
+	Schema   string        `json:"schema"`
+	Machine  string        `json:"machine"`
+	Workload Workload      `json:"workload"`
+	Kernels  []KernelEntry `json:"kernels"`
+}
+
+// KernelEntry is one benchmark's measurements across the table's four
+// compiler configurations, plus the derived percent savings the paper
+// reports. A failed row carries Error and zeroed cells.
+type KernelEntry struct {
+	Name             string  `json:"name"`
+	Error            string  `json:"error,omitempty"`
+	Native           Cell    `json:"native"`
+	Vpo              Cell    `json:"vpo"`
+	Loads            Cell    `json:"loads"`
+	LoadsStores      Cell    `json:"loads_stores"`
+	SavingsLoadsPct  float64 `json:"savings_loads_pct"`
+	SavingsBothPct   float64 `json:"savings_both_pct"`
+	MemRefSavingsPct float64 `json:"mem_ref_savings_pct"`
+}
+
+// NewArtifact packages table rows for machine m into the JSON artifact.
+func NewArtifact(m *machine.Machine, wl Workload, rows []Row) Artifact {
+	a := Artifact{Schema: ArtifactSchema, Machine: m.Name, Workload: wl}
+	for _, r := range rows {
+		e := KernelEntry{
+			Name:        r.Name,
+			Native:      r.Native,
+			Vpo:         r.Vpo,
+			Loads:       r.Loads,
+			LoadsStores: r.LoadsStores,
+		}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
+		} else {
+			e.SavingsLoadsPct = r.SavingsLoads()
+			e.SavingsBothPct = r.SavingsBoth()
+			e.MemRefSavingsPct = r.MemRefSavings()
+		}
+		a.Kernels = append(a.Kernels, e)
+	}
+	return a
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (a Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

@@ -11,13 +11,16 @@ import (
 	"macc/internal/machine"
 	"macc/internal/rtl"
 	"macc/internal/sim"
+	"macc/internal/telemetry"
 )
 
 // Workload sizes the benchmark inputs. The paper uses 500x500 frames.
 type Workload struct {
-	Width, Height int
-	Npt, Nterm    int // eqntott: rows and row length
-	Seed          int64
+	Width  int   `json:"width"`
+	Height int   `json:"height"`
+	Npt    int   `json:"npt"`   // eqntott: rows
+	Nterm  int   `json:"nterm"` // eqntott: row length
+	Seed   int64 `json:"seed"`
 }
 
 // DefaultWorkload matches the paper's evaluation sizes.
@@ -33,10 +36,17 @@ func SmallWorkload() Workload {
 	return Workload{Width: 64, Height: 45, Npt: 12, Nterm: 9, Seed: 7}
 }
 
-// Cell is one measurement.
+// Cell is one measurement: the dynamic simulator counts plus the static
+// coalescer decisions, the latter sourced from the telemetry metrics
+// registry of the compile that produced the cell.
 type Cell struct {
-	Cycles  int64
-	MemRefs int64
+	Cycles         int64 `json:"cycles"`
+	MemRefs        int64 `json:"mem_refs"`
+	LoopsCoalesced int64 `json:"loops_coalesced"`
+	WideLoads      int64 `json:"wide_loads"`
+	WideStores     int64 `json:"wide_stores"`
+	NarrowElim     int64 `json:"narrow_refs_eliminated"`
+	CheckInstrs    int64 `json:"check_instrs"`
 }
 
 // Row is one line of a paper table.
@@ -323,8 +333,13 @@ func Configs(m *machine.Machine) []macc.Config {
 	}
 }
 
-// Measure runs one benchmark under one configuration.
+// Measure runs one benchmark under one configuration. Each measurement
+// compiles with its own telemetry recorder so the cell carries the static
+// coalescer counters alongside the dynamic cycle counts, and so failure
+// messages can summarize what the coalescer decided.
 func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
+	rec := telemetry.NewRecorder()
+	cfgc.Telemetry = rec
 	p, err := macc.Compile(b.Src, cfgc)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s: compile: %w", b.Name, err)
@@ -332,13 +347,26 @@ func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
 	if p.Diagnostics.Degraded() {
 		// A degraded compile is still correct but no longer measures the
 		// configuration it claims to; surface it as a row diagnostic.
-		return Cell{}, fmt.Errorf("%s: compile degraded: %s", b.Name, strings.Join(p.Diagnostics.FailedPasses(), ", "))
+		return Cell{}, fmt.Errorf("%s: compile degraded: %s (coalesce: %s)",
+			b.Name, strings.Join(p.Diagnostics.FailedPasses(), ", "),
+			telemetry.Summarize(rec.Remarks(), "coalesce"))
 	}
 	res, err := b.Run(p, wl)
 	if err != nil {
-		return Cell{}, fmt.Errorf("%s: %w", b.Name, err)
+		return Cell{}, fmt.Errorf("%s: %w (coalesce: %s)", b.Name, err,
+			telemetry.Summarize(rec.Remarks(), "coalesce"))
 	}
-	return Cell{Cycles: res.Cycles, MemRefs: res.MemRefs()}, nil
+	reg := rec.Metrics()
+	return Cell{
+		Cycles:         res.Cycles,
+		MemRefs:        res.MemRefs(),
+		LoopsCoalesced: reg.CounterValue("coalesce.loops_coalesced"),
+		WideLoads:      reg.CounterValue("coalesce.wide_loads"),
+		WideStores:     reg.CounterValue("coalesce.wide_stores"),
+		NarrowElim: reg.CounterValue("coalesce.narrow_loads_eliminated") +
+			reg.CounterValue("coalesce.narrow_stores_eliminated"),
+		CheckInstrs: reg.CounterValue("coalesce.check_instrs"),
+	}, nil
 }
 
 // RunTable produces the paper-table rows for machine m. A benchmark whose
@@ -348,6 +376,7 @@ func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
 // currently always nil.
 func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
 	cfgs := Configs(m)
+	cols := []string{"native", "vpo", "loads", "loads+stores"}
 	var rows []Row
 	for _, b := range Benchmarks() {
 		row := Row{Name: b.Name}
@@ -355,7 +384,7 @@ func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
 		for i, cfgc := range cfgs {
 			cell, err := Measure(b, cfgc, wl)
 			if err != nil {
-				row.Err = err
+				row.Err = fmt.Errorf("config %q: %w", cols[i], err)
 				break
 			}
 			*cells[i] = cell
@@ -365,20 +394,23 @@ func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
 	return rows, nil
 }
 
-// FormatTable renders rows the way the paper prints Tables II and III.
+// FormatTable renders rows the way the paper prints Tables II and III. The
+// trailing "elim" column is the number of narrow references the coalescer
+// statically eliminated in the loads+stores configuration, sourced from the
+// telemetry registry of that compile.
 func FormatTable(title string, rows []Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", title)
-	fmt.Fprintf(&sb, "%-20s %12s %12s %12s %12s %9s %9s %8s\n",
-		"Program", "native", "vpo", "loads", "loads+st", "sav(ld)%", "sav(l+s)%", "refs-%")
+	fmt.Fprintf(&sb, "%-20s %12s %12s %12s %12s %9s %9s %8s %6s\n",
+		"Program", "native", "vpo", "loads", "loads+st", "sav(ld)%", "sav(l+s)%", "refs-%", "elim")
 	for _, r := range rows {
 		if r.Err != nil {
 			fmt.Fprintf(&sb, "%-20s FAILED: %v\n", r.Name, r.Err)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-20s %12d %12d %12d %12d %9.2f %9.2f %8.2f\n",
+		fmt.Fprintf(&sb, "%-20s %12d %12d %12d %12d %9.2f %9.2f %8.2f %6d\n",
 			r.Name, r.Native.Cycles, r.Vpo.Cycles, r.Loads.Cycles, r.LoadsStores.Cycles,
-			r.SavingsLoads(), r.SavingsBoth(), r.MemRefSavings())
+			r.SavingsLoads(), r.SavingsBoth(), r.MemRefSavings(), r.LoadsStores.NarrowElim)
 	}
 	return sb.String()
 }

@@ -24,6 +24,7 @@ import (
 	"macc/internal/iv"
 	"macc/internal/machine"
 	"macc/internal/rtl"
+	"macc/internal/telemetry"
 )
 
 // Options selects which reference kinds to coalesce, matching the paper's
@@ -45,9 +46,13 @@ type Options struct {
 // DefaultOptions coalesces both loads and stores with run-time checks.
 func DefaultOptions() Options { return Options{Loads: true, Stores: true} }
 
-// LoopReport describes what happened to one candidate loop.
+// LoopReport describes what happened to one candidate loop. Reason is a
+// machine-readable token ("hazard:intervening-store",
+// "profitability:sched-cycles 14>=14", ...) shared verbatim with the
+// loop's optimization remark.
 type LoopReport struct {
 	Header          string
+	Fn              string
 	Applied         bool
 	Reason          string
 	WideLoads       int
@@ -97,20 +102,23 @@ type chunk struct {
 
 // CoalesceMemoryAccesses walks every loop of the function innermost-first
 // and applies memory access coalescing where safe and profitable. It
-// returns one report per candidate loop examined.
-func CoalesceMemoryAccesses(f *rtl.Fn, m *machine.Machine, opts Options) []LoopReport {
+// returns one report per loop examined, and emits exactly one Passed or
+// Missed optimization remark per examined loop into em (plus Analysis
+// remarks for per-chunk hazard verdicts and run-time check emission). A nil
+// em disables remarks.
+func CoalesceMemoryAccesses(f *rtl.Fn, m *machine.Machine, opts Options, em telemetry.Emitter) []LoopReport {
 	if !opts.Loads && !opts.Stores {
 		return nil
 	}
+	em = telemetry.OrNop(em)
 	var reports []LoopReport
 	g := cfg.New(f)
 	loops := g.FindLoops()
 	for _, l := range loops {
-		rep := coalesceLoop(f, g, l, m, opts)
-		if rep != nil {
-			reports = append(reports, *rep)
-		}
-		if rep != nil && rep.Applied {
+		rep := coalesceLoop(f, g, l, m, opts, em)
+		reports = append(reports, *rep)
+		emitLoopRemark(em, rep)
+		if rep.Applied {
 			// The CFG is stale after surgery; recompute for further loops.
 			g = cfg.New(f)
 		}
@@ -118,67 +126,135 @@ func CoalesceMemoryAccesses(f *rtl.Fn, m *machine.Machine, opts Options) []LoopR
 	return reports
 }
 
+// emitLoopRemark converts one loop report into its Passed/Missed remark and
+// the registry counters the evaluation tables read.
+func emitLoopRemark(em telemetry.Emitter, rep *LoopReport) {
+	em.Count("coalesce.loops_examined", 1)
+	rem := telemetry.Remark{
+		Pass:   "coalesce",
+		Fn:     rep.Fn,
+		Loop:   rep.Header,
+		Reason: rep.Reason,
+	}
+	if rep.Applied {
+		rem.Kind = telemetry.Passed
+		rem.Name = "Coalesced"
+		rem.Args = map[string]int64{
+			"wide_loads":    int64(rep.WideLoads),
+			"wide_stores":   int64(rep.WideStores),
+			"narrow_loads":  int64(rep.NarrowLoads),
+			"narrow_stores": int64(rep.NarrowStores),
+			"sched_before":  int64(rep.CyclesOriginal),
+			"sched_after":   int64(rep.CyclesCoalesced),
+			"check_instrs":  int64(rep.CheckInstrs),
+		}
+		em.Count("coalesce.loops_coalesced", 1)
+		em.Count("coalesce.wide_loads", int64(rep.WideLoads))
+		em.Count("coalesce.wide_stores", int64(rep.WideStores))
+		em.Count("coalesce.narrow_loads_eliminated", int64(rep.NarrowLoads))
+		em.Count("coalesce.narrow_stores_eliminated", int64(rep.NarrowStores))
+		em.Count("coalesce.check_instrs", int64(rep.CheckInstrs))
+		em.Count("coalesce.alias_check_pairs", int64(rep.AliasCheckPairs))
+		em.Count("coalesce.alignment_checks", int64(rep.AlignmentChecks))
+		if rep.CheckInstrs > 0 {
+			em.Observe("coalesce.check_instrs_per_loop", int64(rep.CheckInstrs))
+		}
+	} else {
+		rem.Kind = telemetry.Missed
+		rem.Name = "NotCoalesced"
+		rem.Args = map[string]int64{}
+		if rep.CyclesOriginal != 0 || rep.CyclesCoalesced != 0 {
+			rem.Args["sched_before"] = int64(rep.CyclesOriginal)
+			rem.Args["sched_after"] = int64(rep.CyclesCoalesced)
+		}
+		em.Count("coalesce.loops_missed", 1)
+	}
+	em.Emit(rem)
+}
+
 // bodyBlock finds the single block carrying the loop's memory references;
-// coalescing requires them all in one block (IsHazard's first test).
-func bodyBlock(l *cfg.Loop) (*rtl.Block, bool) {
+// coalescing requires them all in one block (IsHazard's first test). The
+// reason token distinguishes the two failure shapes.
+func bodyBlock(l *cfg.Loop) (*rtl.Block, string) {
 	var body *rtl.Block
 	for _, b := range l.Blocks {
 		for _, in := range b.Instrs {
 			if in.IsMem() {
 				if body != nil && body != b {
-					return nil, false
+					return nil, "shape:refs-span-blocks"
 				}
 				body = b
 			}
 		}
 	}
 	if body == nil {
-		return nil, false
+		return nil, "shape:no-memory-refs"
 	}
-	return body, true
+	return body, ""
 }
 
-func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts Options) *LoopReport {
-	body, ok := bodyBlock(l)
-	if !ok || body == l.Header && len(l.Blocks) > 2 {
-		return nil
+func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts Options, em telemetry.Emitter) *LoopReport {
+	rep := &LoopReport{Header: l.Header.Name, Fn: f.Name}
+	body, why := bodyBlock(l)
+	if body == nil {
+		rep.Reason = why
+		return rep
+	}
+	if body == l.Header && len(l.Blocks) > 2 {
+		rep.Reason = "shape:refs-in-multi-block-header"
+		return rep
 	}
 	// The body must run exactly once per iteration.
 	if !g.Dominates(body, l.Latch) {
-		return nil
+		rep.Reason = "shape:body-not-dominating-latch"
+		return rep
 	}
-	rep := &LoopReport{Header: l.Header.Name}
 	du := dataflow.ComputeDefUse(f)
 	info := iv.Analyze(g, l, du)
 
 	parts := classifyPartitions(body, l, info)
 	if len(parts) == 0 {
-		rep.Reason = "no coalescible partitions"
+		rep.Reason = "partition:no-analyzable-bases"
 		return rep
 	}
 	chunks := findChunks(parts, m, opts)
 	if len(chunks) == 0 {
-		rep.Reason = "no runs of consecutive references"
+		rep.Reason = "partition:no-consecutive-runs"
 		return rep
 	}
 
 	// Safety: hazard analysis per chunk; chunks that fail are dropped,
 	// chunks that need run-time disambiguation record their alias pairs.
+	// Each verdict is surfaced as an Analysis remark and a rejection
+	// counter, so Table-IV-style "why not" questions have answers.
 	var safe []*chunk
+	firstReject := ""
 	for _, c := range chunks {
-		if hz := IsHazard(body, c, parts, info); hz == hazardUnsafe {
-			continue
-		} else if hz == hazardNeedsChecks && opts.NoRuntimeChecks {
-			continue
-		}
-		if opts.NoRuntimeChecks && m.MustAlign && c.wide > c.width {
+		hz, verdict := IsHazard(body, c, parts, info)
+		reason := "hazard:" + verdict
+		switch {
+		case hz == hazardUnsafe:
+		case hz == hazardNeedsChecks && opts.NoRuntimeChecks:
+			reason = "hazard:runtime-checks-disabled"
+		case opts.NoRuntimeChecks && m.MustAlign && c.wide > c.width:
 			// Alignment cannot be proven statically for pointer parameters.
+			reason = "alignment:unprovable-statically"
+		default:
+			safe = append(safe, c)
 			continue
 		}
-		safe = append(safe, c)
+		if firstReject == "" {
+			firstReject = reason
+		}
+		em.Count("coalesce.hazard_rejects", 1)
+		em.Emit(telemetry.Remark{
+			Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
+			Loop: l.Header.Name, Name: "HazardReject", Reason: reason,
+			Args: map[string]int64{"refs": int64(len(c.refs))},
+		})
 	}
 	if len(safe) == 0 {
-		rep.Reason = "all runs rejected by hazard analysis"
+		rep.Reason = firstReject
 		return rep
 	}
 	// Run-time alias ranges need the loop trip count; without a recognized
@@ -193,7 +269,7 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		}
 		safe = kept
 		if len(safe) == 0 {
-			rep.Reason = "alias checks required but trip count unknown"
+			rep.Reason = "alias:trip-count-unknown"
 			return rep
 		}
 	}
@@ -202,9 +278,38 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 	applied := doProfitabilityAnalysisAndModify(f, g, l, body, m, opts, safe, rep)
 	rep.Applied = applied
 	if applied {
-		rep.Reason = "coalesced"
+		if opts.Force && rep.CyclesCoalesced >= rep.CyclesOriginal {
+			rep.Reason = fmt.Sprintf("profitability:forced sched-cycles %d>=%d",
+				rep.CyclesCoalesced, rep.CyclesOriginal)
+		} else {
+			rep.Reason = fmt.Sprintf("profitability:sched-cycles %d<%d",
+				rep.CyclesCoalesced, rep.CyclesOriginal)
+		}
+		if rep.AlignmentChecks > 0 {
+			em.Emit(telemetry.Remark{
+				Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
+				Loop: l.Header.Name, Name: "RuntimeChecks",
+				Reason: "alignment:runtime-check-emitted",
+				Args: map[string]int64{
+					"alignment_checks": int64(rep.AlignmentChecks),
+					"alias_pairs":      int64(rep.AliasCheckPairs),
+					"check_instrs":     int64(rep.CheckInstrs),
+				},
+			})
+		} else if rep.AliasCheckPairs > 0 {
+			em.Emit(telemetry.Remark{
+				Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
+				Loop: l.Header.Name, Name: "RuntimeChecks",
+				Reason: "alias:runtime-check-emitted",
+				Args: map[string]int64{
+					"alias_pairs":  int64(rep.AliasCheckPairs),
+					"check_instrs": int64(rep.CheckInstrs),
+				},
+			})
+		}
 	} else if rep.Reason == "" {
-		rep.Reason = "not profitable under static schedule"
+		rep.Reason = fmt.Sprintf("profitability:sched-cycles %d>=%d",
+			rep.CyclesCoalesced, rep.CyclesOriginal)
 	}
 	return rep
 }

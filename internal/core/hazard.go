@@ -34,8 +34,10 @@ const (
 //   - a call, or a modification of the base register, is unsafe.
 //
 // The result is hazardSafe, hazardNeedsChecks (with c.needsAliasCheck
-// filled), or hazardUnsafe.
-func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.Info) hazardResult {
+// filled), or hazardUnsafe; the second return is the machine-readable
+// verdict token ("intervening-store", "unknown-base", ...) that feeds the
+// optimization remark for the rejection.
+func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.Info) (hazardResult, string) {
 	lo, hi := c.firstIndex(), c.lastIndex()
 	inChunk := make(map[*rtl.Instr]bool, len(c.refs))
 	for _, r := range c.refs {
@@ -51,23 +53,23 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 		}
 		switch in.Op {
 		case rtl.Call:
-			return hazardUnsafe
+			return hazardUnsafe, "intervening-call"
 		case rtl.Load:
 			if c.isLoad {
 				continue // loads never conflict with a wide load
 			}
 			base, ok := in.A.IsReg()
 			if !ok {
-				return hazardUnsafe
+				return hazardUnsafe, "unknown-base"
 			}
 			if base == c.part.base {
 				// Same partition: exact displacement disambiguation.
 				if in.Disp < rangeHi && in.Disp+int64(in.Width) > rangeLo {
-					return hazardUnsafe
+					return hazardUnsafe, "intervening-load"
 				}
 			} else {
 				if !knownPartition(base, parts, info) {
-					return hazardUnsafe
+					return hazardUnsafe, "unknown-base"
 				}
 				c.needsAliasCheck[base] = true
 				result = hazardNeedsChecks
@@ -75,15 +77,15 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 		case rtl.Store:
 			base, ok := in.A.IsReg()
 			if !ok {
-				return hazardUnsafe
+				return hazardUnsafe, "unknown-base"
 			}
 			if base == c.part.base {
 				if in.Disp < rangeHi && in.Disp+int64(in.Width) > rangeLo {
-					return hazardUnsafe
+					return hazardUnsafe, "intervening-store"
 				}
 			} else {
 				if !knownPartition(base, parts, info) {
-					return hazardUnsafe
+					return hazardUnsafe, "unknown-base"
 				}
 				c.needsAliasCheck[base] = true
 				result = hazardNeedsChecks
@@ -92,7 +94,7 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 			// IsModifiedBase: redefining the base register inside the span
 			// breaks the displacement arithmetic.
 			if d, ok := in.Def(); ok && d == c.part.base {
-				return hazardUnsafe
+				return hazardUnsafe, "base-modified"
 			}
 		}
 	}
@@ -100,7 +102,10 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 	// elsewhere in the block between span edges; base updates outside the
 	// span (the induction step at the block's end) are fine because every
 	// replaced reference sits inside the span.
-	return result
+	if result == hazardNeedsChecks {
+		return result, "alias-needs-runtime-check"
+	}
+	return result, "safe"
 }
 
 // knownPartition reports whether the base register belongs to an analyzable

@@ -31,7 +31,7 @@ func doProfitabilityAnalysisAndModify(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop,
 		}
 		chunks = kept
 		if len(chunks) == 0 {
-			rep.Reason = "pointer step incompatible with wide alignment"
+			rep.Reason = "alignment:step-incompatible-with-wide-width"
 			return false
 		}
 	}
@@ -59,7 +59,7 @@ func doProfitabilityAnalysisAndModify(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop,
 	okCond, nInstrs, nPairs, nAligns, ok := emitChecks(f, l, body, m, chunks, info)
 	if !ok {
 		removeClones(f, cmap)
-		rep.Reason = "could not generate run-time checks"
+		rep.Reason = "checks:ungeneratable"
 		return false
 	}
 	rep.CheckInstrs = nInstrs

@@ -15,6 +15,7 @@ import (
 	"macc/internal/cfg"
 	"macc/internal/dataflow"
 	"macc/internal/rtl"
+	"macc/internal/telemetry"
 )
 
 // BasicIV is a register whose only in-loop definitions add a constant.
@@ -620,4 +621,31 @@ func (info *Info) ReplaceTest(f *rtl.Fn, ptrs []*PtrIV) bool {
 		Op: op, Signed: true,
 	}
 	return true
+}
+
+// Remark summarizes this loop's induction-variable analysis as an Analysis
+// telemetry remark: how many basic IVs were found, whether the controlling
+// trip test was recognized, and the control IV's step. Passes emit it so
+// every downstream accept/reject (unrolling, coalescing) can be read
+// against the analysis facts it depended on.
+func (info *Info) Remark(pass, fn string) telemetry.Remark {
+	rem := telemetry.Remark{
+		Kind: telemetry.Analysis,
+		Pass: pass,
+		Fn:   fn,
+		Name: "LoopAnalysis",
+		Args: map[string]int64{"basic_ivs": int64(len(info.BasicIVs))},
+	}
+	if info.Loop != nil && info.Loop.Header != nil {
+		rem.Loop = info.Loop.Header.Name
+	}
+	if info.Control != nil {
+		rem.Reason = "control:recognized"
+		if biv := info.BasicIVs[info.Control.IV]; biv != nil {
+			rem.Args["control_step"] = biv.Step
+		}
+	} else {
+		rem.Reason = "control:unrecognized"
+	}
+	return rem
 }

@@ -68,6 +68,17 @@ type gen struct {
 	f     *rtl.Fn
 	cur   *rtl.Block
 	loops []loopCtx
+	nloop int // loops lowered so far; numbers header names uniquely
+}
+
+// loopName numbers loop-structure blocks so every loop in a function has a
+// distinct header label ("loop", "loop2", ...). Optimization remarks key on
+// the header name, so colliding labels would merge unrelated loops' remarks.
+func (g *gen) loopName(base string) string {
+	if g.nloop <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s%d", base, g.nloop)
 }
 
 func (g *gen) lowerFunc() (*rtl.Fn, error) {
@@ -251,10 +262,11 @@ func (g *gen) stmt(s Stmt) error {
 // the loop optimizer expects: the termination test lives in the header and
 // induction updates live in the latch.
 func (g *gen) loop(cond Expr, post Stmt, body Stmt) error {
-	header := g.f.NewBlock("loop")
-	bodyB := g.f.NewBlock("body")
-	latch := g.f.NewBlock("latch")
-	exit := g.f.NewBlock("exit")
+	g.nloop++
+	header := g.f.NewBlock(g.loopName("loop"))
+	bodyB := g.f.NewBlock(g.loopName("body"))
+	latch := g.f.NewBlock(g.loopName("latch"))
+	exit := g.f.NewBlock(g.loopName("exit"))
 	g.emit(rtl.JumpI(header))
 
 	g.cur = header
@@ -295,9 +307,10 @@ func (g *gen) loop(cond Expr, post Stmt, body Stmt) error {
 // doWhile lowers do/while: the body runs before the first test, so the
 // back-edge test lives in the latch.
 func (g *gen) doWhile(st *DoWhileStmt) error {
-	bodyB := g.f.NewBlock("dobody")
-	latch := g.f.NewBlock("dolatch")
-	exit := g.f.NewBlock("doexit")
+	g.nloop++
+	bodyB := g.f.NewBlock(g.loopName("dobody"))
+	latch := g.f.NewBlock(g.loopName("dolatch"))
+	exit := g.f.NewBlock(g.loopName("doexit"))
 	g.emit(rtl.JumpI(bodyB))
 
 	g.cur = bodyB

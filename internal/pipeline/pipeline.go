@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"macc/internal/rtl"
+	"macc/internal/telemetry"
 )
 
 // Pass is one named transformation stage.
@@ -49,6 +50,11 @@ type Options struct {
 	// Diags, when non-nil, collects an Incident for every pass that was
 	// rolled back.
 	Diags *Diagnostics
+	// Recorder, when non-nil, receives one telemetry span per pass run
+	// (wall time, IR instruction/block deltas, rollback linkage) and
+	// commits or retracts the remarks and metric deltas the pass staged
+	// while running.
+	Recorder *telemetry.Recorder
 }
 
 // PassError describes a pass failure: a recovered panic, a pass-returned
@@ -124,6 +130,10 @@ func (d *Diagnostics) String() string {
 func Run(f *rtl.Fn, passes []Pass, opts Options) error {
 	good := f.Clone()
 	for _, p := range passes {
+		if opts.Recorder != nil {
+			ni, nb := irSize(f)
+			opts.Recorder.BeginPass(p.Name, f.Name, ni, nb)
+		}
 		perr := runOne(p, f)
 		if perr == nil && !opts.NoVerify {
 			if verr := f.Verify(); verr != nil {
@@ -132,6 +142,12 @@ func Run(f *rtl.Fn, passes []Pass, opts Options) error {
 		}
 		if perr != nil {
 			f.Restore(good)
+			if opts.Recorder != nil {
+				// Retract the pass's staged remarks and metric deltas; the
+				// span survives, marked rolled back, mirroring the Incident.
+				ni, nb := irSize(f)
+				opts.Recorder.EndPass(ni, nb, true, perr.Error())
+			}
 			if opts.Strict {
 				return perr
 			}
@@ -145,11 +161,24 @@ func Run(f *rtl.Fn, passes []Pass, opts Options) error {
 		if p.OnSuccess != nil {
 			p.OnSuccess()
 		}
+		if opts.Recorder != nil {
+			ni, nb := irSize(f)
+			opts.Recorder.EndPass(ni, nb, false, "")
+		}
 		if opts.OnPass != nil {
 			opts.OnPass(p.Name, f)
 		}
 	}
 	return nil
+}
+
+// irSize measures a function for span deltas: total instructions and block
+// count.
+func irSize(f *rtl.Fn) (instrs, blocks int) {
+	for _, b := range f.Blocks {
+		instrs += len(b.Instrs)
+	}
+	return instrs, len(f.Blocks)
 }
 
 // runOne applies one pass, converting a panic into a structured *PassError.

@@ -13,6 +13,7 @@ import (
 
 	"macc/internal/machine"
 	"macc/internal/rtl"
+	"macc/internal/telemetry"
 )
 
 // TrapKind classifies run-time faults.
@@ -134,6 +135,55 @@ type Sim struct {
 	// Profiling state (see profile.go); nil unless EnableProfile was called.
 	blockFn    map[*rtl.Block]string
 	blockExecs map[*rtl.Block]int64
+
+	// metrics, when non-nil, receives each Run's dynamic memory-traffic
+	// counters (see AttachMetrics).
+	metrics *telemetry.Registry
+}
+
+// AttachMetrics publishes every subsequent Run's dynamic statistics —
+// per-width reference counts, narrow vs word-wide traffic, bytes per
+// reference, cache misses — into reg under the "sim." prefix. Attaching the
+// registry of the compile's telemetry.Recorder puts the coalescer's static
+// decisions and the measured memory-traffic deltas in one report.
+func (s *Sim) AttachMetrics(reg *telemetry.Registry) { s.metrics = reg }
+
+// flushMetrics accumulates one Run's stats into the attached registry.
+func (s *Sim) flushMetrics(st *Stats) {
+	reg := s.metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim.runs").Add(1)
+	reg.Counter("sim.cycles").Add(st.Cycles)
+	reg.Counter("sim.instrs").Add(st.Instrs)
+	reg.Counter("sim.loads").Add(st.Loads)
+	reg.Counter("sim.stores").Add(st.Stores)
+	reg.Counter("sim.mem_refs").Add(st.MemRefs())
+	reg.Counter("sim.branches").Add(st.Branches)
+	reg.Counter("sim.icache_misses").Add(st.ICacheMisses)
+	reg.Counter("sim.dcache_misses").Add(st.DCacheMisses)
+	var bytes, narrow, wide int64
+	count := func(byWidth map[rtl.Width]int64, kind string) {
+		for w, n := range byWidth {
+			reg.Counter(fmt.Sprintf("sim.%s.w%d", kind, int64(w))).Add(n)
+			bytes += int64(w) * n
+			if int64(w) < int64(s.mach.WordBytes) {
+				narrow += n
+			} else {
+				wide += n
+			}
+		}
+	}
+	count(st.LoadsByWidth, "loads")
+	count(st.StoresByWidth, "stores")
+	reg.Counter("sim.bytes_accessed").Add(bytes)
+	reg.Counter("sim.narrow_refs").Add(narrow)
+	reg.Counter("sim.wide_refs").Add(wide)
+	if refs := st.MemRefs(); refs > 0 {
+		reg.Gauge("sim.bytes_per_ref").Set(float64(bytes) / float64(refs))
+	}
+	reg.Histogram("sim.run_cycles").Observe(st.Cycles)
 }
 
 // New builds a simulator for prog on mach with memBytes of RAM.
@@ -202,6 +252,7 @@ func (s *Sim) Run(fnName string, args ...int64) (Result, error) {
 	st := newStats()
 	s.stats = &st
 	ret, _, err := s.call(f, args, 0)
+	s.flushMetrics(&st)
 	if err != nil {
 		return Result{Stats: st}, err
 	}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a remark, following LLVM's taxonomy: Passed marks an
+// optimization that was applied, Missed one that was declined (with the
+// reason), Analysis a fact the optimizer established along the way.
+type Kind uint8
+
+// Remark kinds.
+const (
+	Passed Kind = iota
+	Missed
+	Analysis
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Passed:
+		return "Passed"
+	case Missed:
+		return "Missed"
+	case Analysis:
+		return "Analysis"
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}
+
+// MarshalJSON renders the kind as its name, so grep-level consumers (the CI
+// smoke check) can match `"kind":"Passed"`.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the names Passed/Missed/Analysis.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "Passed":
+		*k = Passed
+	case "Missed":
+		*k = Missed
+	case "Analysis":
+		*k = Analysis
+	default:
+		return fmt.Errorf("unknown remark kind %q", s)
+	}
+	return nil
+}
+
+// Remark is one structured optimization decision. Reason is machine
+// readable: a colon-joined token such as "hazard:intervening-store",
+// "profitability:sched-cycles 14>=14", or
+// "alignment:runtime-check-emitted". Args carries the remark's numeric
+// evidence (cycle counts, reference counts, factors).
+type Remark struct {
+	Kind   Kind             `json:"kind"`
+	Pass   string           `json:"pass"`
+	Fn     string           `json:"fn"`
+	Loop   string           `json:"loop,omitempty"`
+	Name   string           `json:"name"`
+	Reason string           `json:"reason,omitempty"`
+	Args   map[string]int64 `json:"args,omitempty"`
+}
+
+// String renders the remark one line, text-report style:
+//
+//	coalesce: convolution/L7: Passed Coalesced (profitability:sched-cycles 9<14) {narrowLoads=8 wideLoads=2}
+func (r Remark) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Pass)
+	sb.WriteString(": ")
+	sb.WriteString(r.Fn)
+	if r.Loop != "" {
+		sb.WriteByte('/')
+		sb.WriteString(r.Loop)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(r.Kind.String())
+	sb.WriteByte(' ')
+	sb.WriteString(r.Name)
+	if r.Reason != "" {
+		fmt.Fprintf(&sb, " (%s)", r.Reason)
+	}
+	if len(r.Args) > 0 {
+		keys := make([]string, 0, len(r.Args))
+		for k := range r.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" {")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%d", k, r.Args[k])
+		}
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// FormatRemarks renders remarks one per line; mode "json" emits one JSON
+// object per line (JSONL), anything else the text form.
+func FormatRemarks(remarks []Remark, mode string) string {
+	var sb strings.Builder
+	for _, r := range remarks {
+		if mode == "json" {
+			b, err := json.Marshal(r)
+			if err != nil {
+				continue
+			}
+			sb.Write(b)
+		} else {
+			sb.WriteString(r.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summarize aggregates remarks for one pass into a compact diagnostic like
+// "coalesce: 2 passed, 1 missed (hazard:intervening-call x1)". An empty
+// pass aggregates everything.
+func Summarize(remarks []Remark, pass string) string {
+	var passed, missed int
+	reasons := make(map[string]int)
+	for _, r := range remarks {
+		if pass != "" && r.Pass != pass {
+			continue
+		}
+		switch r.Kind {
+		case Passed:
+			passed++
+		case Missed:
+			missed++
+			if r.Reason != "" {
+				reasons[r.Reason]++
+			}
+		}
+	}
+	if passed == 0 && missed == 0 {
+		return "no remarks"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d passed, %d missed", passed, missed)
+	if len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" (")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s x%d", k, reasons[k])
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}

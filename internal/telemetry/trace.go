@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Span is one pass run over one function: its wall time, its IR delta
+// (instruction and block counts before → after), and whether the hardened
+// pipeline rolled it back. Rolled-back spans carry the failure message, the
+// trace-side mirror of the pipeline.Diagnostics incident.
+type Span struct {
+	Pass         string        `json:"pass"`
+	Fn           string        `json:"fn"`
+	Start        time.Duration `json:"start_ns"`
+	Dur          time.Duration `json:"dur_ns"`
+	InstrsBefore int           `json:"instrs_before"`
+	InstrsAfter  int           `json:"instrs_after"`
+	BlocksBefore int           `json:"blocks_before"`
+	BlocksAfter  int           `json:"blocks_after"`
+	Remarks      int           `json:"remarks"`
+	RolledBack   bool          `json:"rolled_back,omitempty"`
+	Err          string        `json:"err,omitempty"`
+}
+
+// traceEvent is one Chrome trace_event entry. The format is documented in
+// the Trace Event Format spec; "ph":"X" complete events with microsecond
+// ts/dur load directly in about://tracing and Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the recorder's spans as Chrome trace_event JSON. Each
+// function gets its own tid row so per-function pipelines read as lanes;
+// rolled-back passes are categorized "rollback" and colored differently by
+// the viewer.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	spans := r.Spans()
+	tids := make(map[string]int)
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for _, s := range spans {
+		tid, ok := tids[s.Fn]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Fn] = tid
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": s.Fn},
+			})
+		}
+		cat := "pass"
+		if s.RolledBack {
+			cat = "rollback"
+		}
+		ev := traceEvent{
+			Name: s.Pass,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{
+				"fn":            s.Fn,
+				"instrs_before": s.InstrsBefore,
+				"instrs_after":  s.InstrsAfter,
+				"instrs_delta":  s.InstrsAfter - s.InstrsBefore,
+				"blocks_before": s.BlocksBefore,
+				"blocks_after":  s.BlocksAfter,
+				"remarks":       s.Remarks,
+			},
+		}
+		if s.RolledBack {
+			ev.Args["rolled_back"] = true
+			ev.Args["error"] = s.Err
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -35,6 +35,7 @@ import (
 	"macc/internal/rtl"
 	"macc/internal/sched"
 	"macc/internal/sim"
+	"macc/internal/telemetry"
 	"macc/internal/unroll"
 )
 
@@ -73,6 +74,22 @@ type Config struct {
 	// runs; fault injection (internal/faultinject) and tracing hook in
 	// here.
 	WrapPass func(pipeline.Pass) pipeline.Pass
+	// Telemetry, when non-nil, receives the compile's observability
+	// stream: per-pass spans with IR deltas (exportable as a Chrome
+	// trace), optimization remarks from the coalescer, unroller, and
+	// induction-variable analysis, and the static metrics counters. Wire
+	// the same recorder's Registry into sim.AttachMetrics to see static
+	// decisions and dynamic memory traffic side by side.
+	Telemetry *telemetry.Recorder
+}
+
+// emitter returns the remark sink for the configured recorder (a Nop when
+// telemetry is off), so passes emit unconditionally.
+func (cfg Config) emitter() telemetry.Emitter {
+	if cfg.Telemetry != nil {
+		return cfg.Telemetry
+	}
+	return telemetry.Nop{}
 }
 
 // DefaultConfig enables everything on the Alpha model, mirroring the
@@ -110,6 +127,11 @@ type Program struct {
 	// Diagnostics records every pass that was rolled back during a
 	// non-strict compile; empty when every pass ran cleanly.
 	Diagnostics *pipeline.Diagnostics
+	// Telemetry is the recorder the program was compiled with (nil when
+	// observability was off). NewSim wires its registry into the
+	// simulator, so static pipeline counters and dynamic run counters
+	// accumulate side by side.
+	Telemetry *telemetry.Recorder
 }
 
 // Compile runs the full pipeline over a mini-C translation unit.
@@ -122,6 +144,7 @@ func Compile(src string, cfg Config) (*Program, error) {
 		return nil, err
 	}
 	p := newProgram(rp, cfg.Machine)
+	p.Telemetry = cfg.Telemetry
 	for _, f := range rp.Fns {
 		if err := p.optimizeFn(f, cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
@@ -137,6 +160,7 @@ func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
 		cfg.Machine = machine.Alpha()
 	}
 	p := newProgram(rp, cfg.Machine)
+	p.Telemetry = cfg.Telemetry
 	for _, f := range rp.Fns {
 		if err := p.optimizeFn(f, cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
@@ -175,9 +199,10 @@ func (p *Program) optimizeFn(f *rtl.Fn, cfg Config) error {
 		}
 	}
 	return pipeline.Run(f, passes, pipeline.Options{
-		Strict: cfg.Strict,
-		Diags:  p.Diagnostics,
-		OnPass: func(stage string, f *rtl.Fn) { p.dump(cfg, stage, f) },
+		Strict:   cfg.Strict,
+		Diags:    p.Diagnostics,
+		Recorder: cfg.Telemetry,
+		OnPass:   func(stage string, f *rtl.Fn) { p.dump(cfg, stage, f) },
 	})
 }
 
@@ -217,6 +242,7 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 		// gives memory references the base+displacement shape and frees
 		// the counter.
 		{Name: "strength-reduce", Run: func(f *rtl.Fn) error {
+			em := cfg.emitter()
 			ensurePreheaders(f)
 			g := cfg2(f)
 			loops := g.FindLoops()
@@ -224,8 +250,20 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 				g.EnsurePreheader(l)
 				du := dataflow.ComputeDefUse(f)
 				info := iv.Analyze(g, l, du)
+				em.Emit(info.Remark("strength-reduce", f.Name))
 				if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
-					info.ReplaceTest(f, ptrs)
+					replaced := info.ReplaceTest(f, ptrs)
+					em.Count("iv.pointers_strength_reduced", int64(len(ptrs)))
+					rem := telemetry.Remark{
+						Kind: telemetry.Passed, Pass: "strength-reduce",
+						Fn: f.Name, Loop: l.Header.Name, Name: "StrengthReduced",
+						Reason: "iv:pointer-ivs-materialized",
+						Args:   map[string]int64{"pointers": int64(len(ptrs))},
+					}
+					if replaced {
+						rem.Args["test_replaced"] = 1
+					}
+					em.Emit(rem)
 				}
 			}
 			opt.EliminateDeadIVs(f)
@@ -238,13 +276,21 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 		passes = append(passes, pipeline.Pass{
 			Name: "unroll",
 			Run: func(f *rtl.Fn) error {
+				em := cfg.emitter()
 				staged = make(map[string]int)
 				ensurePreheaders(f)
 				g := cfg2(f)
+				missed := func(header, reason string) {
+					em.Emit(telemetry.Remark{
+						Kind: telemetry.Missed, Pass: "unroll", Fn: f.Name,
+						Loop: header, Name: "NotUnrolled", Reason: reason,
+					})
+				}
 				for _, l := range g.FindLoops() {
 					g.EnsurePreheader(l)
 					c, ok := unroll.Shape(l)
 					if !ok {
+						missed(l.Header.Name, "shape:not-canonical")
 						continue
 					}
 					du := dataflow.ComputeDefUse(f)
@@ -254,10 +300,21 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 						factor = unroll.ChooseFactor(cfg.Machine, c, info)
 					}
 					if factor < 2 {
+						missed(l.Header.Name, "heuristic:factor<2")
 						continue
 					}
 					if _, err := unroll.Unroll(f, c, info, factor); err == nil {
 						staged[f.Name] = factor
+						em.Count("unroll.loops", 1)
+						em.Observe("unroll.factor", int64(factor))
+						em.Emit(telemetry.Remark{
+							Kind: telemetry.Passed, Pass: "unroll", Fn: f.Name,
+							Loop: l.Header.Name, Name: "Unrolled",
+							Reason: "heuristic:icache-bounded",
+							Args:   map[string]int64{"factor": int64(factor)},
+						})
+					} else {
+						missed(l.Header.Name, "shape:"+err.Error())
 					}
 				}
 				opt.NormalizeAddresses(f)
@@ -276,7 +333,7 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 		passes = append(passes, pipeline.Pass{
 			Name: "coalesce",
 			Run: func(f *rtl.Fn) error {
-				staged = core.CoalesceMemoryAccesses(f, cfg.Machine, cfg.Coalesce)
+				staged = core.CoalesceMemoryAccesses(f, cfg.Machine, cfg.Coalesce, cfg.emitter())
 				opt.Clean(f)
 				return nil
 			},
@@ -386,8 +443,14 @@ func ensurePreheaders(f *rtl.Fn) {
 func cfg2(f *rtl.Fn) *cfg.Graph { return cfg.New(f) }
 
 // NewSim builds a simulator for the compiled program with memBytes of RAM.
+// When the program was compiled with a telemetry recorder, the simulator
+// publishes its dynamic counters into the same metrics registry.
 func (p *Program) NewSim(memBytes int) *sim.Sim {
-	return sim.New(p.RTL, p.Machine, memBytes)
+	s := sim.New(p.RTL, p.Machine, memBytes)
+	if p.Telemetry != nil {
+		s.AttachMetrics(p.Telemetry.Metrics())
+	}
+	return s
 }
 
 // Fn returns the named compiled function for inspection.
