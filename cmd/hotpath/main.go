@@ -1,0 +1,276 @@
+// Command hotpath measures the compiler's three hot paths — the pass
+// pipeline's per-pass snapshot, the bench harness's table measurement, and
+// the simulator core — and writes the results as a machine-readable
+// artifact (BENCH_hotpath.json). CI regenerates the artifact on every run
+// and gates on -check against the committed baseline: a ratio metric that
+// regresses by more than 25% fails the build.
+//
+//	hotpath -out BENCH_hotpath.json          regenerate the artifact
+//	hotpath -out new.json -check BENCH_hotpath.json
+//
+// Only ratio metrics are gated (the journal-vs-clone snapshot speedup, the
+// parallel-vs-serial table speedup, and simulated MIPS); raw ns/op numbers
+// are recorded for trend plots but never compared across hosts. The
+// parallel-scaling gate additionally requires at least four CPUs on both
+// the current and the baseline host, since a single-core runner cannot
+// demonstrate pool scaling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"macc/internal/bench"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+// Schema versions the artifact layout.
+const Schema = "macc-hotpath/v1"
+
+// SnapshotEntry is one kernel's per-pass snapshot cost: the old
+// whole-function Clone vs the journal's clean Update, over all of the
+// kernel's compiled functions.
+type SnapshotEntry struct {
+	Kernel         string  `json:"kernel"`
+	CloneNsPerOp   float64 `json:"clone_ns_per_op"`
+	JournalNsPerOp float64 `json:"journal_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// RunTableEntry is the bench harness's wall time for the full small-workload
+// table, serial vs a GOMAXPROCS-wide pool.
+type RunTableEntry struct {
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	Jobs            int     `json:"jobs"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// SimEntry is the predecoded interpreter's raw rate on the dot-product
+// kernel.
+type SimEntry struct {
+	NsPerRun      float64 `json:"ns_per_run"`
+	InstrsPerRun  int64   `json:"instrs_per_run"`
+	SimulatedMIPS float64 `json:"simulated_mips"`
+}
+
+// Artifact is the BENCH_hotpath.json layout.
+type Artifact struct {
+	Schema          string          `json:"schema"`
+	CPUs            int             `json:"cpus"`
+	Snapshot        []SnapshotEntry `json:"snapshot"`
+	SnapshotSpeedup float64         `json:"snapshot_speedup"`
+	RunTable        RunTableEntry   `json:"runtable"`
+	Sim             SimEntry        `json:"sim"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "write the artifact to this path (\"-\" for stdout)")
+	checkPath := flag.String("check", "", "compare against this baseline artifact and fail on >25% ratio regression")
+	flag.Parse()
+
+	a, err := measure()
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		fatal(err)
+	}
+
+	if *checkPath != "" {
+		base, err := readArtifact(*checkPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := check(a, base); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "hotpath: no regression vs", *checkPath)
+	}
+}
+
+func measure() (Artifact, error) {
+	a := Artifact{Schema: Schema, CPUs: runtime.NumCPU()}
+	m := machine.Alpha()
+
+	fns, err := bench.KernelFns(m)
+	if err != nil {
+		return a, err
+	}
+	byKernel := make(map[string][]*rtl.Fn)
+	var order []string
+	for _, kf := range fns {
+		if _, seen := byKernel[kf.Kernel]; !seen {
+			order = append(order, kf.Kernel)
+		}
+		byKernel[kf.Kernel] = append(byKernel[kf.Kernel], kf.Fn)
+	}
+	var cloneTotal, journalTotal float64
+	for _, kernel := range order {
+		kfns := byKernel[kernel]
+		clone := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range kfns {
+					_ = f.Clone()
+				}
+			}
+		})
+		snaps := make([]*rtl.Snapshot, len(kfns))
+		for i, f := range kfns {
+			snaps[i] = rtl.NewSnapshot(f)
+		}
+		journal := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, s := range snaps {
+					if s.Update() != 0 {
+						b.Fatal("clean function reported dirty blocks")
+					}
+				}
+			}
+		})
+		e := SnapshotEntry{
+			Kernel:         kernel,
+			CloneNsPerOp:   nsPerOp(clone),
+			JournalNsPerOp: nsPerOp(journal),
+		}
+		if e.JournalNsPerOp > 0 {
+			e.Speedup = e.CloneNsPerOp / e.JournalNsPerOp
+		}
+		cloneTotal += e.CloneNsPerOp
+		journalTotal += e.JournalNsPerOp
+		a.Snapshot = append(a.Snapshot, e)
+	}
+	if journalTotal > 0 {
+		a.SnapshotSpeedup = cloneTotal / journalTotal
+	}
+
+	wl := bench.SmallWorkload()
+	runTable := func(jobs int) (float64, error) {
+		var rerr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunTableOpts(m, wl, bench.TableOptions{Jobs: jobs})
+				if err != nil {
+					rerr = err
+					b.FailNow()
+				}
+				for _, row := range rows {
+					if row.Err != nil {
+						rerr = row.Err
+						b.FailNow()
+					}
+				}
+			}
+		})
+		return nsPerOp(r), rerr
+	}
+	serial, err := runTable(1)
+	if err != nil {
+		return a, err
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	parallel, err := runTable(jobs)
+	if err != nil {
+		return a, err
+	}
+	a.RunTable = RunTableEntry{SerialNsPerOp: serial, ParallelNsPerOp: parallel, Jobs: jobs}
+	if parallel > 0 {
+		a.RunTable.Speedup = serial / parallel
+	}
+
+	step, instrs, release, err := bench.SimStepper(m, wl)
+	if err != nil {
+		return a, err
+	}
+	defer release()
+	var serr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := step(); err != nil {
+				serr = err
+				b.FailNow()
+			}
+		}
+	})
+	if serr != nil {
+		return a, serr
+	}
+	a.Sim = SimEntry{NsPerRun: nsPerOp(r), InstrsPerRun: instrs}
+	if ns := a.Sim.NsPerRun; ns > 0 {
+		a.Sim.SimulatedMIPS = float64(instrs) / ns * 1e3 // instrs/ns -> MIPS
+	}
+	return a, nil
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N <= 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func readArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %v", path, err)
+	}
+	if a.Schema != Schema {
+		return a, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, Schema)
+	}
+	return a, nil
+}
+
+// check fails when a gated ratio metric regressed by more than 25% against
+// the baseline.
+func check(cur, base Artifact) error {
+	var failures []string
+	gate := func(name string, curV, baseV float64) {
+		if baseV > 0 && curV < baseV*0.75 {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed >25%%: %.2f vs baseline %.2f", name, curV, baseV))
+		}
+	}
+	gate("snapshot journal-vs-clone speedup", cur.SnapshotSpeedup, base.SnapshotSpeedup)
+	gate("simulated MIPS", cur.Sim.SimulatedMIPS, base.Sim.SimulatedMIPS)
+	if cur.CPUs >= 4 && base.CPUs >= 4 {
+		gate("runtable parallel speedup", cur.RunTable.Speedup, base.RunTable.Speedup)
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"hotpath: skipping parallel-scaling gate (cpus: current %d, baseline %d; need >= 4)\n",
+			cur.CPUs, base.CPUs)
+	}
+	if len(failures) > 0 {
+		msg := "regression vs baseline:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotpath:", err)
+	os.Exit(1)
+}

@@ -33,6 +33,14 @@
 //	macc -remarks prog.c
 //	macc -remarks=json -trace trace.json -metrics metrics.json -run 'f(4096,100)' prog.c
 //	macc -profile 10 -run 'f(4096,100)' prog.c
+//
+// Several input files compile in parallel on a bounded worker pool (-j,
+// default GOMAXPROCS); each file's output is buffered and printed in input
+// order, so the result is identical to compiling them one at a time.
+// Single-file-only flags (-run, -dot, -dump, -trace, -metrics, -bisect,
+// -profile, -inject) are rejected in this mode.
+//
+//	macc -j 8 -print kernels/*.c
 package main
 
 import (
@@ -40,8 +48,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"macc"
 	"macc/internal/core"
@@ -97,18 +107,14 @@ func main() {
 	strict := flag.Bool("strict", false, "fail fast on the first pass failure instead of degrading")
 	inject := flag.String("inject", "", "sabotage a pass: 'pass:kind[:seed]' (kinds: panic, clobber-reg, drop-terminator, retarget-branch, flip-op)")
 	bisect := flag.Bool("bisect", false, "with -run: binary-search the pass list for the first pass that breaks the call")
+	jobs := flag.Int("j", 0, "with multiple input files: compile them on this many workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl ...")
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	isRTL := strings.HasSuffix(flag.Arg(0), ".rtl")
 
 	m, ok := machine.ByName(*machName)
 	if !ok {
@@ -154,6 +160,19 @@ func main() {
 		}
 		cfg.WrapPass = inj.Hook()
 	}
+	if flag.NArg() > 1 {
+		if *run != "" || *dotFn != "" || *dump || *traceOut != "" || *metricsOut != "" || *bisect || *profile > 0 || *inject != "" {
+			fatal(fmt.Errorf("-run, -dot, -dump, -trace, -metrics, -bisect, -profile, and -inject require a single input file"))
+		}
+		os.Exit(compileMany(flag.Args(), cfg, *jobs, remarks.mode, *reports, *printRTL))
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	isRTL := strings.HasSuffix(flag.Arg(0), ".rtl")
+
 	var rec *telemetry.Recorder
 	if remarks.mode != "" || *traceOut != "" || *metricsOut != "" {
 		rec = telemetry.NewRecorder()
@@ -255,6 +274,104 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// fileResult is one input file's buffered output in multi-file mode.
+type fileResult struct {
+	out    string // stdout section (header, remarks, reports, RTL)
+	errs   string // stderr section (errors, degraded-mode diagnostics)
+	failed bool
+}
+
+// compileMany compiles every input file on a bounded worker pool, buffering
+// each file's output so the final print is in input order regardless of
+// which worker finished first. Returns the process exit code.
+func compileMany(files []string, cfg macc.Config, jobs int, remarksMode string, reports, printRTL bool) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(files) {
+		jobs = len(files)
+	}
+	results := make([]fileResult, len(files))
+	idxc := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				results[i] = compileOne(files[i], cfg, remarksMode, reports, printRTL)
+			}
+		}()
+	}
+	for i := range files {
+		idxc <- i
+	}
+	close(idxc)
+	wg.Wait()
+
+	exit := 0
+	for _, r := range results {
+		fmt.Print(r.out)
+		fmt.Fprint(os.Stderr, r.errs)
+		if r.failed {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// compileOne compiles a single file into a buffered result. Each compile
+// gets its own telemetry recorder; a failed file does not stop the others.
+func compileOne(path string, cfg macc.Config, remarksMode string, reports, printRTL bool) fileResult {
+	var out, errs strings.Builder
+	fmt.Fprintf(&out, "==> %s <==\n", path)
+	fail := func(err error) fileResult {
+		fmt.Fprintf(&errs, "macc: %s: %v\n", path, err)
+		return fileResult{out: out.String(), errs: errs.String(), failed: true}
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return fail(err)
+	}
+	var rec *telemetry.Recorder
+	if remarksMode != "" {
+		rec = telemetry.NewRecorder()
+		cfg.Telemetry = rec
+	}
+	var prog *macc.Program
+	if strings.HasSuffix(path, ".rtl") {
+		rp, perr := rtl.ParseProgram(string(src))
+		if perr != nil {
+			return fail(perr)
+		}
+		prog, err = macc.CompileRTL(rp, cfg)
+	} else {
+		prog, err = macc.Compile(string(src), cfg)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if prog.Diagnostics.Degraded() {
+		fmt.Fprintf(&errs, "macc: %s: compilation completed in degraded mode:\n%s", path, prog.Diagnostics.String())
+	}
+	if reports {
+		for _, r := range prog.Reports {
+			fmt.Fprintf(&out, "loop %-24s applied=%-5v %s (wide %dL/%dS, replaced %dL/%dS, sched %d->%d cycles, %d check instrs)\n",
+				r.Header, r.Applied, r.Reason, r.WideLoads, r.WideStores,
+				r.NarrowLoads, r.NarrowStores, r.CyclesOriginal, r.CyclesCoalesced, r.CheckInstrs)
+		}
+	}
+	if remarksMode != "" {
+		out.WriteString(telemetry.FormatRemarks(rec.Remarks(), remarksMode))
+	}
+	if printRTL {
+		for _, f := range prog.RTL.Fns {
+			fmt.Fprint(&out, f)
+		}
+	}
+	return fileResult{out: out.String(), errs: errs.String()}
 }
 
 // parseInject parses the -inject spec "pass:kind[:seed]".

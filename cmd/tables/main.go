@@ -43,12 +43,14 @@ func main() {
 	quick := flag.Bool("quick", false, "use a small workload")
 	jsonOut := flag.String("json", "", "write the Alpha table as a JSON benchmark artifact to this path (\"-\" for stdout)")
 	dumpDir := flag.String("dump-kernels", "", "write each benchmark's C source into this directory")
+	jobs := flag.Int("j", 0, "worker pool width for table measurement (0 = GOMAXPROCS; output is identical at any width)")
 	flag.Parse()
 
 	wl := bench.DefaultWorkload()
 	if *quick {
 		wl = bench.SmallWorkload()
 	}
+	topts := bench.TableOptions{Jobs: *jobs}
 
 	any := false
 	if *dumpDir != "" {
@@ -59,7 +61,7 @@ func main() {
 		any = true
 	}
 	if *jsonOut != "" {
-		if err := writeArtifact(*jsonOut, wl); err != nil {
+		if err := writeArtifact(*jsonOut, wl, topts); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
@@ -71,15 +73,15 @@ func main() {
 		any = true
 	}
 	if want(2) {
-		machineTable("Table II: DEC Alpha (simulated cycles)", machine.Alpha(), wl)
+		machineTable("Table II: DEC Alpha (simulated cycles)", machine.Alpha(), wl, topts)
 		any = true
 	}
 	if want(3) {
-		machineTable("Table III: Motorola 88100 (simulated cycles)", machine.M88100(), wl)
+		machineTable("Table III: Motorola 88100 (simulated cycles)", machine.M88100(), wl, topts)
 		any = true
 	}
 	if want(4) {
-		machineTable("Motorola 68030 (simulated cycles; the paper's §3 negative result)", machine.M68030(), wl)
+		machineTable("Motorola 68030 (simulated cycles; the paper's §3 negative result)", machine.M68030(), wl, topts)
 		any = true
 	}
 	if want(5) {
@@ -100,9 +102,9 @@ func main() {
 // JSON artifact CI uploads. Failed rows are preserved in the artifact (with
 // their error text) and reported on stderr, but do not fail the run: the
 // artifact is a record of what happened, not a gate.
-func writeArtifact(path string, wl bench.Workload) error {
+func writeArtifact(path string, wl bench.Workload, topts bench.TableOptions) error {
 	m := machine.Alpha()
-	rows, err := bench.RunTable(m, wl)
+	rows, err := bench.RunTableOpts(m, wl, topts)
 	if err != nil {
 		return err
 	}
@@ -167,8 +169,8 @@ func table1() {
 // machineTable prints one paper table. Rows whose kernel or configuration
 // failed to compile (or validate) render as diagnostic lines — one bad loop
 // no longer takes the whole table down.
-func machineTable(title string, m *machine.Machine, wl bench.Workload) {
-	rows, err := bench.RunTable(m, wl)
+func machineTable(title string, m *machine.Machine, wl bench.Workload, topts bench.TableOptions) {
+	rows, err := bench.RunTableOpts(m, wl, topts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		return

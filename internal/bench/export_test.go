@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"macc"
+	"macc/internal/machine"
+)
+
+// RunTableBenches exposes the worker-pool core to tests that need a custom
+// benchmark list (failure- and panic-isolation scenarios).
+func RunTableBenches(benches []Benchmark, m *machine.Machine, wl Workload, opts TableOptions) ([]Row, error) {
+	return runTable(benches, Configs(m), wl, opts)
+}
+
+// MeasureCell exposes the panic-isolating wrapper around Measure.
+func MeasureCell(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
+	return measureCell(b, cfgc, wl)
+}

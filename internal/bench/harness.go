@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"macc"
 	"macc/internal/core"
@@ -129,6 +132,7 @@ func Benchmarks() []Benchmark {
 				src := randBytes(rng, n)
 				addrs := []int64{4096, 4096 + align8(int64(n))}
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteBytes(addrs[0], src)
 				res, err := s.Run("convolution", addrs[0], addrs[1], int64(stride), int64(wl.Height))
 				if err != nil {
@@ -150,6 +154,7 @@ func Benchmarks() []Benchmark {
 				a, b := randBytes(rng, n), randBytes(rng, n)
 				addrs := frames(wl, 3, 1)
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteBytes(addrs[0], a)
 				s.WriteBytes(addrs[1], b)
 				res, err := s.Run("imageadd", addrs[0], addrs[1], addrs[2], int64(n))
@@ -178,6 +183,7 @@ func Benchmarks() []Benchmark {
 				}
 				addrs := frames(wl, 3, 2)
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteInts(addrs[0], rtl.W2, av)
 				s.WriteInts(addrs[1], rtl.W2, bv)
 				res, err := s.Run("imageadd16", addrs[0], addrs[1], addrs[2], int64(n))
@@ -202,6 +208,7 @@ func Benchmarks() []Benchmark {
 				a, b := randBytes(rng, n), randBytes(rng, n)
 				addrs := frames(wl, 3, 1)
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteBytes(addrs[0], a)
 				s.WriteBytes(addrs[1], b)
 				res, err := s.Run("imagexor", addrs[0], addrs[1], addrs[2], int64(n))
@@ -223,6 +230,7 @@ func Benchmarks() []Benchmark {
 				addrs := frames(wl, 3, 1)       // dst frame is double-size below
 				offset := int64(wl.Width/2) * 8 // 8-aligned so coalescing survives
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteBytes(addrs[0], src)
 				res, err := s.Run("translate", addrs[0], addrs[1], int64(n), offset)
 				if err != nil {
@@ -252,6 +260,7 @@ func Benchmarks() []Benchmark {
 				}
 				addr := int64(4096)
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteInts(addr, rtl.W2, vals)
 				res, err := s.Run("eqntott", addr, int64(wl.Npt), int64(wl.Nterm))
 				if err != nil {
@@ -271,6 +280,7 @@ func Benchmarks() []Benchmark {
 				src := randBytes(rng, n)
 				addrs := frames(wl, 2, 1)
 				s := p.NewSim(memBytes)
+				defer s.Release()
 				s.WriteBytes(addrs[0], src)
 				res, err := s.Run("mirror", addrs[0], addrs[1], int64(n))
 				if err != nil {
@@ -304,6 +314,7 @@ func DotProduct() Benchmark {
 			}
 			addrs := frames(wl, 2, 2)
 			s := p.NewSim(memBytes)
+			defer s.Release()
 			s.WriteInts(addrs[0], rtl.W2, av)
 			s.WriteInts(addrs[1], rtl.W2, bv)
 			res, err := s.Run("dotproduct", addrs[0], addrs[1], int64(n))
@@ -369,25 +380,127 @@ func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
 	}, nil
 }
 
+// TableOptions configures RunTableOpts.
+type TableOptions struct {
+	// Jobs bounds the worker pool measuring table cells. Zero or negative
+	// means GOMAXPROCS. Jobs == 1 is the serial schedule; any other value
+	// produces byte-identical rows, remarks, and artifacts — the assembly
+	// step reconstructs the serial first-failure semantics from the full
+	// cell matrix.
+	Jobs int
+	// Registry, when non-nil, receives the harness's own telemetry (cells
+	// measured, cell failures, per-cell wall time). Workers write to private
+	// registries that are merged here at the pool barrier, so the hot path
+	// never contends on shared counters.
+	Registry *telemetry.Registry
+}
+
+// columnNames are the table's configuration columns, in Configs order.
+var columnNames = []string{"native", "vpo", "loads", "loads+stores"}
+
 // RunTable produces the paper-table rows for machine m. A benchmark whose
 // compile or reference validation fails does not abort the table: its row
 // carries the error (Row.Err) and the remaining rows are still measured.
 // The returned error is reserved for harness-level failures and is
-// currently always nil.
+// currently always nil. Cells are measured by a GOMAXPROCS-wide worker
+// pool; use RunTableOpts to choose the width.
 func RunTable(m *machine.Machine, wl Workload) ([]Row, error) {
-	cfgs := Configs(m)
-	cols := []string{"native", "vpo", "loads", "loads+stores"}
-	var rows []Row
-	for _, b := range Benchmarks() {
+	return RunTableOpts(m, wl, TableOptions{})
+}
+
+// RunTableOpts is RunTable with an explicit worker-pool width and telemetry
+// sink.
+func RunTableOpts(m *machine.Machine, wl Workload, opts TableOptions) ([]Row, error) {
+	return runTable(Benchmarks(), Configs(m), wl, opts)
+}
+
+// cellResult is one measured (benchmark, config) cell.
+type cellResult struct {
+	cell Cell
+	err  error
+}
+
+// measureCell runs one Measure under panic isolation: a panicking
+// configuration (a miscompiled kernel tripping a harness invariant, say)
+// degrades only its row, exactly like a returned error.
+func measureCell(b Benchmark, cfgc macc.Config, wl Workload) (cell Cell, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v", b.Name, r)
+		}
+	}()
+	return Measure(b, cfgc, wl)
+}
+
+// runTable fans the (benchmark, configuration) cell matrix out over a
+// bounded worker pool, then assembles rows with the serial schedule's
+// semantics: a row reports the failure of its lowest-index failing
+// configuration and zeroes every cell from that configuration on, so the
+// output is byte-identical to a one-worker run regardless of pool width or
+// completion order.
+func runTable(benches []Benchmark, cfgs []macc.Config, wl Workload, opts TableOptions) ([]Row, error) {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if n := len(benches) * len(cfgs); jobs > n {
+		jobs = n
+	}
+
+	results := make([][]cellResult, len(benches))
+	for i := range results {
+		results[i] = make([]cellResult, len(cfgs))
+	}
+
+	type task struct{ bi, ci int }
+	taskc := make(chan task)
+	regs := make([]*telemetry.Registry, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		reg := telemetry.NewRegistry()
+		regs[w] = reg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskc {
+				start := time.Now()
+				cell, err := measureCell(benches[t.bi], cfgs[t.ci], wl)
+				results[t.bi][t.ci] = cellResult{cell: cell, err: err}
+				reg.Counter("bench.cells_measured").Add(1)
+				if err != nil {
+					reg.Counter("bench.cell_failures").Add(1)
+				}
+				reg.Histogram("bench.cell_wall_ns").Observe(time.Since(start).Nanoseconds())
+			}
+		}()
+	}
+	for bi := range benches {
+		for ci := range cfgs {
+			taskc <- task{bi, ci}
+		}
+	}
+	close(taskc)
+	wg.Wait() // barrier: every cell measured, worker registries quiescent
+
+	if opts.Registry != nil {
+		for _, reg := range regs {
+			opts.Registry.Merge(reg)
+		}
+	}
+
+	rows := make([]Row, 0, len(benches))
+	for bi, b := range benches {
 		row := Row{Name: b.Name}
 		cells := []*Cell{&row.Native, &row.Vpo, &row.Loads, &row.LoadsStores}
-		for i, cfgc := range cfgs {
-			cell, err := Measure(b, cfgc, wl)
-			if err != nil {
-				row.Err = fmt.Errorf("config %q: %w", cols[i], err)
+		for ci := range cfgs {
+			r := results[bi][ci]
+			if r.err != nil {
+				// Serial semantics: the first failing configuration defines
+				// the row error; later cells stay zero as if never measured.
+				row.Err = fmt.Errorf("config %q: %w", columnNames[ci], r.err)
 				break
 			}
-			*cells[i] = cell
+			*cells[ci] = r.cell
 		}
 		rows = append(rows, row)
 	}

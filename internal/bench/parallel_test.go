@@ -1,0 +1,159 @@
+package bench_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"macc"
+	"macc/internal/bench"
+	"macc/internal/machine"
+	"macc/internal/sim"
+	"macc/internal/telemetry"
+)
+
+// TestParallelTableIsByteIdentical is the harness's determinism contract:
+// a four-worker run must produce the same rendered table and the same JSON
+// artifact, byte for byte, as the serial schedule.
+func TestParallelTableIsByteIdentical(t *testing.T) {
+	m := machine.Alpha()
+	wl := bench.SmallWorkload()
+
+	serial, err := bench.RunTableOpts(m, wl, bench.TableOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := bench.RunTableOpts(m, wl, bench.TableOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := bench.FormatTable(m.Name, serial)
+	pt := bench.FormatTable(m.Name, parallel)
+	if st != pt {
+		t.Errorf("parallel table diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", st, pt)
+	}
+
+	var sj, pj bytes.Buffer
+	if err := bench.NewArtifact(m, wl, serial).WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.NewArtifact(m, wl, parallel).WriteJSON(&pj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), pj.Bytes()) {
+		t.Errorf("parallel artifact diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			sj.String(), pj.String())
+	}
+}
+
+// brokenBenchmarks returns a suite where the middle benchmark fails its
+// reference validation and another panics outright.
+func brokenBenchmarks() []bench.Benchmark {
+	good := bench.DotProduct()
+	failing := bench.DotProduct()
+	failing.Name = "Failing"
+	failing.Run = func(p *macc.Program, wl bench.Workload) (sim.Result, error) {
+		return sim.Result{}, fmt.Errorf("reference mismatch (synthetic)")
+	}
+	panicking := bench.DotProduct()
+	panicking.Name = "Panicking"
+	panicking.Run = func(p *macc.Program, wl bench.Workload) (sim.Result, error) {
+		panic("synthetic harness panic")
+	}
+	return []bench.Benchmark{good, failing, panicking}
+}
+
+// TestCellFailureDegradesOnlyItsRow: a failing or panicking configuration
+// must not take down the table, the pool, or its neighbours — and the
+// outcome must be identical at every pool width.
+func TestCellFailureDegradesOnlyItsRow(t *testing.T) {
+	m := machine.Alpha()
+	wl := bench.SmallWorkload()
+	for _, jobs := range []int{1, 4} {
+		rows, err := bench.RunTableBenches(brokenBenchmarks(), m, wl, bench.TableOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("jobs=%d: got %d rows, want 3", jobs, len(rows))
+		}
+		if rows[0].Err != nil {
+			t.Errorf("jobs=%d: healthy row failed: %v", jobs, rows[0].Err)
+		}
+		if rows[0].Vpo.Cycles == 0 {
+			t.Errorf("jobs=%d: healthy row not measured", jobs)
+		}
+		if rows[1].Err == nil || !strings.Contains(rows[1].Err.Error(), `config "native"`) {
+			t.Errorf("jobs=%d: failing row error = %v, want first-config failure", jobs, rows[1].Err)
+		}
+		if rows[1].Native.Cycles != 0 || rows[1].Vpo.Cycles != 0 {
+			t.Errorf("jobs=%d: failed row has non-zero cells (serial semantics zero them)", jobs)
+		}
+		if rows[2].Err == nil || !strings.Contains(rows[2].Err.Error(), "panic: synthetic harness panic") {
+			t.Errorf("jobs=%d: panicking row error = %v, want recovered panic", jobs, rows[2].Err)
+		}
+	}
+}
+
+// TestWorkerTelemetryMerged: the per-worker registries must land in the
+// caller's registry at the barrier, with one sample per cell.
+func TestWorkerTelemetryMerged(t *testing.T) {
+	m := machine.Alpha()
+	wl := bench.SmallWorkload()
+	reg := telemetry.NewRegistry()
+	rows, err := bench.RunTableBenches(brokenBenchmarks(), m, wl, bench.TableOptions{Jobs: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 benches x 4 configs, every cell measured even on failing rows.
+	if got := reg.CounterValue("bench.cells_measured"); got != 12 {
+		t.Errorf("cells_measured = %d, want 12", got)
+	}
+	if got := reg.CounterValue("bench.cell_failures"); got < 2 {
+		t.Errorf("cell_failures = %d, want >= 2 (failing + panicking rows)", got)
+	}
+	if hs := reg.Histogram("bench.cell_wall_ns").Snapshot(); hs.Count != 12 {
+		t.Errorf("cell_wall_ns samples = %d, want 12", hs.Count)
+	}
+	_ = rows
+}
+
+// TestConcurrentMeasureSharedRegistry is the -race stress case: many
+// goroutines measuring cells at once while their telemetry funnels into one
+// shared registry.
+func TestConcurrentMeasureSharedRegistry(t *testing.T) {
+	m := machine.Alpha()
+	wl := bench.SmallWorkload()
+	cfgs := bench.Configs(m)
+	b := bench.DotProduct()
+	shared := telemetry.NewRegistry()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(cfgs))
+	for round := 0; round < 2; round++ {
+		for _, cfgc := range cfgs {
+			wg.Add(1)
+			go func(cfgc macc.Config) {
+				defer wg.Done()
+				cell, err := bench.MeasureCell(b, cfgc, wl)
+				if err != nil {
+					errs <- err
+					return
+				}
+				shared.Counter("stress.cells").Add(1)
+				shared.Counter("stress.cycles").Add(cell.Cycles)
+				shared.Histogram("stress.cell_cycles").Observe(cell.Cycles)
+			}(cfgc)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := shared.CounterValue("stress.cells"); got != int64(2*len(cfgs)) {
+		t.Errorf("stress.cells = %d, want %d", got, 2*len(cfgs))
+	}
+}

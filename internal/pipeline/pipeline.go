@@ -124,11 +124,17 @@ func (d *Diagnostics) String() string {
 
 // Run executes the passes over f. Each pass runs under panic recovery and,
 // unless NoVerify is set, is followed by an f.Verify() checkpoint. On
-// failure the function is restored from the snapshot taken after the last
-// good pass; in Strict mode the *PassError is returned instead and f is
-// left rolled back to that same snapshot.
+// failure the function is restored from the copy-on-write journal snapshot
+// advanced after the last good pass; in Strict mode the *PassError is
+// returned instead and f is left rolled back to that same snapshot.
+//
+// The journal replaces the whole-function Clone this loop used to take
+// before every pass: committing a pass now recaptures only the blocks the
+// pass dirtied (rtl.Snapshot.Update), so a pass that changes nothing costs a
+// comparison sweep with zero allocations, and rollback replays the journal
+// instead of deep-copying a clone back in.
 func Run(f *rtl.Fn, passes []Pass, opts Options) error {
-	good := f.Clone()
+	good := rtl.NewSnapshot(f)
 	for _, p := range passes {
 		if opts.Recorder != nil {
 			ni, nb := irSize(f)
@@ -141,7 +147,7 @@ func Run(f *rtl.Fn, passes []Pass, opts Options) error {
 			}
 		}
 		if perr != nil {
-			f.Restore(good)
+			good.Restore()
 			if opts.Recorder != nil {
 				// Retract the pass's staged remarks and metric deltas; the
 				// span survives, marked rolled back, mirroring the Incident.
@@ -157,13 +163,14 @@ func Run(f *rtl.Fn, passes []Pass, opts Options) error {
 			}
 			continue
 		}
-		good = f.Clone()
+		dirty := good.Update()
 		if p.OnSuccess != nil {
 			p.OnSuccess()
 		}
 		if opts.Recorder != nil {
 			ni, nb := irSize(f)
 			opts.Recorder.EndPass(ni, nb, false, "")
+			opts.Recorder.Count("pipeline.snapshot_dirty_blocks", int64(dirty))
 		}
 		if opts.OnPass != nil {
 			opts.OnPass(p.Name, f)

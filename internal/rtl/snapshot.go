@@ -1,0 +1,194 @@
+package rtl
+
+// Snapshot is the pass pipeline's copy-on-write rollback journal. It shadows
+// a function with per-block images — flat value copies of the instructions,
+// one arena per block — and keeps them in sync incrementally: after a
+// successful pass, Update recaptures only the blocks the pass actually
+// touched, and a pass that changed nothing costs a structural comparison
+// with zero allocations instead of the full deep Clone the pipeline used to
+// pay before (and after) every pass.
+//
+// Rollback correctness deliberately does not depend on passes announcing
+// their mutations: dirtiness is detected by exact structural diff against
+// the journal, never by a hash or a version counter a pass could forget to
+// bump. The faultinject suite proves Restore is byte-identical with the
+// Clone-based scheme it replaces.
+type Snapshot struct {
+	fn         *Fn
+	params     []Reg
+	frameBytes int
+	frameReg   Reg
+	nextReg    Reg
+	nextBlk    int
+	blocks     []blockImage
+	index      map[*Block]int // live block -> position in blocks
+}
+
+// blockImage is the journal entry for one live block: its identity plus a
+// flat value copy of its instructions. Target/Else pointers inside the
+// copied instructions refer to live *Block objects; those objects stay
+// reachable through the journal even when a pass unlinks them, so Restore
+// can rewire edges without a remapping table.
+type blockImage struct {
+	live   *Block
+	id     int
+	name   string
+	instrs []Instr
+}
+
+// NewSnapshot journals the current state of f.
+func NewSnapshot(f *Fn) *Snapshot {
+	s := &Snapshot{fn: f, index: make(map[*Block]int, len(f.Blocks))}
+	s.captureHeader()
+	s.blocks = make([]blockImage, len(f.Blocks))
+	for i, b := range f.Blocks {
+		captureBlock(&s.blocks[i], b)
+		s.index[b] = i
+	}
+	return s
+}
+
+func (s *Snapshot) captureHeader() {
+	f := s.fn
+	s.params = append(s.params[:0], f.Params...)
+	s.frameBytes = f.FrameBytes
+	s.frameReg = f.FrameReg
+	s.nextReg = f.nextReg
+	s.nextBlk = f.nextBlk
+}
+
+// captureBlock (re)images one block. Instruction values are copied into one
+// flat arena; Call argument slices are the only per-instruction allocation,
+// and only when present.
+func captureBlock(img *blockImage, b *Block) {
+	img.live = b
+	img.id = b.ID
+	img.name = b.Name
+	if cap(img.instrs) < len(b.Instrs) {
+		img.instrs = make([]Instr, len(b.Instrs))
+	} else {
+		img.instrs = img.instrs[:len(b.Instrs)]
+	}
+	for i, in := range b.Instrs {
+		img.instrs[i] = *in
+		if in.Args != nil {
+			img.instrs[i].Args = append([]Operand(nil), in.Args...)
+		}
+	}
+}
+
+// instrEqual reports whether the live instruction matches its journal image
+// exactly. Target/Else compare by pointer: the image holds live block
+// pointers, so a retargeted edge is always detected.
+func instrEqual(img *Instr, in *Instr) bool {
+	if img.Op != in.Op || img.Dst != in.Dst ||
+		img.A != in.A || img.B != in.B || img.C != in.C ||
+		img.Width != in.Width || img.Signed != in.Signed || img.Disp != in.Disp ||
+		img.Target != in.Target || img.Else != in.Else ||
+		img.Callee != in.Callee || len(img.Args) != len(in.Args) {
+		return false
+	}
+	for i := range img.Args {
+		if img.Args[i] != in.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// blockClean reports whether b still matches its image.
+func blockClean(img *blockImage, b *Block) bool {
+	if img.id != b.ID || img.name != b.Name || len(img.instrs) != len(b.Instrs) {
+		return false
+	}
+	for i, in := range b.Instrs {
+		if !instrEqual(&img.instrs[i], in) {
+			return false
+		}
+	}
+	return true
+}
+
+// Update re-journals the function after a successful pass and returns how
+// many blocks had to be recaptured. Unchanged blocks cost one comparison
+// sweep and no allocations; only dirty blocks pay the copy. The block list
+// itself is rebuilt only when the pass added, removed, or reordered blocks.
+func (s *Snapshot) Update() (dirty int) {
+	f := s.fn
+	s.captureHeader()
+
+	structural := len(f.Blocks) != len(s.blocks)
+	if !structural {
+		for i, b := range f.Blocks {
+			if s.blocks[i].live != b {
+				structural = true
+				break
+			}
+		}
+	}
+	if !structural {
+		for i, b := range f.Blocks {
+			if !blockClean(&s.blocks[i], b) {
+				captureBlock(&s.blocks[i], b)
+				dirty++
+			}
+		}
+		return dirty
+	}
+
+	// The pass changed the block list: rebuild it, carrying over the images
+	// of surviving clean blocks so they are not recopied.
+	blocks := make([]blockImage, len(f.Blocks))
+	for i, b := range f.Blocks {
+		if j, ok := s.index[b]; ok && blockClean(&s.blocks[j], b) {
+			blocks[i] = s.blocks[j]
+		} else {
+			captureBlock(&blocks[i], b)
+			dirty++
+		}
+	}
+	s.blocks = blocks
+	clear(s.index)
+	for i, b := range f.Blocks {
+		s.index[b] = i
+	}
+	return dirty
+}
+
+// Restore rolls the function back to the journaled state in place, so every
+// existing pointer to the function observes the rollback — the same contract
+// Fn.Restore gives the pipeline, at O(journal) cost. Blocks the failed pass
+// removed are relinked (their objects live on in the journal), blocks it
+// added are dropped, and every instruction is rebuilt from its image. The
+// snapshot remains valid: a later pass can fail and Restore again.
+func (s *Snapshot) Restore() {
+	f := s.fn
+	f.Params = append(f.Params[:0], s.params...)
+	f.FrameBytes = s.frameBytes
+	f.FrameReg = s.frameReg
+	f.nextReg = s.nextReg
+	f.nextBlk = s.nextBlk
+	if cap(f.Blocks) < len(s.blocks) {
+		f.Blocks = make([]*Block, len(s.blocks))
+	} else {
+		f.Blocks = f.Blocks[:len(s.blocks)]
+	}
+	for i := range s.blocks {
+		img := &s.blocks[i]
+		b := img.live
+		b.ID = img.id
+		b.Name = img.name
+		b.Instrs = make([]*Instr, len(img.instrs))
+		for j := range img.instrs {
+			in := img.instrs[j]
+			if in.Args != nil {
+				in.Args = append([]Operand(nil), in.Args...)
+			}
+			b.Instrs[j] = &in
+		}
+		f.Blocks[i] = b
+	}
+}
+
+// Fn returns the function the snapshot journals.
+func (s *Snapshot) Fn() *Fn { return s.fn }

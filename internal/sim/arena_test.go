@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"macc/internal/machine"
+	"macc/internal/rtl"
+)
+
+// storeFn builds a function that stores n words at base and returns the sum
+// it loaded back — enough traffic to exercise the dirty watermark.
+func storeFn() *rtl.Program {
+	f := rtl.NewFn("work", 2) // base, n
+	base, n := f.Params[0], f.Params[1]
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	i := f.NewReg()
+	sum := f.NewReg()
+	addr := f.NewReg()
+	v := f.NewReg()
+	cond := f.NewReg()
+	f.Entry().Instrs = append(f.Entry().Instrs,
+		rtl.MovI(i, rtl.C(0)),
+		rtl.MovI(sum, rtl.C(0)),
+		rtl.JumpI(loop))
+	loop.Instrs = append(loop.Instrs,
+		rtl.BinI(rtl.Mul, addr, rtl.R(i), rtl.C(4)),
+		rtl.BinI(rtl.Add, addr, rtl.R(addr), rtl.R(base)),
+		rtl.StoreI(rtl.R(addr), 0, rtl.R(i), rtl.W4),
+		rtl.LoadI(v, rtl.R(addr), 0, rtl.W4, true),
+		rtl.BinI(rtl.Add, sum, rtl.R(sum), rtl.R(v)),
+		rtl.BinI(rtl.Add, i, rtl.R(i), rtl.C(1)),
+		rtl.BinI(rtl.SetLT, cond, rtl.R(i), rtl.R(n)),
+		rtl.BranchI(rtl.R(cond), loop, exit))
+	exit.Instrs = append(exit.Instrs, rtl.RetI(rtl.R(sum)))
+	return &rtl.Program{Fns: []*rtl.Fn{f}}
+}
+
+// TestResetZeroesDirtyRange: after a run that stored into memory, Reset must
+// clear every written byte while only touching the watermarked range.
+func TestResetZeroesDirtyRange(t *testing.T) {
+	s := New(storeFn(), machine.Alpha(), 1<<16)
+	if _, err := s.Run("work", 1024, 8); err != nil {
+		t.Fatal(err)
+	}
+	if s.dirtyLo > 1024 || s.dirtyHi < 1024+32 {
+		t.Fatalf("watermark [%d,%d) does not cover stores [1024,1056)", s.dirtyLo, s.dirtyHi)
+	}
+	s.Reset()
+	for i, b := range s.Mem {
+		if b != 0 {
+			t.Fatalf("Mem[%d] = %d after Reset, want 0", i, b)
+		}
+	}
+	if s.dirtyLo != int64(len(s.Mem)) || s.dirtyHi != 0 {
+		t.Fatalf("watermark not reset: [%d,%d)", s.dirtyLo, s.dirtyHi)
+	}
+}
+
+// TestResetWatermarkCoversHarnessWrites: WriteBytes and WriteInts feed the
+// watermark too, so harness setup is also undone by Reset.
+func TestResetWatermarkCoversHarnessWrites(t *testing.T) {
+	s := New(storeFn(), machine.Alpha(), 1<<16)
+	s.WriteBytes(100, []byte{1, 2, 3})
+	s.WriteInts(4096, rtl.W4, []int64{7, 8, 9})
+	s.Reset()
+	for _, a := range []int64{100, 101, 102, 4096, 4100, 4104} {
+		if s.Mem[a] != 0 {
+			t.Fatalf("Mem[%d] = %d after Reset, want 0", a, s.Mem[a])
+		}
+	}
+}
+
+// TestRunAfterResetIsIdentical: the decoded image and recycled arena must
+// make a second measurement indistinguishable from the first.
+func TestRunAfterResetIsIdentical(t *testing.T) {
+	s := New(storeFn(), machine.Alpha(), 1<<16)
+	first, err := s.Run("work", 2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	second, err := s.Run("work", 2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Ret != second.Ret || first.Cycles != second.Cycles ||
+		first.Instrs != second.Instrs || first.ICacheMisses != second.ICacheMisses ||
+		first.DCacheMisses != second.DCacheMisses {
+		t.Fatalf("run after Reset diverged:\nfirst:  %+v\nsecond: %+v", first.Stats, second.Stats)
+	}
+}
+
+// TestReleaseReturnsZeroedArena: a Released buffer re-enters circulation
+// fully zero, so the next New starts from clean memory even though only the
+// dirty range was cleared.
+func TestReleaseReturnsZeroedArena(t *testing.T) {
+	const memBytes = 1 << 16
+	s := New(storeFn(), machine.Alpha(), memBytes)
+	s.WriteInts(512, rtl.W8, []int64{-1, -1, -1, -1})
+	if _, err := s.Run("work", 8192, 32); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	if s.Mem != nil {
+		t.Fatal("Release must detach Mem")
+	}
+	buf := arenaGet(memBytes)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("recycled arena byte %d = %d, want 0", i, b)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Predecoded execution core. The interpreter used to walk the RTL object
+// graph on every dynamic instruction: a map lookup per fetch for the static
+// address, a SrcOperands() slice allocation per instruction for operand
+// readiness, and cost-table lookups per execution. Decoding happens once per
+// Sim instead: each function is compiled into a dense []dInstr array with
+// resolved block indices, operand slots, precomputed Exec-table costs, and
+// precomputed instruction-cache geometry. The decoded image is retained
+// across Reset() and every subsequent Run, so repeated measurements pay the
+// decode exactly once.
+package sim
+
+import (
+	"fmt"
+
+	"macc/internal/rtl"
+)
+
+// opBadBlock is the sentinel appended after a block that does not end in a
+// terminator: executing past the block's last instruction traps, exactly as
+// the object-graph interpreter did, without consuming fuel or statistics.
+const opBadBlock rtl.Op = 0xFF
+
+// Operand slot register sentinels.
+const (
+	constSrc  int32 = -1 // slot holds a constant, read val
+	absentSrc int32 = -2 // operand not present (Ret with no value)
+)
+
+// dOp is a decoded operand slot: a register index, or a constant when
+// reg == constSrc.
+type dOp struct {
+	reg int32
+	val int64
+}
+
+// dInstr is one predecoded instruction. Everything the hot loop needs is
+// resolved: costs from the machine's Exec table, icache line and set for the
+// static address, register source slots for readiness tracking, and branch
+// targets as block indices.
+type dInstr struct {
+	op         rtl.Op
+	width      rtl.Width
+	signed     bool
+	nsrc       uint8    // live entries in srcs
+	dst        int32    // destination register, -1 when none
+	srcs       [3]int32 // register sources (readiness); Call reads args instead
+	a, b, c    dOp
+	disp       int64
+	lat        int64 // Exec latency
+	occ        int64 // Exec occupancy (pipelined machines)
+	iline      int64 // icache line of the static address
+	iset       int32 // icache set of that line
+	target     int32 // taken-branch block index
+	els        int32 // fall-through block index
+	callee     *dFn
+	calleeName string
+	args       []dOp
+}
+
+// dBlock ties a decoded block to its code range and its source block (for
+// the profiler).
+type dBlock struct {
+	src   *rtl.Block
+	start int32 // index of the block's first instruction in dFn.code
+}
+
+// dFn is one predecoded function.
+type dFn struct {
+	src        *rtl.Fn
+	name       string
+	params     []int32
+	nregs      int
+	frameBytes int64
+	frameReg   int32
+	code       []dInstr
+	blocks     []dBlock
+}
+
+// image is a fully decoded program.
+type image struct {
+	fns    []*dFn
+	byName map[string]*dFn
+}
+
+func decodeOperand(o rtl.Operand) dOp {
+	switch o.Kind {
+	case rtl.KindReg:
+		return dOp{reg: int32(o.Reg)}
+	case rtl.KindConst:
+		return dOp{reg: constSrc, val: o.Const}
+	default:
+		return dOp{reg: absentSrc}
+	}
+}
+
+// decode compiles the program against the simulator's machine model. Static
+// instruction addresses are assigned in the same function-by-function,
+// block-by-block order the interpreter used (sentinels get no address), so
+// instruction-cache behaviour is bit-identical with the previous core.
+func (s *Sim) decode() *image {
+	img := &image{byName: make(map[string]*dFn, len(s.prog.Fns))}
+	for _, f := range s.prog.Fns {
+		df := &dFn{
+			src:        f,
+			name:       f.Name,
+			nregs:      f.NumRegs(),
+			frameBytes: int64(f.FrameBytes),
+			frameReg:   int32(f.FrameReg),
+		}
+		for _, p := range f.Params {
+			df.params = append(df.params, int32(p))
+		}
+		img.fns = append(img.fns, df)
+		img.byName[f.Name] = df
+	}
+	costs := &s.mach.Exec
+	nsets := int64(len(s.icache))
+	addr := int64(0)
+	for fi, f := range s.prog.Fns {
+		df := img.fns[fi]
+		blockIdx := make(map[*rtl.Block]int32, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			blockIdx[b] = int32(bi)
+			df.blocks = append(df.blocks, dBlock{src: b})
+		}
+		// Index len(f.Blocks) is the phantom block: an edge that leaves the
+		// function (a malformed program) lands here and traps on the next
+		// step, after the branch itself executed — the same accounting the
+		// object-graph interpreter had.
+		phantom := int32(len(f.Blocks))
+		target := func(b *rtl.Block) int32 {
+			if idx, ok := blockIdx[b]; ok {
+				return idx
+			}
+			return phantom
+		}
+		for bi, b := range f.Blocks {
+			df.blocks[bi].start = int32(len(df.code))
+			for _, in := range b.Instrs {
+				line := addr / icacheLineBytes
+				d := dInstr{
+					op:     in.Op,
+					width:  in.Width,
+					signed: in.Signed,
+					dst:    int32(in.Dst),
+					a:      decodeOperand(in.A),
+					b:      decodeOperand(in.B),
+					c:      decodeOperand(in.C),
+					disp:   in.Disp,
+					lat:    int64(costs.Of(in)),
+					occ:    int64(costs.OccOf(in)),
+					iline:  line,
+					iset:   int32(line % nsets),
+				}
+				addr += int64(s.mach.BytesPerInstr)
+				for _, o := range in.SrcOperands() {
+					if r, ok := o.IsReg(); ok && in.Op != rtl.Call {
+						d.srcs[d.nsrc] = int32(r)
+						d.nsrc++
+					}
+				}
+				if in.Target != nil {
+					d.target = target(in.Target)
+				}
+				if in.Else != nil {
+					d.els = target(in.Else)
+				}
+				if in.Op == rtl.Call {
+					d.calleeName = in.Callee
+					d.callee = img.byName[in.Callee] // nil traps at execution
+					for _, a := range in.Args {
+						d.args = append(d.args, decodeOperand(a))
+					}
+				}
+				df.code = append(df.code, d)
+			}
+			// Sentinel: running past the last instruction of the block (no
+			// terminator, or an empty block) traps.
+			df.code = append(df.code, dInstr{op: opBadBlock})
+		}
+		df.blocks = append(df.blocks, dBlock{start: int32(len(df.code))})
+		df.code = append(df.code, dInstr{op: opBadBlock})
+	}
+	return img
+}
+
+// exec is the hot loop: it interprets one decoded function, mirroring the
+// cycle accounting of the object-graph interpreter exactly (issue when
+// operands are ready, occupancy vs latency on pipelined machines, cache
+// stalls added to both clock and result-ready time for loads).
+func (s *Sim) exec(df *dFn, args []int64, depth int) (ret int64, cycles int64, err error) {
+	if depth > maxCallDepth {
+		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: df.name, Msg: "call depth exceeded"}
+	}
+	if len(args) != len(df.params) {
+		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: df.name,
+			Msg: fmt.Sprintf("expected %d arguments, got %d", len(df.params), len(args))}
+	}
+	fr := s.frames.get(df.nregs)
+	defer s.frames.put(fr)
+	regs, ready := fr.regs, fr.ready
+	for i, p := range df.params {
+		regs[p] = args[i]
+	}
+	if df.frameBytes > 0 {
+		s.stackTop -= df.frameBytes
+		if s.stackTop < 0 {
+			return 0, 0, &Trap{Kind: TrapOutOfBounds, Fn: df.name, Addr: s.stackTop,
+				Msg: "stack overflow"}
+		}
+		regs[df.frameReg] = s.stackTop
+		defer func() { s.stackTop += df.frameBytes }()
+	}
+	val := func(o dOp) int64 {
+		if o.reg >= 0 {
+			return regs[o.reg]
+		}
+		return o.val
+	}
+	pipelined := s.mach.Pipelined
+	icache := s.icache
+	ipenalty := int64(s.mach.ICacheMissPenalty)
+	clock := int64(0)
+	code := df.code
+	pc := df.blocks[0].start
+	if s.blockExecs != nil {
+		s.blockExecs[df.blocks[0].src]++
+	}
+	for {
+		d := &code[pc]
+		if d.op == opBadBlock {
+			return 0, clock, &Trap{Kind: TrapBadProgram, Fn: df.name, Msg: "block without terminator"}
+		}
+		if s.fuel--; s.fuel < 0 {
+			return 0, clock, &Trap{Kind: TrapFuel, Fn: df.name}
+		}
+		s.stats.Instrs++
+		if icache[d.iset] != d.iline {
+			icache[d.iset] = d.iline
+			s.stats.ICacheMisses++
+			clock += ipenalty
+		}
+
+		// Issue when the operands are ready.
+		issue := clock
+		if d.op == rtl.Call {
+			for i := range d.args {
+				if r := d.args[i].reg; r >= 0 && ready[r] > issue {
+					issue = ready[r]
+				}
+			}
+		} else {
+			for k := uint8(0); k < d.nsrc; k++ {
+				if r := d.srcs[k]; ready[r] > issue {
+					issue = ready[r]
+				}
+			}
+		}
+		if pipelined {
+			clock = issue + d.occ
+		} else {
+			clock = issue + d.lat
+		}
+		done := issue + d.lat
+
+		switch d.op {
+		case rtl.Nop:
+		case rtl.Mov:
+			regs[d.dst] = val(d.a)
+			ready[d.dst] = done
+		case rtl.Neg:
+			regs[d.dst] = -val(d.a)
+			ready[d.dst] = done
+		case rtl.Not:
+			regs[d.dst] = ^val(d.a)
+			ready[d.dst] = done
+		case rtl.Load:
+			addr := val(d.a) + d.disp
+			v, trap := s.load(df.name, addr, d.width, d.signed)
+			if trap != nil {
+				return 0, clock, trap
+			}
+			s.stats.Loads++
+			s.loadsW[d.width]++
+			if stall := s.dcacheAccess(addr, d.width); stall > 0 {
+				clock += stall
+				done += stall
+			}
+			regs[d.dst] = v
+			ready[d.dst] = done
+		case rtl.Store:
+			addr := val(d.a) + d.disp
+			if trap := s.store(df.name, addr, d.width, val(d.b)); trap != nil {
+				return 0, clock, trap
+			}
+			s.stats.Stores++
+			s.storesW[d.width]++
+			if stall := s.dcacheAccess(addr, d.width); stall > 0 {
+				clock += stall
+			}
+		case rtl.Extract:
+			regs[d.dst] = rtl.EvalExtract(val(d.a), val(d.b), d.width, d.signed)
+			ready[d.dst] = done
+		case rtl.Insert:
+			regs[d.dst] = rtl.EvalInsert(val(d.a), val(d.b), val(d.c), d.width)
+			ready[d.dst] = done
+		case rtl.Jump:
+			s.stats.Branches++
+			blk := &df.blocks[d.target]
+			pc = blk.start
+			if s.blockExecs != nil && blk.src != nil {
+				s.blockExecs[blk.src]++
+			}
+			continue
+		case rtl.Branch:
+			s.stats.Branches++
+			bi := d.els
+			if val(d.a) != 0 {
+				bi = d.target
+			}
+			blk := &df.blocks[bi]
+			pc = blk.start
+			if s.blockExecs != nil && blk.src != nil {
+				s.blockExecs[blk.src]++
+			}
+			continue
+		case rtl.Ret:
+			s.stats.Cycles += clock
+			if d.a.reg == absentSrc {
+				return 0, clock, nil
+			}
+			return val(d.a), clock, nil
+		case rtl.Call:
+			if d.callee == nil {
+				return 0, clock, &Trap{Kind: TrapBadProgram, Fn: df.name,
+					Msg: "call to undefined function " + d.calleeName}
+			}
+			var cargs []int64
+			for i := range d.args {
+				cargs = append(cargs, val(d.args[i]))
+			}
+			rv, sub, cerr := s.exec(d.callee, cargs, depth+1)
+			if cerr != nil {
+				return 0, clock, cerr
+			}
+			// The callee added its own cycles to stats.Cycles at Ret; account
+			// for them inline in the caller's clock instead.
+			s.stats.Cycles -= sub
+			clock = done + sub
+			if d.dst >= 0 {
+				regs[d.dst] = rv
+				ready[d.dst] = clock
+			}
+		default:
+			if d.op.IsBinary() {
+				v, ok := rtl.EvalBinary(d.op, val(d.a), val(d.b), d.signed)
+				if !ok {
+					return 0, clock, &Trap{Kind: TrapDivideByZero, Fn: df.name}
+				}
+				regs[d.dst] = v
+				ready[d.dst] = done
+			} else {
+				return 0, clock, &Trap{Kind: TrapBadProgram, Fn: df.name,
+					Msg: "unknown opcode " + d.op.String()}
+			}
+		}
+		pc++
+	}
+}
+
+// frameCache recycles register/ready frames across calls and Runs, so a
+// measurement loop does not reallocate two slices per simulated call.
+type frameCache struct {
+	free []*frame
+}
+
+type frame struct {
+	regs  []int64
+	ready []int64
+}
+
+func (c *frameCache) get(nregs int) *frame {
+	if n := len(c.free); n > 0 {
+		fr := c.free[n-1]
+		c.free = c.free[:n-1]
+		if cap(fr.regs) >= nregs {
+			fr.regs = fr.regs[:nregs]
+			fr.ready = fr.ready[:nregs]
+			clear(fr.regs)
+			clear(fr.ready)
+			return fr
+		}
+	}
+	return &frame{regs: make([]int64, nregs), ready: make([]int64, nregs)}
+}
+
+func (c *frameCache) put(fr *frame) { c.free = append(c.free, fr) }

@@ -5,11 +5,19 @@
 // Because the model enforces natural alignment where the target requires it
 // (the Alpha), the coalescer's run-time alignment checks are genuinely load
 // bearing: removing them makes misaligned workloads trap.
+//
+// The execution core is predecoded: sim.New compiles each function into a
+// dense instruction array with resolved operand slots, costs, and block
+// indices (see decode.go), and the decoded image is reused across Reset and
+// every Run. Memory is tracked with a dirty-range watermark so Reset zeroes
+// only the bytes a run actually wrote, and Release returns the memory arena
+// to a pool for the next measurement instead of reallocating it.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"macc/internal/machine"
 	"macc/internal/rtl"
@@ -120,17 +128,32 @@ const (
 type Sim struct {
 	prog *rtl.Program
 	mach *machine.Machine
-	Mem  []byte
+	// Mem is the simulated RAM. Reads are free-form, but writes should go
+	// through WriteBytes/WriteInts (or simulated stores): the dirty-range
+	// watermark that lets Reset and Release zero only the touched bytes
+	// cannot see direct element assignment. A Sim whose Mem was written
+	// directly must not be Released back to the arena pool.
+	Mem []byte
 	// Fuel bounds the number of executed instructions per Run (guards
 	// against miscompiled infinite loops in tests). Zero means default.
 	Fuel int64
 
-	addrOf   map[*rtl.Instr]int64 // static instruction addresses for the icache
-	icache   []int64              // per-set tag, -1 invalid
-	dcache   []int64              // per-set tag, -1 invalid; nil when disabled
+	img      *image  // predecoded program, built once in New
+	icache   []int64 // per-set tag, -1 invalid
+	dcache   []int64 // per-set tag, -1 invalid; nil when disabled
 	fuel     int64
 	stats    *Stats
 	stackTop int64 // grows down from the top of memory for spill frames
+	frames   frameCache
+
+	// Dirty-range watermark over Mem: every tracked write widens
+	// [dirtyLo, dirtyHi). Reset and Release zero only this range.
+	dirtyLo, dirtyHi int64
+
+	// Per-width reference counters, folded into Stats maps when a Run
+	// finishes (array indexing keeps the hot loop free of map operations).
+	loadsW  [int(rtl.W8) + 1]int64
+	storesW [int(rtl.W8) + 1]int64
 
 	// Profiling state (see profile.go); nil unless EnableProfile was called.
 	blockFn    map[*rtl.Block]string
@@ -186,24 +209,30 @@ func (s *Sim) flushMetrics(st *Stats) {
 	reg.Histogram("sim.run_cycles").Observe(st.Cycles)
 }
 
-// New builds a simulator for prog on mach with memBytes of RAM.
+// arena recycles simulated-memory buffers between measurements. Buffers in
+// the pool are always fully zero: Release zeroes the dirty range before
+// returning one.
+var arenaPool sync.Pool
+
+func arenaGet(n int) []byte {
+	if v := arenaPool.Get(); v != nil {
+		buf := v.([]byte)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		// Too small for this simulator; drop it and allocate fresh.
+	}
+	return make([]byte, n)
+}
+
+// New builds a simulator for prog on mach with memBytes of RAM. The program
+// is predecoded here, once; Reset and repeated Runs reuse the decoded image.
 func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
 	s := &Sim{
-		prog:   prog,
-		mach:   mach,
-		Mem:    make([]byte, memBytes),
-		addrOf: make(map[*rtl.Instr]int64),
-	}
-	// Lay out instruction addresses function by function, block by block,
-	// mirroring a linear code layout.
-	addr := int64(0)
-	for _, f := range prog.Fns {
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				s.addrOf[in] = addr
-				addr += int64(mach.BytesPerInstr)
-			}
-		}
+		prog:    prog,
+		mach:    mach,
+		Mem:     arenaGet(memBytes),
+		dirtyLo: int64(memBytes),
 	}
 	sets := mach.ICacheBytes / icacheLineBytes
 	if sets < 1 {
@@ -217,14 +246,54 @@ func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
 		}
 		s.dcache = make([]int64, dsets)
 	}
+	s.img = s.decode()
 	return s
 }
 
-// Reset clears memory and the instruction cache.
-func (s *Sim) Reset() {
-	for i := range s.Mem {
-		s.Mem[i] = 0
+// Release zeroes the dirty range of the simulator's memory and returns the
+// buffer to the arena pool for the next New. The Sim must not be used
+// afterwards. Callers that wrote Mem directly (bypassing WriteBytes /
+// WriteInts) must not Release: the watermark never saw those writes.
+func (s *Sim) Release() {
+	if s.Mem == nil {
+		return
 	}
+	s.zeroDirty()
+	arenaPool.Put(s.Mem[:cap(s.Mem)])
+	s.Mem = nil
+}
+
+// markDirty widens the watermark to cover [addr, addr+n).
+func (s *Sim) markDirty(addr, n int64) {
+	if addr < s.dirtyLo {
+		s.dirtyLo = addr
+	}
+	if addr+n > s.dirtyHi {
+		s.dirtyHi = addr + n
+	}
+}
+
+// zeroDirty clears every byte the watermark saw written and resets it.
+func (s *Sim) zeroDirty() {
+	lo, hi := s.dirtyLo, s.dirtyHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(len(s.Mem)) {
+		hi = int64(len(s.Mem))
+	}
+	if lo < hi {
+		clear(s.Mem[lo:hi])
+	}
+	s.dirtyLo = int64(len(s.Mem))
+	s.dirtyHi = 0
+}
+
+// Reset clears memory and the instruction cache. Only the dirty range the
+// tracked write paths touched is zeroed, so resetting between measurements
+// costs O(bytes written), not O(arena).
+func (s *Sim) Reset() {
+	s.zeroDirty()
 	for i := range s.icache {
 		s.icache[i] = -1
 	}
@@ -233,7 +302,7 @@ func (s *Sim) Reset() {
 // Run calls the named function with the given arguments and returns its
 // result and execution statistics.
 func (s *Sim) Run(fnName string, args ...int64) (Result, error) {
-	f, ok := s.prog.Lookup(fnName)
+	df, ok := s.img.byName[fnName]
 	if !ok {
 		return Result{}, &Trap{Kind: TrapBadProgram, Fn: fnName, Msg: "no such function"}
 	}
@@ -251,7 +320,10 @@ func (s *Sim) Run(fnName string, args ...int64) (Result, error) {
 	s.loadGlobals()
 	st := newStats()
 	s.stats = &st
-	ret, _, err := s.call(f, args, 0)
+	clear(s.loadsW[:])
+	clear(s.storesW[:])
+	ret, _, err := s.exec(df, args, 0)
+	s.foldWidths(&st)
 	s.flushMetrics(&st)
 	if err != nil {
 		return Result{Stats: st}, err
@@ -259,179 +331,18 @@ func (s *Sim) Run(fnName string, args ...int64) (Result, error) {
 	return Result{Ret: ret, Stats: st}, nil
 }
 
-type frame struct {
-	regs  []int64
-	ready []int64 // cycle at which each register's value is available
-}
-
-func (s *Sim) call(f *rtl.Fn, args []int64, depth int) (ret int64, cycles int64, err error) {
-	if depth > maxCallDepth {
-		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: f.Name, Msg: "call depth exceeded"}
-	}
-	if len(args) != len(f.Params) {
-		return 0, 0, &Trap{Kind: TrapBadProgram, Fn: f.Name,
-			Msg: fmt.Sprintf("expected %d arguments, got %d", len(f.Params), len(args))}
-	}
-	fr := frame{
-		regs:  make([]int64, f.NumRegs()),
-		ready: make([]int64, f.NumRegs()),
-	}
-	for i, p := range f.Params {
-		fr.regs[p] = args[i]
-	}
-	if f.FrameBytes > 0 {
-		// Reserve a spill frame below the current stack top.
-		s.stackTop -= int64(f.FrameBytes)
-		if s.stackTop < 0 {
-			return 0, 0, &Trap{Kind: TrapOutOfBounds, Fn: f.Name, Addr: s.stackTop,
-				Msg: "stack overflow"}
-		}
-		fr.regs[f.FrameReg] = s.stackTop
-		defer func() { s.stackTop += int64(f.FrameBytes) }()
-	}
-	costs := &s.mach.Exec
-	clock := int64(0)
-
-	b := f.Entry()
-	for {
-		if s.blockExecs != nil {
-			s.blockExecs[b]++
-		}
-		for _, in := range b.Instrs {
-			if s.fuel--; s.fuel < 0 {
-				return 0, clock, &Trap{Kind: TrapFuel, Fn: f.Name}
-			}
-			s.stats.Instrs++
-			clock += s.fetch(in)
-
-			// Pipeline timing: issue when the operands are ready.
-			issue := clock
-			for _, o := range in.SrcOperands() {
-				if r, ok := o.IsReg(); ok && fr.ready[r] > issue {
-					issue = fr.ready[r]
-				}
-			}
-			lat := int64(costs.Of(in))
-			if s.mach.Pipelined {
-				clock = issue + int64(costs.OccOf(in))
-			} else {
-				clock = issue + lat
-			}
-			done := issue + lat
-
-			opVal := func(o rtl.Operand) int64 {
-				if r, ok := o.IsReg(); ok {
-					return fr.regs[r]
-				}
-				return o.Const
-			}
-			setDst := func(v int64) {
-				fr.regs[in.Dst] = v
-				fr.ready[in.Dst] = done
-			}
-
-			switch in.Op {
-			case rtl.Nop:
-			case rtl.Mov:
-				setDst(opVal(in.A))
-			case rtl.Neg, rtl.Not:
-				v, _ := rtl.EvalUnary(in.Op, opVal(in.A))
-				setDst(v)
-			case rtl.Load:
-				addr := opVal(in.A) + in.Disp
-				v, trap := s.load(f.Name, addr, in.Width, in.Signed)
-				if trap != nil {
-					return 0, clock, trap
-				}
-				s.stats.Loads++
-				s.stats.LoadsByWidth[in.Width]++
-				if stall := s.dcacheAccess(addr, in.Width); stall > 0 {
-					clock += stall
-					done += stall
-				}
-				setDst(v)
-			case rtl.Store:
-				addr := opVal(in.A) + in.Disp
-				if trap := s.store(f.Name, addr, in.Width, opVal(in.B)); trap != nil {
-					return 0, clock, trap
-				}
-				s.stats.Stores++
-				s.stats.StoresByWidth[in.Width]++
-				if stall := s.dcacheAccess(addr, in.Width); stall > 0 {
-					clock += stall
-				}
-			case rtl.Extract:
-				setDst(rtl.EvalExtract(opVal(in.A), opVal(in.B), in.Width, in.Signed))
-			case rtl.Insert:
-				setDst(rtl.EvalInsert(opVal(in.A), opVal(in.B), opVal(in.C), in.Width))
-			case rtl.Jump:
-				s.stats.Branches++
-				b = in.Target
-			case rtl.Branch:
-				s.stats.Branches++
-				if opVal(in.A) != 0 {
-					b = in.Target
-				} else {
-					b = in.Else
-				}
-			case rtl.Ret:
-				s.stats.Cycles += clock
-				if in.A.Kind == rtl.KindNone {
-					return 0, clock, nil
-				}
-				return opVal(in.A), clock, nil
-			case rtl.Call:
-				callee, ok := s.prog.Lookup(in.Callee)
-				if !ok {
-					return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name,
-						Msg: "call to undefined function " + in.Callee}
-				}
-				var cargs []int64
-				for _, a := range in.Args {
-					cargs = append(cargs, opVal(a))
-				}
-				rv, sub, cerr := callResult(s, callee, cargs, depth)
-				if cerr != nil {
-					return 0, clock, cerr
-				}
-				clock = done + sub
-				if in.Dst != rtl.NoReg {
-					fr.regs[in.Dst] = rv
-					fr.ready[in.Dst] = clock
-				}
-			default:
-				if in.Op.IsBinary() {
-					v, ok := rtl.EvalBinary(in.Op, opVal(in.A), opVal(in.B), in.Signed)
-					if !ok {
-						return 0, clock, &Trap{Kind: TrapDivideByZero, Fn: f.Name}
-					}
-					setDst(v)
-				} else {
-					return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name,
-						Msg: "unknown opcode " + in.Op.String()}
-				}
-			}
-			if in.Op == rtl.Jump || in.Op == rtl.Branch {
-				break
-			}
-		}
-		if t := b.Term(); t == nil {
-			return 0, clock, &Trap{Kind: TrapBadProgram, Fn: f.Name, Msg: "block without terminator"}
+// foldWidths moves the array-indexed per-width counters into the Stats maps.
+func (s *Sim) foldWidths(st *Stats) {
+	for w, n := range s.loadsW {
+		if n != 0 {
+			st.LoadsByWidth[rtl.Width(w)] += n
 		}
 	}
-}
-
-// callResult runs a nested call; the callee's Ret already added its cycles
-// into stats, and we also thread them into the caller's clock.
-func callResult(s *Sim, callee *rtl.Fn, args []int64, depth int) (int64, int64, error) {
-	rv, cycles, err := s.call(callee, args, depth+1)
-	if err != nil {
-		return 0, 0, err
+	for w, n := range s.storesW {
+		if n != 0 {
+			st.StoresByWidth[rtl.Width(w)] += n
+		}
 	}
-	// The callee added its own cycles to stats.Cycles at Ret; remove them
-	// there and account for them inline in the caller instead.
-	s.stats.Cycles -= cycles
-	return rv, cycles, nil
 }
 
 // loadGlobals materializes the program's static data. It runs at the start
@@ -446,6 +357,7 @@ func (s *Sim) loadGlobals() {
 		for i := len(g.Init); i < len(region); i++ {
 			region[i] = 0
 		}
+		s.markDirty(g.Addr, g.Size)
 	}
 }
 
@@ -470,20 +382,6 @@ func (s *Sim) dcacheAccess(addr int64, w rtl.Width) int64 {
 	return stall
 }
 
-// fetch charges the instruction cache for one instruction fetch and returns
-// the stall cycles.
-func (s *Sim) fetch(in *rtl.Instr) int64 {
-	addr := s.addrOf[in]
-	line := addr / icacheLineBytes
-	set := line % int64(len(s.icache))
-	if s.icache[set] != line {
-		s.icache[set] = line
-		s.stats.ICacheMisses++
-		return int64(s.mach.ICacheMissPenalty)
-	}
-	return 0
-}
-
 func (s *Sim) load(fn string, addr int64, w rtl.Width, signed bool) (int64, *Trap) {
 	if trap := s.checkAddr(fn, addr, w); trap != nil {
 		return 0, trap
@@ -502,6 +400,7 @@ func (s *Sim) store(fn string, addr int64, w rtl.Width, v int64) *Trap {
 	for i := 0; i < int(w); i++ {
 		s.Mem[addr+int64(i)] = byte(uint64(v) >> (8 * uint(i)))
 	}
+	s.markDirty(addr, int64(w))
 	return nil
 }
 
@@ -518,6 +417,7 @@ func (s *Sim) checkAddr(fn string, addr int64, w rtl.Width) *Trap {
 // WriteBytes copies data into memory at addr.
 func (s *Sim) WriteBytes(addr int64, data []byte) {
 	copy(s.Mem[addr:], data)
+	s.markDirty(addr, int64(len(data)))
 }
 
 // ReadBytes copies n bytes out of memory at addr.
@@ -536,6 +436,7 @@ func (s *Sim) WriteInts(addr int64, w rtl.Width, vals []int64) {
 			s.Mem[a+int64(j)] = byte(uint64(v) >> (8 * uint(j)))
 		}
 	}
+	s.markDirty(addr, int64(len(vals))*int64(w))
 }
 
 // ReadInts loads n integer values of width w starting at addr.

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(3)
+	b.Counter("x").Add(4)
+	b.Counter("y").Add(1)
+	b.Gauge("g").Set(2.5)
+	a.Histogram("h").Observe(10)
+	b.Histogram("h").Observe(1000)
+	b.Histogram("h").Observe(2)
+
+	a.Merge(b)
+	if got := a.CounterValue("x"); got != 7 {
+		t.Errorf("x = %d, want 7", got)
+	}
+	if got := a.CounterValue("y"); got != 1 {
+		t.Errorf("y = %d, want 1", got)
+	}
+	if got := a.Gauge("g").Value(); got != 2.5 {
+		t.Errorf("g = %v, want 2.5", got)
+	}
+	hs := a.Histogram("h").Snapshot()
+	if hs.Count != 3 || hs.Sum != 1012 || hs.Min != 2 || hs.Max != 1000 {
+		t.Errorf("h = %+v, want count 3 sum 1012 min 2 max 1000", hs)
+	}
+}
+
+func TestRegistryMergeEmptyHistogram(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("h").Observe(5)
+	b.Histogram("h") // registered but never observed
+	a.Merge(b)
+	hs := a.Histogram("h").Snapshot()
+	if hs.Count != 1 || hs.Min != 5 || hs.Max != 5 {
+		t.Errorf("merge of empty histogram corrupted state: %+v", hs)
+	}
+}
+
+// TestCounterPadding pins the false-sharing pad: adjacent counters must not
+// share a 64-byte cache line.
+func TestCounterPadding(t *testing.T) {
+	if n := unsafe.Sizeof(Counter{}); n < 64 {
+		t.Errorf("Counter is %d bytes, want >= 64 (cache-line pad)", n)
+	}
+	if n := unsafe.Sizeof(Gauge{}); n < 64 {
+		t.Errorf("Gauge is %d bytes, want >= 64 (cache-line pad)", n)
+	}
+}

@@ -66,8 +66,13 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Counter is a monotonically growing sum.
-type Counter struct{ v atomic.Int64 }
+// Counter is a monotonically growing sum. The trailing pad keeps two hot
+// counters from sharing a 64-byte cache line, so the parallel bench harness's
+// per-worker increments do not false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
 
 // Add increments the counter by n.
 func (c *Counter) Add(n int64) { c.v.Add(n) }
@@ -75,8 +80,12 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current sum.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a last-write-wins float value (ratios like bytes/ref).
-type Gauge struct{ bits atomic.Uint64 }
+// Gauge is a last-write-wins float value (ratios like bytes/ref). Padded
+// against false sharing like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
 
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
@@ -203,6 +212,62 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[k] = h.Snapshot()
 	}
 	return s
+}
+
+// Merge folds every metric of o into r: counters and histograms add, gauges
+// take o's value when o has set one. The parallel bench harness gives each
+// worker a private registry and merges them at the barrier, so the hot path
+// never contends on shared metric cache lines.
+func (r *Registry) Merge(o *Registry) {
+	o.mu.Lock()
+	counters := make(map[string]int64, len(o.counters))
+	for k, c := range o.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]float64, len(o.gauges))
+	for k, g := range o.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(o.hists))
+	for k, h := range o.hists {
+		hists[k] = h
+	}
+	o.mu.Unlock()
+
+	for k, v := range counters {
+		if v != 0 {
+			r.Counter(k).Add(v)
+		}
+	}
+	for k, v := range gauges {
+		r.Gauge(k).Set(v)
+	}
+	for k, h := range hists {
+		r.Histogram(k).merge(h)
+	}
+}
+
+// merge folds o's samples into h.
+func (h *Histogram) merge(o *Histogram) {
+	o.mu.Lock()
+	count, sum, min, max, buckets := o.count, o.sum, o.min, o.max, o.buckets
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if h.count == 0 || max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+	for i, n := range buckets {
+		h.buckets[i] += n
+	}
 }
 
 // CounterValue is a convenience read of one counter (zero when absent).
