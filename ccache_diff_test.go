@@ -1,0 +1,226 @@
+package macc_test
+
+// Differential tests for the compile cache: a cached compile must be
+// observably identical to a cold one — byte-identical printed RTL and the
+// same simulated behaviour — for every paper kernel under several
+// configurations, for random rtlgen programs through CompileRTL, and for
+// concurrent singleflight callers racing one cold compile.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"macc"
+	"macc/internal/bench"
+	"macc/internal/ccache"
+	"macc/internal/machine"
+	"macc/internal/pipeline"
+	"macc/internal/rtl"
+	"macc/internal/rtlgen"
+	"macc/internal/sim"
+)
+
+// diffConfigs is the configuration matrix the differential tests sweep.
+func diffConfigs() map[string]macc.Config {
+	alpha := machine.Alpha()
+	m88k, _ := machine.ByName("m88100")
+	noSched := macc.DefaultConfig()
+	noSched.Schedule = false
+	loadsOnly := macc.DefaultConfig()
+	loadsOnly.Coalesce.Stores = false
+	m88kCfg := macc.DefaultConfig()
+	m88kCfg.Machine = m88k
+	return map[string]macc.Config{
+		"default":    macc.DefaultConfig(),
+		"baseline":   macc.BaselineConfig(alpha),
+		"nosched":    noSched,
+		"loads-only": loadsOnly,
+		"m88100":     m88kCfg,
+	}
+}
+
+// runBench executes one paper benchmark and returns its simulator verdict.
+func runBench(t *testing.T, bm bench.Benchmark, p *macc.Program) sim.Result {
+	t.Helper()
+	res, err := bm.Run(p, bench.SmallWorkload())
+	if err != nil {
+		t.Fatalf("%s: run: %v", bm.Name, err)
+	}
+	return res
+}
+
+// TestCacheDifferentialKernels sweeps every paper kernel against every
+// config variant: the warm compile must print byte-identical RTL and
+// simulate to the same cycle and memory-reference counts as the cold one.
+// The cache runs with a disk tier, so a second cache instance over the
+// same directory additionally pushes every entry through the disk
+// round-trip (serialize, reparse) before comparison.
+func TestCacheDifferentialKernels(t *testing.T) {
+	dir := t.TempDir()
+	for cfgName, cfg := range diffConfigs() {
+		cfg := cfg
+		t.Run(cfgName, func(t *testing.T) {
+			warmCache := ccache.New(ccache.Options{Dir: dir})
+			diskCache := ccache.New(ccache.Options{Dir: dir})
+			for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+				cold, err := macc.Compile(bm.Src, cfg)
+				if err != nil {
+					t.Fatalf("%s: cold: %v", bm.Name, err)
+				}
+				if cold.Diagnostics.Degraded() {
+					t.Fatalf("%s: cold compile degraded", bm.Name)
+				}
+
+				cfgWarm := cfg
+				cfgWarm.Cache = warmCache
+				if _, err := macc.Compile(bm.Src, cfgWarm); err != nil {
+					t.Fatalf("%s: warmup: %v", bm.Name, err)
+				}
+				warm, err := macc.Compile(bm.Src, cfgWarm)
+				if err != nil {
+					t.Fatalf("%s: warm: %v", bm.Name, err)
+				}
+				if !warm.Cached {
+					t.Fatalf("%s: warm compile missed the cache", bm.Name)
+				}
+
+				// A fresh cache over the same directory forces the disk
+				// tier: serialize through the printer, reparse on load.
+				cfgDisk := cfg
+				cfgDisk.Cache = diskCache
+				disk, err := macc.Compile(bm.Src, cfgDisk)
+				if err != nil {
+					t.Fatalf("%s: disk: %v", bm.Name, err)
+				}
+				if !disk.Cached {
+					t.Fatalf("%s: disk-tier compile missed the cache", bm.Name)
+				}
+
+				coldRTL := cold.RTL.String()
+				for tier, p := range map[string]*macc.Program{"mem": warm, "disk": disk} {
+					if got := p.RTL.String(); got != coldRTL {
+						t.Fatalf("%s: %s-tier RTL differs from cold:\n%s\nvs\n%s",
+							bm.Name, tier, got, coldRTL)
+					}
+					coldRes, hitRes := runBench(t, bm, cold), runBench(t, bm, p)
+					if coldRes.Ret != hitRes.Ret ||
+						coldRes.Cycles != hitRes.Cycles ||
+						coldRes.MemRefs() != hitRes.MemRefs() {
+						t.Fatalf("%s: %s-tier behaviour differs: ret %d/%d cycles %d/%d refs %d/%d",
+							bm.Name, tier, coldRes.Ret, hitRes.Ret,
+							coldRes.Cycles, hitRes.Cycles,
+							coldRes.MemRefs(), hitRes.MemRefs())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCacheDifferentialRandomRTL drives CompileRTL's cache path with random
+// generated programs and compares printed RTL plus the pipeline's behaviour
+// fingerprint (return value and final memory over several argument sets).
+func TestCacheDifferentialRandomRTL(t *testing.T) {
+	m := machine.Alpha()
+	argSets := [][]int64{{0, 0, 0}, {1, 2, 3}, {511, 1023, 7}}
+	cache := ccache.New(ccache.Options{Dir: t.TempDir()})
+	for seed := int64(1); seed <= 25; seed++ {
+		fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		rp := &rtl.Program{Fns: []*rtl.Fn{fn}}
+		cfg := macc.DefaultConfig()
+		cfg.Machine = m
+
+		cold, err := macc.CompileRTL(rp, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+
+		cfg.Cache = cache
+		// rp was optimized in place by the cold compile? CompileRTL
+		// clones internally if needed; regenerate to be safe.
+		fn2, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp2 := &rtl.Program{Fns: []*rtl.Fn{fn2}}
+		if _, err := macc.CompileRTL(rp2, cfg); err != nil {
+			t.Fatalf("seed %d: warmup: %v", seed, err)
+		}
+		fn3, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := macc.CompileRTL(&rtl.Program{Fns: []*rtl.Fn{fn3}}, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", seed, err)
+		}
+		if !warm.Cached {
+			t.Fatalf("seed %d: warm CompileRTL missed the cache", seed)
+		}
+
+		if got, want := warm.RTL.String(), cold.RTL.String(); got != want {
+			t.Fatalf("seed %d: cached RTL differs:\n%s\nvs\n%s", seed, got, want)
+		}
+		coldFP, err := pipeline.Behavior(cold.RTL, m, rtlgen.MemWindow*2, "f", argSets)
+		if err != nil {
+			t.Fatalf("seed %d: cold behaviour: %v", seed, err)
+		}
+		warmFP, err := pipeline.Behavior(warm.RTL, m, rtlgen.MemWindow*2, "f", argSets)
+		if err != nil {
+			t.Fatalf("seed %d: warm behaviour: %v", seed, err)
+		}
+		if coldFP != warmFP {
+			t.Fatalf("seed %d: behaviour fingerprint differs:\n%s\nvs\n%s", seed, coldFP, warmFP)
+		}
+	}
+}
+
+// TestCacheConcurrentSingleflightDifferential races many concurrent callers
+// per source through one shared cache under -race: exactly the singleflight
+// situation maccd faces. Every caller must get RTL identical to an
+// uncached reference compile.
+func TestCacheConcurrentSingleflightDifferential(t *testing.T) {
+	cache := ccache.New(ccache.Options{})
+	cfg := macc.DefaultConfig()
+
+	benches := append(bench.Benchmarks(), bench.DotProduct())
+	want := make(map[string]string, len(benches))
+	for _, bm := range benches {
+		p, err := macc.Compile(bm.Src, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference compile: %v", bm.Name, err)
+		}
+		want[bm.Name] = p.RTL.String()
+	}
+
+	cfg.Cache = cache
+	const callers = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, callers*len(benches))
+	for _, bm := range benches {
+		bm := bm
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, err := macc.Compile(bm.Src, cfg)
+				if err != nil {
+					errc <- fmt.Errorf("%s: %v", bm.Name, err)
+					return
+				}
+				if got := p.RTL.String(); got != want[bm.Name] {
+					errc <- fmt.Errorf("%s: concurrent compile printed different RTL", bm.Name)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -1,19 +1,24 @@
-// Command hotpath measures the compiler's three hot paths — the pass
-// pipeline's per-pass snapshot, the bench harness's table measurement, and
-// the simulator core — and writes the results as a machine-readable
-// artifact (BENCH_hotpath.json). CI regenerates the artifact on every run
-// and gates on -check against the committed baseline: a ratio metric that
-// regresses by more than 25% fails the build.
+// Command hotpath measures the compiler's four hot paths — the pass
+// pipeline's per-pass snapshot, the bench harness's table measurement, the
+// simulator core, and the warm-vs-cold compile cache — and writes the
+// results as a machine-readable artifact (BENCH_hotpath.json). CI
+// regenerates the artifact on every run and gates on -check against the
+// committed baseline: a ratio metric that regresses by more than 25% fails
+// the build.
 //
 //	hotpath -out BENCH_hotpath.json          regenerate the artifact
 //	hotpath -out new.json -check BENCH_hotpath.json
 //
 // Only ratio metrics are gated (the journal-vs-clone snapshot speedup, the
-// parallel-vs-serial table speedup, and simulated MIPS); raw ns/op numbers
-// are recorded for trend plots but never compared across hosts. The
-// parallel-scaling gate additionally requires at least four CPUs on both
-// the current and the baseline host, since a single-core runner cannot
-// demonstrate pool scaling.
+// parallel-vs-serial table speedup, simulated MIPS, and the warm-cache
+// compile speedup); raw ns/op numbers are recorded for trend plots but
+// never compared across hosts. The warm-cache speedup additionally has an
+// absolute floor: a memory-tier hit must be at least 5x faster than a cold
+// compile regardless of the baseline. The parallel-scaling gate requires
+// at least four CPUs on both the current and the baseline host, since a
+// single-core runner cannot demonstrate pool scaling; -check warns loudly
+// when the committed baseline was produced on a single-CPU host, because
+// that renders the scaling gate permanently vacuous.
 package main
 
 import (
@@ -22,15 +27,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"macc"
 	"macc/internal/bench"
+	"macc/internal/ccache"
 	"macc/internal/machine"
 	"macc/internal/rtl"
 )
 
-// Schema versions the artifact layout.
-const Schema = "macc-hotpath/v1"
+// Schema versions the artifact layout. v2 added the compile-cache section.
+const Schema = "macc-hotpath/v2"
 
 // SnapshotEntry is one kernel's per-pass snapshot cost: the old
 // whole-function Clone vs the journal's clean Update, over all of the
@@ -59,6 +67,16 @@ type SimEntry struct {
 	SimulatedMIPS float64 `json:"simulated_mips"`
 }
 
+// CacheEntry is one paper kernel's cold-vs-warm compile cost: a full
+// front-end + pipeline compile vs a memory-tier cache hit on the same
+// source and configuration.
+type CacheEntry struct {
+	Kernel      string  `json:"kernel"`
+	ColdNsPerOp float64 `json:"cold_ns_per_op"`
+	WarmNsPerOp float64 `json:"warm_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // Artifact is the BENCH_hotpath.json layout.
 type Artifact struct {
 	Schema          string          `json:"schema"`
@@ -67,7 +85,13 @@ type Artifact struct {
 	SnapshotSpeedup float64         `json:"snapshot_speedup"`
 	RunTable        RunTableEntry   `json:"runtable"`
 	Sim             SimEntry        `json:"sim"`
+	Cache           []CacheEntry    `json:"cache"`
+	CacheSpeedup    float64         `json:"cache_speedup"`
 }
+
+// cacheSpeedupFloor is the absolute acceptance floor: a warm memory-tier
+// compile must beat a cold compile by at least this factor in aggregate.
+const cacheSpeedupFloor = 5.0
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "write the artifact to this path (\"-\" for stdout)")
@@ -216,7 +240,72 @@ func measure() (Artifact, error) {
 	if ns := a.Sim.NsPerRun; ns > 0 {
 		a.Sim.SimulatedMIPS = float64(instrs) / ns * 1e3 // instrs/ns -> MIPS
 	}
+
+	if err := measureCache(&a, m); err != nil {
+		return a, err
+	}
 	return a, nil
+}
+
+// measureCache benchmarks a cold compile against a warm memory-tier hit
+// for every paper kernel under the default optimizing configuration.
+func measureCache(a *Artifact, m *machine.Machine) error {
+	var coldTotal, warmTotal float64
+	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+		cold := macc.DefaultConfig()
+		cold.Machine = m
+		var cerr error
+		coldR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := macc.Compile(bm.Src, cold); err != nil {
+					cerr = err
+					b.FailNow()
+				}
+			}
+		})
+		if cerr != nil {
+			return fmt.Errorf("%s: cold compile: %v", bm.Name, cerr)
+		}
+
+		warm := cold
+		warm.Cache = ccache.New(ccache.Options{})
+		if _, err := macc.Compile(bm.Src, warm); err != nil {
+			return fmt.Errorf("%s: cache warmup: %v", bm.Name, err)
+		}
+		var werr error
+		warmR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := macc.Compile(bm.Src, warm)
+				if err != nil {
+					werr = err
+					b.FailNow()
+				}
+				if !p.Cached {
+					werr = fmt.Errorf("warm compile missed the cache")
+					b.FailNow()
+				}
+			}
+		})
+		if werr != nil {
+			return fmt.Errorf("%s: warm compile: %v", bm.Name, werr)
+		}
+
+		e := CacheEntry{
+			Kernel:      bm.Entry,
+			ColdNsPerOp: nsPerOp(coldR),
+			WarmNsPerOp: nsPerOp(warmR),
+		}
+		if e.WarmNsPerOp > 0 {
+			e.Speedup = e.ColdNsPerOp / e.WarmNsPerOp
+		}
+		coldTotal += e.ColdNsPerOp
+		warmTotal += e.WarmNsPerOp
+		a.Cache = append(a.Cache, e)
+	}
+	if warmTotal > 0 {
+		a.CacheSpeedup = coldTotal / warmTotal
+	}
+	return nil
 }
 
 func nsPerOp(r testing.BenchmarkResult) float64 {
@@ -253,6 +342,21 @@ func check(cur, base Artifact) error {
 	}
 	gate("snapshot journal-vs-clone speedup", cur.SnapshotSpeedup, base.SnapshotSpeedup)
 	gate("simulated MIPS", cur.Sim.SimulatedMIPS, base.Sim.SimulatedMIPS)
+	gate("warm-cache compile speedup", cur.CacheSpeedup, base.CacheSpeedup)
+	if cur.CacheSpeedup < cacheSpeedupFloor {
+		failures = append(failures, fmt.Sprintf(
+			"warm-cache compile speedup %.2fx below the %.0fx floor", cur.CacheSpeedup, cacheSpeedupFloor))
+	}
+	if base.CPUs == 1 {
+		fmt.Fprintln(os.Stderr, strings.Repeat("!", 72))
+		fmt.Fprintln(os.Stderr,
+			"hotpath: WARNING: baseline artifact was produced on a SINGLE-CPU host.")
+		fmt.Fprintln(os.Stderr,
+			"hotpath: the parallel-scaling gate is VACUOUS against this baseline;")
+		fmt.Fprintln(os.Stderr,
+			"hotpath: regenerate BENCH_hotpath.json on a host with >= 4 CPUs.")
+		fmt.Fprintln(os.Stderr, strings.Repeat("!", 72))
+	}
 	if cur.CPUs >= 4 && base.CPUs >= 4 {
 		gate("runtable parallel speedup", cur.RunTable.Speedup, base.RunTable.Speedup)
 	} else {

@@ -41,6 +41,20 @@
 // -profile, -inject) are rejected in this mode.
 //
 //	macc -j 8 -print kernels/*.c
+//
+// Compiles are memoized through the content-addressed compile cache:
+// -cache-dir enables the on-disk tier (hits survive across invocations and
+// are revalidated by reparse, so a corrupt entry silently recompiles), and
+// -cache-mem sizes the in-memory tier. In multi-file mode the cache is
+// shared across the worker pool with singleflight deduplication, so
+// duplicate inputs on the command line compile exactly once — unless
+// -remarks is on without -cache-dir, since a cache hit skips the pass
+// pipeline and would swallow the per-file remark stream. Cache counters
+// (ccache.mem_hits, ccache.disk_hits, ...) are folded into the -metrics
+// output.
+//
+//	macc -cache-dir ~/.cache/macc -print prog.c   # second run hits
+//	macc -j 8 -cache-dir /tmp/mc -print a.c a.c   # a.c compiles once
 package main
 
 import (
@@ -54,6 +68,7 @@ import (
 	"sync"
 
 	"macc"
+	"macc/internal/ccache"
 	"macc/internal/core"
 	"macc/internal/faultinject"
 	"macc/internal/machine"
@@ -108,6 +123,8 @@ func main() {
 	inject := flag.String("inject", "", "sabotage a pass: 'pass:kind[:seed]' (kinds: panic, clobber-reg, drop-terminator, retarget-branch, flip-op)")
 	bisect := flag.Bool("bisect", false, "with -run: binary-search the pass list for the first pass that breaks the call")
 	jobs := flag.Int("j", 0, "with multiple input files: compile them on this many workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "enable the on-disk compile cache tier rooted at this directory")
+	cacheMem := flag.Int64("cache-mem", ccache.DefaultMemBudget, "in-memory compile cache budget in bytes")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -164,7 +181,19 @@ func main() {
 		if *run != "" || *dotFn != "" || *dump || *traceOut != "" || *metricsOut != "" || *bisect || *profile > 0 || *inject != "" {
 			fatal(fmt.Errorf("-run, -dot, -dump, -trace, -metrics, -bisect, -profile, and -inject require a single input file"))
 		}
+		// The pool shares one cache so duplicate inputs compile once
+		// (singleflight). Without -cache-dir a remarks run opts out:
+		// hits skip the pipeline and would swallow per-file remarks.
+		if *cacheDir != "" || remarks.mode == "" {
+			cfg.Cache = ccache.New(ccache.Options{MemBudget: *cacheMem, Dir: *cacheDir})
+		}
 		os.Exit(compileMany(flag.Args(), cfg, *jobs, remarks.mode, *reports, *printRTL))
+	}
+
+	var cache *ccache.Cache
+	if *cacheDir != "" {
+		cache = ccache.New(ccache.Options{MemBudget: *cacheMem, Dir: *cacheDir})
+		cfg.Cache = cache
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -259,6 +288,11 @@ func main() {
 		if err := fw.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if cache != nil && rec != nil {
+		// Surface the compile cache's hit/miss/store counters alongside
+		// the compile's own metrics.
+		rec.Metrics().Merge(cache.Metrics())
 	}
 	if *metricsOut != "" {
 		w := os.Stdout

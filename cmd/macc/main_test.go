@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+
+	"macc"
+	"macc/internal/ccache"
+)
 
 func TestParseCall(t *testing.T) {
 	name, args, err := parseCall("dotproduct(4096, 8192, 100)")
@@ -20,5 +26,43 @@ func TestParseCall(t *testing.T) {
 		if _, _, err := parseCall(bad); err == nil {
 			t.Errorf("parseCall(%q) should fail", bad)
 		}
+	}
+}
+
+// TestSharedCacheDedupAcrossFiles pins the -j satellite: duplicate inputs
+// routed through the shared cache compile once and print identically.
+func TestSharedCacheDedupAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/k.c"
+	src := `
+int sum(short *a, int n) {
+	int i, s;
+	s = 0;
+	for (i = 0; i < n; i++)
+		s += a[i];
+	return s;
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := macc.DefaultConfig()
+	cache := ccache.New(ccache.Options{})
+	cfg.Cache = cache
+
+	first := compileOne(path, cfg, "", false, true)
+	second := compileOne(path, cfg, "", false, true)
+	if first.failed || second.failed {
+		t.Fatalf("compile failed:\n%s\n%s", first.errs, second.errs)
+	}
+	if first.out != second.out {
+		t.Fatalf("cached compile printed differently:\n%s\nvs\n%s", first.out, second.out)
+	}
+	reg := cache.Metrics()
+	if reg.CounterValue("ccache.stores") != 1 {
+		t.Fatalf("stores = %d, want 1 (duplicate input recompiled)", reg.CounterValue("ccache.stores"))
+	}
+	if reg.CounterValue("ccache.mem_hits") != 1 {
+		t.Fatalf("mem_hits = %d, want 1", reg.CounterValue("ccache.mem_hits"))
 	}
 }

@@ -1,0 +1,54 @@
+// Command maccd serves the macc compiler over HTTP with a shared
+// content-addressed compile cache.
+//
+// Endpoints (JSON in/out):
+//
+//	POST /compile  {"source": "...", "machine": "alpha", ...}
+//	               -> {"rtl": "...", "cached": true, ...}
+//	POST /run      compile + simulate: adds "call", "mem", "data"
+//	               -> {"ret": ..., "cycles": ..., "cached": ...}
+//	GET  /metrics  telemetry registry snapshot (cache hit/miss/eviction/
+//	               dedup counters, request-latency histograms)
+//	GET  /healthz  liveness probe
+//
+// Identical concurrent compiles are deduplicated through the cache's
+// singleflight, so a thundering herd of the same source costs one compile.
+// Requests run on a bounded worker pool with a per-request deadline that
+// covers queue wait; a saturated server sheds load with 503 instead of
+// accepting unbounded work.
+//
+// Example:
+//
+//	maccd -addr :8080 -cache-dir /tmp/macc-cache &
+//	curl -s localhost:8080/compile -d '{"source":"int f(int x) { return x + 1; }"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"macc/internal/ccache"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk compile cache tier (empty: memory only)")
+	cacheMem := flag.Int64("cache-mem", ccache.DefaultMemBudget, "in-memory compile cache budget in bytes")
+	workers := flag.Int("workers", 0, "max concurrent compiles/runs (0: GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
+	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
+	flag.Parse()
+
+	srv := NewServer(ServerOptions{
+		CacheDir: *cacheDir,
+		CacheMem: *cacheMem,
+		Workers:  *workers,
+		Timeout:  *timeout,
+		MaxBody:  *maxBody,
+	})
+	fmt.Printf("maccd listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,421 @@
+package main
+
+// Server is the concurrent compile service: JSON in/out HTTP handlers over
+// the shared content-addressed compile cache. Every compile or run request
+// flows through a bounded worker pool with a per-request deadline covering
+// both queue wait and work; the pass pipeline's panic isolation plus a
+// handler-level recover keep one poisoned request from taking the process
+// down.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"macc"
+	"macc/internal/ccache"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+	"macc/internal/telemetry"
+)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// CacheDir enables the disk cache tier (empty = memory only).
+	CacheDir string
+	// CacheMem is the memory tier's byte budget (0 = default).
+	CacheMem int64
+	// Workers bounds concurrent compiles/runs (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-request deadline, queue wait included
+	// (0 = 30s).
+	Timeout time.Duration
+	// MaxBody bounds the request body in bytes (0 = 1 MiB).
+	MaxBody int64
+	// MaxSimMem bounds a /run request's simulator memory (0 = 64 MiB).
+	MaxSimMem int
+	// MaxSimFuel bounds a /run request's executed instructions
+	// (0 = 1<<28).
+	MaxSimFuel int64
+}
+
+// Server holds the service state shared by all handlers.
+type Server struct {
+	cache      *ccache.Cache
+	reg        *telemetry.Registry
+	sem        chan struct{}
+	timeout    time.Duration
+	maxBody    int64
+	maxSimMem  int
+	maxSimFuel int64
+}
+
+// NewServer builds the service: one shared cache, one shared metrics
+// registry, one worker-pool semaphore.
+func NewServer(opts ServerOptions) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	maxBody := opts.MaxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	maxSimMem := opts.MaxSimMem
+	if maxSimMem <= 0 {
+		maxSimMem = 64 << 20
+	}
+	maxSimFuel := opts.MaxSimFuel
+	if maxSimFuel <= 0 {
+		maxSimFuel = 1 << 28
+	}
+	reg := telemetry.NewRegistry()
+	return &Server{
+		cache:      ccache.New(ccache.Options{Dir: opts.CacheDir, MemBudget: opts.CacheMem, Metrics: reg}),
+		reg:        reg,
+		sem:        make(chan struct{}, workers),
+		timeout:    timeout,
+		maxBody:    maxBody,
+		maxSimMem:  maxSimMem,
+		maxSimFuel: maxSimFuel,
+	}
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// CompileRequest selects a source, a machine, and a pipeline configuration
+// (the same knobs as the cmd/macc flags). Zero values mean the default
+// optimizing configuration.
+type CompileRequest struct {
+	Source string `json:"source"`
+	// Machine is alpha, m88100, or m68030 (default alpha).
+	Machine string `json:"machine,omitempty"`
+	// Coalesce is both, loads, stores, or off (default both).
+	Coalesce string `json:"coalesce,omitempty"`
+	// Unroll is auto, off, or a factor >= 2 (default auto).
+	Unroll string `json:"unroll,omitempty"`
+	// Optimize and Schedule default to true; send false to disable.
+	Optimize  *bool `json:"optimize,omitempty"`
+	Schedule  *bool `json:"schedule,omitempty"`
+	Registers int   `json:"registers,omitempty"`
+}
+
+// CompileResponse carries the optimized RTL and the compile's side records.
+type CompileResponse struct {
+	RTL         string            `json:"rtl"`
+	Machine     string            `json:"machine"`
+	Cached      bool              `json:"cached"`
+	Degraded    bool              `json:"degraded"`
+	Diagnostics string            `json:"diagnostics,omitempty"`
+	Reports     []core.LoopReport `json:"reports,omitempty"`
+	Unrolled    map[string]int    `json:"unrolled,omitempty"`
+}
+
+// RunRequest compiles like CompileRequest and then executes Call on the
+// simulator. Data seeds simulator memory before the run.
+type RunRequest struct {
+	CompileRequest
+	// Call is "fn(arg, ...)" with integer arguments.
+	Call string `json:"call"`
+	// Mem is the simulator memory size in bytes (default 1 MiB).
+	Mem int `json:"mem,omitempty"`
+	// Data writes integer arrays into memory before the run.
+	Data []DataWrite `json:"data,omitempty"`
+}
+
+// DataWrite is one pre-run memory initialization.
+type DataWrite struct {
+	Addr  int64   `json:"addr"`
+	Width int     `json:"width"` // 1, 2, 4, or 8 bytes
+	Ints  []int64 `json:"ints"`
+}
+
+// RunResponse is the simulator's verdict.
+type RunResponse struct {
+	Ret          int64 `json:"ret"`
+	Cycles       int64 `json:"cycles"`
+	Instrs       int64 `json:"instrs"`
+	Loads        int64 `json:"loads"`
+	Stores       int64 `json:"stores"`
+	MemRefs      int64 `json:"mem_refs"`
+	ICacheMisses int64 `json:"icache_misses"`
+	DCacheMisses int64 `json:"dcache_misses"`
+	Cached       bool  `json:"cached"`
+}
+
+// httpError carries a status code out of a worker.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// configFor maps a request onto a macc.Config backed by the shared cache.
+func (s *Server) configFor(req CompileRequest) (macc.Config, error) {
+	if strings.TrimSpace(req.Source) == "" {
+		return macc.Config{}, badRequest("missing source")
+	}
+	name := req.Machine
+	if name == "" {
+		name = "alpha"
+	}
+	m, ok := machine.ByName(name)
+	if !ok {
+		return macc.Config{}, badRequest("unknown machine %q", name)
+	}
+	cfg := macc.Config{Machine: m, Optimize: true, Schedule: true, Cache: s.cache}
+	if req.Optimize != nil {
+		cfg.Optimize = *req.Optimize
+	}
+	if req.Schedule != nil {
+		cfg.Schedule = *req.Schedule
+	}
+	switch req.Coalesce {
+	case "", "both":
+		cfg.Coalesce = core.Options{Loads: true, Stores: true}
+	case "loads":
+		cfg.Coalesce = core.Options{Loads: true}
+	case "stores":
+		cfg.Coalesce = core.Options{Stores: true}
+	case "off":
+	default:
+		return macc.Config{}, badRequest("unknown coalesce mode %q", req.Coalesce)
+	}
+	switch req.Unroll {
+	case "", "auto":
+		cfg.Unroll = true
+	case "off":
+	default:
+		n, err := strconv.Atoi(req.Unroll)
+		if err != nil || n < 2 {
+			return macc.Config{}, badRequest("bad unroll %q", req.Unroll)
+		}
+		cfg.Unroll = true
+		cfg.UnrollFactor = n
+	}
+	if req.Registers < 0 {
+		return macc.Config{}, badRequest("negative registers")
+	}
+	cfg.Registers = req.Registers
+	return cfg, nil
+}
+
+// serve decodes a JSON request, runs work on the bounded pool under the
+// request deadline, and encodes the JSON response. work runs on a worker
+// goroutine; panics there become 500s, deadline overruns 503/504s.
+func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
+	histogram string, work func(req Req) (Resp, error)) {
+	s.reg.Counter("maccd.requests").Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req Req
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+
+	// Acquire a pool slot; a saturated service sheds load when the
+	// deadline expires in the queue.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.reg.Counter("maccd.queue_timeouts").Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "saturated: timed out waiting for a worker")
+		return
+	}
+
+	type outcome struct {
+		resp Resp
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Counter("maccd.panics").Add(1)
+				done <- outcome{err: &httpError{code: http.StatusInternalServerError,
+					msg: fmt.Sprintf("internal panic: %v", p)}}
+			}
+		}()
+		start := time.Now()
+		resp, err := work(req)
+		s.reg.Histogram(histogram).Observe(time.Since(start).Nanoseconds())
+		done <- outcome{resp: resp, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			var he *httpError
+			if errors.As(out.err, &he) {
+				s.fail(w, he.code, he.msg)
+			} else {
+				s.fail(w, http.StatusUnprocessableEntity, out.err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out.resp)
+	case <-ctx.Done():
+		// The worker keeps running to completion (compiles are not
+		// cancellable mid-pass) but the client gets released; a later
+		// identical request will hit the cache the worker populates.
+		s.reg.Counter("maccd.timeouts").Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.reg.Counter("maccd.errors").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	serve(s, w, r, "maccd.compile_ns", func(req CompileRequest) (CompileResponse, error) {
+		prog, _, err := s.compile(req)
+		if err != nil {
+			return CompileResponse{}, err
+		}
+		resp := CompileResponse{
+			RTL:      prog.RTL.String(),
+			Machine:  prog.Machine.Name,
+			Cached:   prog.Cached,
+			Degraded: prog.Diagnostics.Degraded(),
+			Reports:  prog.Reports,
+			Unrolled: prog.Unrolled,
+		}
+		if resp.Degraded {
+			resp.Diagnostics = prog.Diagnostics.String()
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	serve(s, w, r, "maccd.run_ns", func(req RunRequest) (RunResponse, error) {
+		name, args, err := parseCall(req.Call)
+		if err != nil {
+			return RunResponse{}, badRequest("bad call: %v", err)
+		}
+		mem := req.Mem
+		if mem <= 0 {
+			mem = 1 << 20
+		}
+		if mem > s.maxSimMem {
+			return RunResponse{}, badRequest("mem %d exceeds limit %d", mem, s.maxSimMem)
+		}
+		prog, _, err := s.compile(req.CompileRequest)
+		if err != nil {
+			return RunResponse{}, err
+		}
+		sim := prog.NewSim(mem)
+		defer sim.Release()
+		sim.Fuel = s.maxSimFuel
+		for _, d := range req.Data {
+			w := rtl.Width(d.Width)
+			if !w.Valid() {
+				return RunResponse{}, badRequest("bad data width %d", d.Width)
+			}
+			end := d.Addr + int64(len(d.Ints))*int64(w)
+			if d.Addr < 0 || end > int64(mem) {
+				return RunResponse{}, badRequest("data write [%d, %d) outside memory", d.Addr, end)
+			}
+			sim.WriteInts(d.Addr, w, d.Ints)
+		}
+		res, err := sim.Run(name, args...)
+		if err != nil {
+			return RunResponse{}, fmt.Errorf("run: %w", err)
+		}
+		return RunResponse{
+			Ret:          res.Ret,
+			Cycles:       res.Cycles,
+			Instrs:       res.Instrs,
+			Loads:        res.Loads,
+			Stores:       res.Stores,
+			MemRefs:      res.MemRefs(),
+			ICacheMisses: res.ICacheMisses,
+			DCacheMisses: res.DCacheMisses,
+			Cached:       prog.Cached,
+		}, nil
+	})
+}
+
+// compile routes one request through the shared cache.
+func (s *Server) compile(req CompileRequest) (*macc.Program, macc.Config, error) {
+	cfg, err := s.configFor(req)
+	if err != nil {
+		return nil, cfg, err
+	}
+	prog, err := macc.Compile(req.Source, cfg)
+	if err != nil {
+		return nil, cfg, badRequest("compile: %v", err)
+	}
+	return prog, cfg, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		s.fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// parseCall parses "fn(1,2,3)" into a name and integer arguments.
+func parseCall(s string) (string, []int64, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("want fn(arg,...), got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("missing function name in %q", s)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	var args []int64
+	if inner != "" {
+		for _, part := range strings.Split(inner, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("bad argument %q", part)
+			}
+			args = append(args, v)
+		}
+	}
+	return name, args, nil
+}

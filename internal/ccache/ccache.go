@@ -1,0 +1,404 @@
+// Package ccache is a two-tier content-addressed compilation cache. The
+// paper eliminates redundant memory accesses inside a loop; this package
+// applies the same idea one level up and eliminates redundant compilations:
+// a compile keyed by the SHA-256 of (source text, canonical configuration
+// fingerprint, machine fingerprint, cache schema version) is done at most
+// once, then served from memory or disk.
+//
+// The memory tier is an LRU over compiled *rtl.Program values with a byte
+// budget (entries are costed by their printed RTL size). The optional disk
+// tier serializes the optimized RTL through the existing textual printer
+// and revalidates on every hit by reparsing: a truncated, corrupt, stale,
+// or mismatched entry is a miss, never an error. The repo's property-tested
+// printer↔parser fixpoint makes this serialization provably lossless.
+//
+// Concurrent identical compiles are deduplicated singleflight-style:
+// GetOrCompute runs the compute function once per key, and every concurrent
+// caller shares the result. Callers must treat a returned Entry as
+// immutable; Entry.CloneProgram hands out a private deep copy.
+package ccache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"macc/internal/core"
+	"macc/internal/rtl"
+	"macc/internal/telemetry"
+)
+
+// SchemaVersion names the cache layout. Bumping it invalidates every
+// existing entry twice over: it is hashed into the key (so new lookups miss
+// old files) and checked against the disk envelope (so a file from another
+// schema is rejected even on a key collision).
+const SchemaVersion = "macc-ccache/v1"
+
+// Key is the 32-byte content address of one compilation.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, as used for disk file names.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf derives the content address of a compilation from the source text,
+// the canonical configuration fingerprint, and the machine fingerprint.
+// Fields are length-prefixed so no two distinct triples collide by
+// concatenation.
+func KeyOf(source, configFP, machineFP string) Key {
+	h := sha256.New()
+	for _, s := range []string{SchemaVersion, source, configFP, machineFP} {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Entry is one cached compilation: the optimized program plus the side
+// records a *macc.Program carries. Entries stored in the cache are shared
+// and must not be mutated; use CloneProgram / CloneReports / CloneUnrolled.
+type Entry struct {
+	// Program is the optimized RTL (immutable once cached).
+	Program *rtl.Program
+	// Text is the printed form of Program: the disk payload and the byte
+	// cost accounted against the memory budget. Put fills it when empty.
+	Text string
+	// Machine is the target name, recorded in the disk envelope.
+	Machine string
+	// Reports are the coalescer's per-loop reports.
+	Reports []core.LoopReport
+	// Unrolled maps function names to applied unroll factors.
+	Unrolled map[string]int
+	// Uncacheable marks a result that must be returned to concurrent
+	// callers but never stored (e.g. a compile that degraded).
+	Uncacheable bool
+}
+
+// CloneProgram returns a private deep copy of the cached program.
+func (e Entry) CloneProgram() *rtl.Program {
+	fns := make([]*rtl.Fn, len(e.Program.Fns))
+	for i, f := range e.Program.Fns {
+		fns[i] = f.Clone()
+	}
+	np := rtl.NewProgram(fns...)
+	np.Globals = append([]*rtl.Global(nil), e.Program.Globals...)
+	return np
+}
+
+// CloneReports returns a private copy of the report slice.
+func (e Entry) CloneReports() []core.LoopReport {
+	if e.Reports == nil {
+		return nil
+	}
+	return append([]core.LoopReport(nil), e.Reports...)
+}
+
+// CloneUnrolled returns a private copy of the unroll-factor map.
+func (e Entry) CloneUnrolled() map[string]int {
+	m := make(map[string]int, len(e.Unrolled))
+	for k, v := range e.Unrolled {
+		m[k] = v
+	}
+	return m
+}
+
+// size is the byte cost charged against the memory budget.
+func (e Entry) size() int64 {
+	return int64(len(e.Text)) + 512 // fixed overhead for structs and maps
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MemBudget bounds the memory tier in bytes (of printed-RTL cost).
+	// Zero selects DefaultMemBudget; negative disables the memory tier.
+	MemBudget int64
+	// Dir, when non-empty, enables the disk tier rooted there. The
+	// directory is created on first write.
+	Dir string
+	// Metrics, when non-nil, receives the cache's counters and gauges;
+	// nil gets a private registry (readable via Metrics()).
+	Metrics *telemetry.Registry
+}
+
+// DefaultMemBudget is the memory tier's default byte budget.
+const DefaultMemBudget = 64 << 20
+
+// Cache is a two-tier content-addressed compile cache with singleflight
+// deduplication. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	byKey   map[Key]*list.Element
+	bytes   int64
+	budget  int64
+	dir     string
+	reg     *telemetry.Registry
+	flights map[Key]*flight
+	fmu     sync.Mutex
+	// onWait, when non-nil, is invoked whenever a caller joins an
+	// existing flight (test hook for deterministic dedup assertions).
+	onWait func()
+}
+
+type lruEntry struct {
+	key Key
+	e   Entry
+}
+
+type flight struct {
+	done chan struct{}
+	e    Entry
+	err  error
+}
+
+// New builds a cache from opts.
+func New(opts Options) *Cache {
+	budget := opts.MemBudget
+	if budget == 0 {
+		budget = DefaultMemBudget
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Cache{
+		lru:     list.New(),
+		byKey:   make(map[Key]*list.Element),
+		budget:  budget,
+		dir:     opts.Dir,
+		reg:     reg,
+		flights: make(map[Key]*flight),
+	}
+}
+
+// Metrics returns the registry the cache publishes into: counters
+// ccache.mem_hits, ccache.disk_hits, ccache.misses, ccache.evictions,
+// ccache.dedup_waiters, ccache.stores, ccache.disk_invalid,
+// ccache.disk_errors, and gauges ccache.entries, ccache.bytes.
+func (c *Cache) Metrics() *telemetry.Registry { return c.reg }
+
+// Len returns the number of memory-tier entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Bytes returns the memory tier's current byte cost.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Get looks the key up in the memory tier and then the disk tier. A disk
+// hit is revalidated by reparse and promoted into the memory tier. The
+// second return is false on a miss (including every form of invalid disk
+// entry).
+func (c *Cache) Get(key Key) (Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*lruEntry).e
+		c.mu.Unlock()
+		c.reg.Counter("ccache.mem_hits").Add(1)
+		return e, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if e, ok := c.loadDisk(key); ok {
+			c.reg.Counter("ccache.disk_hits").Add(1)
+			c.insertMem(key, e)
+			return e, true
+		}
+	}
+	c.reg.Counter("ccache.misses").Add(1)
+	return Entry{}, false
+}
+
+// Put stores the entry under key in both tiers. The entry becomes cache
+// property: callers must not mutate it afterwards. Uncacheable entries are
+// ignored.
+func (c *Cache) Put(key Key, e Entry) {
+	if e.Uncacheable || e.Program == nil {
+		return
+	}
+	if e.Text == "" {
+		e.Text = e.Program.String()
+	}
+	c.reg.Counter("ccache.stores").Add(1)
+	c.insertMem(key, e)
+	if c.dir != "" {
+		if err := c.storeDisk(key, e); err != nil {
+			c.reg.Counter("ccache.disk_errors").Add(1)
+		}
+	}
+}
+
+// GetOrCompute returns the cached entry for key, or runs compute exactly
+// once — concurrently requested identical keys share the single in-flight
+// computation (and each waiter counts as ccache.dedup_waiters). hit reports
+// whether the result came from the cache or a shared flight rather than
+// this caller's own compute. A compute error is shared with every waiter
+// and nothing is stored.
+func (c *Cache) GetOrCompute(key Key, compute func() (Entry, error)) (e Entry, hit bool, err error) {
+	if e, ok := c.Get(key); ok {
+		return e, true, nil
+	}
+	c.fmu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.fmu.Unlock()
+		c.reg.Counter("ccache.dedup_waiters").Add(1)
+		if c.onWait != nil {
+			c.onWait()
+		}
+		<-f.done
+		return f.e, f.err == nil, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.fmu.Unlock()
+
+	f.e, f.err = compute()
+	if f.err == nil {
+		c.Put(key, f.e)
+	}
+	c.fmu.Lock()
+	delete(c.flights, key)
+	c.fmu.Unlock()
+	close(f.done)
+	return f.e, false, f.err
+}
+
+// insertMem adds (or refreshes) a memory-tier entry and evicts from the LRU
+// tail until the budget holds. Disk-tier files are never evicted.
+func (c *Cache) insertMem(key Key, e Entry) {
+	if c.budget < 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		old := el.Value.(*lruEntry)
+		c.bytes += e.size() - old.e.size()
+		old.e = e
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&lruEntry{key: key, e: e})
+		c.bytes += e.size()
+	}
+	var evicted int64
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		le := back.Value.(*lruEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, le.key)
+		c.bytes -= le.e.size()
+		evicted++
+	}
+	c.reg.Gauge("ccache.entries").Set(float64(len(c.byKey)))
+	c.reg.Gauge("ccache.bytes").Set(float64(c.bytes))
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.reg.Counter("ccache.evictions").Add(evicted)
+	}
+}
+
+// diskEntry is the on-disk JSON envelope.
+type diskEntry struct {
+	Schema   string            `json:"schema"`
+	Key      string            `json:"key"`
+	Machine  string            `json:"machine,omitempty"`
+	Unrolled map[string]int    `json:"unrolled,omitempty"`
+	Reports  []core.LoopReport `json:"reports,omitempty"`
+	// Sum is the SHA-256 of RTL, catching truncation that still parses.
+	Sum string `json:"sum"`
+	RTL string `json:"rtl"`
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key Key) string {
+	hexKey := key.String()
+	return filepath.Join(c.dir, hexKey[:2], hexKey+".json")
+}
+
+// storeDisk writes the entry atomically (temp file + rename), so a reader
+// never observes a half-written envelope.
+func (c *Cache) storeDisk(key Key, e Entry) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+		return err
+	}
+	sum := sha256.Sum256([]byte(e.Text))
+	data, err := json.Marshal(diskEntry{
+		Schema:   SchemaVersion,
+		Key:      key.String(),
+		Machine:  e.Machine,
+		Unrolled: e.Unrolled,
+		Reports:  e.Reports,
+		Sum:      hex.EncodeToString(sum[:]),
+		RTL:      e.Text,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// loadDisk reads and revalidates one disk entry. Every failure mode —
+// unreadable file, malformed JSON, schema or key or checksum mismatch, RTL
+// that no longer parses or verifies — is a miss; invalid files are counted
+// and removed so they are not re-tried forever.
+func (c *Cache) loadDisk(key Key) (Entry, bool) {
+	p := c.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return Entry{}, false
+	}
+	invalid := func() (Entry, bool) {
+		c.reg.Counter("ccache.disk_invalid").Add(1)
+		os.Remove(p)
+		return Entry{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil {
+		return invalid()
+	}
+	if de.Schema != SchemaVersion || de.Key != key.String() {
+		return invalid()
+	}
+	sum := sha256.Sum256([]byte(de.RTL))
+	if de.Sum != hex.EncodeToString(sum[:]) {
+		return invalid()
+	}
+	prog, err := rtl.ParseProgram(de.RTL)
+	if err != nil {
+		return invalid()
+	}
+	return Entry{
+		Program:  prog,
+		Text:     de.RTL,
+		Machine:  de.Machine,
+		Unrolled: de.Unrolled,
+		Reports:  de.Reports,
+	}, true
+}

@@ -1,0 +1,361 @@
+package ccache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"macc/internal/core"
+	"macc/internal/rtl"
+)
+
+// prog builds a tiny valid program whose printed size scales with pad.
+func prog(t *testing.T, name string, pad int) *rtl.Program {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(r0) {\nentry:\n", name)
+	for i := 0; i < pad; i++ {
+		fmt.Fprintf(&sb, "\tr%d = r0 + %d\n", i+1, i)
+	}
+	fmt.Fprintf(&sb, "\tret r0\n}\n")
+	p, err := rtl.ParseProgram(sb.String())
+	if err != nil {
+		t.Fatalf("prog: %v", err)
+	}
+	return p
+}
+
+func entryFor(t *testing.T, name string, pad int) Entry {
+	p := prog(t, name, pad)
+	return Entry{
+		Program:  p,
+		Machine:  "alpha",
+		Reports:  []core.LoopReport{{Header: "loop", Fn: name, Applied: true, Reason: "test"}},
+		Unrolled: map[string]int{name: 4},
+	}
+}
+
+func TestKeyOfDistinctAndStable(t *testing.T) {
+	base := KeyOf("src", "cfg", "alpha")
+	if base != KeyOf("src", "cfg", "alpha") {
+		t.Fatal("KeyOf not deterministic")
+	}
+	for _, k := range []Key{
+		KeyOf("src2", "cfg", "alpha"),
+		KeyOf("src", "cfg2", "alpha"),
+		KeyOf("src", "cfg", "m88100"),
+		// Length prefixing: moving a byte across a field boundary must
+		// change the key.
+		KeyOf("srcc", "fg", "alpha"),
+	} {
+		if k == base {
+			t.Fatalf("key collision: %s", k)
+		}
+	}
+}
+
+func TestMemHitReturnsSharedEntryAndCloneIsolates(t *testing.T) {
+	c := New(Options{})
+	key := KeyOf("a", "b", "c")
+	c.Put(key, entryFor(t, "f", 2))
+
+	e, ok := c.Get(key)
+	if !ok {
+		t.Fatal("expected memory hit")
+	}
+	if got := c.Metrics().CounterValue("ccache.mem_hits"); got != 1 {
+		t.Fatalf("mem_hits = %d", got)
+	}
+	clone := e.CloneProgram()
+	if clone == e.Program || clone.Fns[0] == e.Program.Fns[0] {
+		t.Fatal("CloneProgram returned shared structure")
+	}
+	if clone.String() != e.Program.String() {
+		t.Fatal("clone prints differently")
+	}
+	// Mutating the clone must not poison the cached copy.
+	clone.Fns[0].Blocks[0].Instrs[0].Disp = 999
+	e2, _ := c.Get(key)
+	if e2.Program.String() != e.Text && e2.Program.String() != e.Program.String() {
+		t.Fatal("cached program was mutated through a clone")
+	}
+	if r := e.CloneReports(); &r[0] == &e.Reports[0] {
+		t.Fatal("CloneReports shares backing array")
+	}
+	u := e.CloneUnrolled()
+	u["f"] = 99
+	if e.Unrolled["f"] != 4 {
+		t.Fatal("CloneUnrolled shares map")
+	}
+}
+
+func TestLRUEvictionUnderTinyBudget(t *testing.T) {
+	c := New(Options{MemBudget: 2048})
+	k1, k2, k3 := KeyOf("1", "", ""), KeyOf("2", "", ""), KeyOf("3", "", "")
+	c.Put(k1, entryFor(t, "f1", 20))
+	c.Put(k2, entryFor(t, "f2", 20))
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 evicted too early")
+	}
+	// k1 is now most recent, so inserting k3 must evict k2.
+	c.Put(k3, entryFor(t, "f3", 20))
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("expected k2 evicted")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("expected k1 retained (recently used)")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Fatal("expected k3 retained (newest)")
+	}
+	if ev := c.Metrics().CounterValue("ccache.evictions"); ev == 0 {
+		t.Fatal("evictions counter did not move")
+	}
+	if c.Bytes() > 2048 && c.Len() > 1 {
+		t.Fatalf("budget not enforced: %d bytes in %d entries", c.Bytes(), c.Len())
+	}
+	// A single entry larger than the budget stays resident (the cache
+	// always keeps the most recent compile).
+	big := New(Options{MemBudget: 10})
+	big.Put(k1, entryFor(t, "f", 50))
+	if _, ok := big.Get(k1); !ok {
+		t.Fatal("most recent entry must survive even over budget")
+	}
+}
+
+func TestDiskTierRoundTripAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("src", "cfg", "alpha")
+	want := entryFor(t, "f", 3)
+
+	a := New(Options{Dir: dir})
+	a.Put(key, want)
+
+	// A fresh cache (new "process") must hit the disk tier and promote.
+	b := New(Options{Dir: dir})
+	got, ok := b.Get(key)
+	if !ok {
+		t.Fatal("expected disk hit")
+	}
+	if got.Program.String() != want.Program.String() {
+		t.Fatalf("disk round trip not lossless:\n%s\nvs\n%s", got.Program, want.Program)
+	}
+	if len(got.Reports) != 1 || got.Reports[0].Reason != "test" || got.Unrolled["f"] != 4 {
+		t.Fatalf("side records lost: %+v %+v", got.Reports, got.Unrolled)
+	}
+	if b.Metrics().CounterValue("ccache.disk_hits") != 1 {
+		t.Fatal("disk_hits counter did not move")
+	}
+	// Promoted: second Get is a memory hit.
+	if _, ok := b.Get(key); !ok || b.Metrics().CounterValue("ccache.mem_hits") != 1 {
+		t.Fatal("disk hit was not promoted to the memory tier")
+	}
+}
+
+func TestDiskCorruptTruncatedAndStaleAreMisses(t *testing.T) {
+	corrupt := func(name string, f func(path string, data []byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := KeyOf("src"+name, "cfg", "alpha")
+			a := New(Options{Dir: dir})
+			a.Put(key, entryFor(t, "f", 3))
+			path := a.path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out := f(path, data); out != nil {
+				if err := os.WriteFile(path, out, 0o666); err != nil {
+					t.Fatal(err)
+				}
+			}
+			b := New(Options{Dir: dir})
+			if _, ok := b.Get(key); ok {
+				t.Fatal("invalid disk entry served as a hit")
+			}
+			if b.Metrics().CounterValue("ccache.disk_invalid") != 1 {
+				t.Fatal("disk_invalid counter did not move")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("invalid entry not removed")
+			}
+			if b.Metrics().CounterValue("ccache.misses") != 1 {
+				t.Fatal("miss not counted")
+			}
+		})
+	}
+	corrupt("truncated", func(_ string, data []byte) []byte { return data[:len(data)/2] })
+	corrupt("garbage", func(_ string, _ []byte) []byte { return []byte("{not json") })
+	corrupt("schema-bump", func(_ string, data []byte) []byte {
+		// A file written under an older (or newer) schema version must be
+		// rejected, so bumping SchemaVersion invalidates stale entries.
+		return []byte(strings.Replace(string(data), SchemaVersion, "macc-ccache/v0", 1))
+	})
+	corrupt("checksum", func(_ string, data []byte) []byte {
+		return []byte(strings.Replace(string(data), "ret r0", "ret r1", 1))
+	})
+}
+
+// TestDiskUnparsableRTLIsMiss covers the case where the envelope is intact
+// (valid JSON, matching checksum) but the RTL text no longer parses: the
+// reparse revalidation must turn it into a miss.
+func TestDiskUnparsableRTLIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("src", "cfg", "alpha")
+	a := New(Options{Dir: dir})
+	// Put trusts a non-empty Text, so an envelope with a correct checksum
+	// over junk RTL lands on disk.
+	e := entryFor(t, "f", 1)
+	e.Text = "junk f(r0) {\nentry:\n\tret r0\n}\n"
+	if err := a.storeDisk(key, e); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Options{Dir: dir})
+	if _, ok := b.Get(key); ok {
+		t.Fatal("unparsable RTL served as a hit")
+	}
+	if b.Metrics().CounterValue("ccache.disk_invalid") != 1 {
+		t.Fatal("disk_invalid counter did not move")
+	}
+}
+
+func TestSingleflightDedupIsShared(t *testing.T) {
+	c := New(Options{})
+	key := KeyOf("src", "cfg", "alpha")
+
+	const waiters = 7
+	started := make(chan struct{})
+	release := make(chan struct{})
+	joined := make(chan struct{}, waiters)
+	c.onWait = func() { joined <- struct{}{} }
+
+	computes := 0
+	var wg sync.WaitGroup
+	results := make([]Entry, waiters+1)
+	leaderErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e, hit, err := c.GetOrCompute(key, func() (Entry, error) {
+			computes++
+			close(started)
+			<-release
+			return entryFor(t, "f", 2), nil
+		})
+		if hit {
+			err = fmt.Errorf("leader reported hit")
+		}
+		leaderErr <- err
+		results[0] = e
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, hit, err := c.GetOrCompute(key, func() (Entry, error) {
+				t.Error("waiter computed")
+				return Entry{}, nil
+			})
+			if err != nil || !hit {
+				t.Errorf("waiter %d: hit=%v err=%v", i, hit, err)
+			}
+			results[i+1] = e
+		}(i)
+	}
+	// Wait until every waiter has actually joined the flight, then let the
+	// leader finish: the dedup count is deterministic.
+	for i := 0; i < waiters; i++ {
+		<-joined
+	}
+	close(release)
+	wg.Wait()
+	if err := <-leaderErr; err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times", computes)
+	}
+	if got := c.Metrics().CounterValue("ccache.dedup_waiters"); got != waiters {
+		t.Fatalf("dedup_waiters = %d, want %d", got, waiters)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Program != results[0].Program {
+			t.Fatalf("waiter %d got a different program", i)
+		}
+	}
+}
+
+func TestGetOrComputeErrorSharedNotStored(t *testing.T) {
+	c := New(Options{Dir: t.TempDir()})
+	key := KeyOf("bad", "cfg", "alpha")
+	wantErr := fmt.Errorf("boom")
+	_, hit, err := c.GetOrCompute(key, func() (Entry, error) { return Entry{}, wantErr })
+	if hit || err != wantErr {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("errored compute was cached")
+	}
+}
+
+func TestUncacheableReturnedButNotStored(t *testing.T) {
+	c := New(Options{Dir: t.TempDir()})
+	key := KeyOf("deg", "cfg", "alpha")
+	e := entryFor(t, "f", 1)
+	e.Uncacheable = true
+	got, hit, err := c.GetOrCompute(key, func() (Entry, error) { return e, nil })
+	if err != nil || hit || got.Program == nil {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("uncacheable entry was stored")
+	}
+	if entries, _ := filepath.Glob(filepath.Join(c.dir, "*", "*.json")); len(entries) != 0 {
+		t.Fatalf("uncacheable entry written to disk: %v", entries)
+	}
+}
+
+// TestConcurrentHitMissEvict hammers a tiny-budget, disk-backed cache from
+// many goroutines mixing Get, Put, and GetOrCompute — run under -race in CI.
+func TestConcurrentHitMissEvict(t *testing.T) {
+	c := New(Options{MemBudget: 4096, Dir: t.TempDir()})
+	keys := make([]Key, 8)
+	progs := make([]*rtl.Program, len(keys))
+	small := make([]*rtl.Program, len(keys))
+	for i := range keys {
+		keys[i] = KeyOf(fmt.Sprintf("src%d", i), "cfg", "alpha")
+		progs[i] = prog(t, fmt.Sprintf("f%d", i), 10+i)
+		small[i] = prog(t, fmt.Sprintf("f%d", i), 5)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ki := (g + i) % len(keys)
+				k := keys[ki]
+				switch i % 3 {
+				case 0:
+					c.Get(k)
+				case 1:
+					e, _, err := c.GetOrCompute(k, func() (Entry, error) {
+						return Entry{Program: progs[ki]}, nil
+					})
+					if err != nil || e.Program == nil {
+						t.Errorf("GetOrCompute: %v", err)
+						return
+					}
+					_ = e.CloneProgram()
+				case 2:
+					c.Put(k, Entry{Program: small[ki]})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

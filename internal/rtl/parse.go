@@ -6,12 +6,14 @@ package rtl
 // the property tests in parse_test.go pin that.
 
 import (
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
 )
 
-// ParseProgram parses one or more textual functions.
+// ParseProgram parses one or more textual functions, optionally preceded or
+// interleaved with `global` directives as printed by Program.String.
 func ParseProgram(src string) (*Program, error) {
 	p := NewProgram()
 	rest := src
@@ -20,6 +22,20 @@ func ParseProgram(src string) (*Program, error) {
 		if rest == "" {
 			return p, nil
 		}
+		if strings.HasPrefix(rest, "global ") || rest == "global" {
+			line := rest
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				line, rest = rest[:nl], rest[nl+1:]
+			} else {
+				rest = ""
+			}
+			g, err := parseGlobal(strings.TrimSpace(line))
+			if err != nil {
+				return nil, err
+			}
+			p.Globals = append(p.Globals, g)
+			continue
+		}
 		fn, remaining, err := parseOneFn(rest)
 		if err != nil {
 			return nil, err
@@ -27,6 +43,41 @@ func ParseProgram(src string) (*Program, error) {
 		p.Add(fn)
 		rest = remaining
 	}
+}
+
+// parseGlobal parses "global name @addr size N [init hex]".
+func parseGlobal(line string) (*Global, error) {
+	// fields: global <name> @<addr> size <size> [init <hex>]
+	fields := strings.Fields(line)
+	if len(fields) != 5 && len(fields) != 7 {
+		return nil, fmt.Errorf("rtl: malformed global %q", line)
+	}
+	if fields[0] != "global" || !strings.HasPrefix(fields[2], "@") || fields[3] != "size" {
+		return nil, fmt.Errorf("rtl: malformed global %q", line)
+	}
+	addr, err := strconv.ParseInt(fields[2][1:], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("rtl: bad global address in %q", line)
+	}
+	size, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil || size < 0 {
+		return nil, fmt.Errorf("rtl: bad global size in %q", line)
+	}
+	g := &Global{Name: fields[1], Addr: addr, Size: size}
+	if len(fields) == 7 {
+		if fields[5] != "init" {
+			return nil, fmt.Errorf("rtl: malformed global %q", line)
+		}
+		init, err := hex.DecodeString(fields[6])
+		if err != nil {
+			return nil, fmt.Errorf("rtl: bad global init in %q", line)
+		}
+		if int64(len(init)) > size {
+			return nil, fmt.Errorf("rtl: global init longer than size in %q", line)
+		}
+		g.Init = init
+	}
+	return g, nil
 }
 
 // ParseFn parses a single textual function.
@@ -72,6 +123,26 @@ func parseOneFn(src string) (*Fn, string, error) {
 	}
 	name := strings.TrimSpace(head[5:open])
 	fp := &fnParser{fn: &Fn{Name: name}, blocks: make(map[string]*Block)}
+
+	// An optional spill-frame clause sits between ')' and '{':
+	// "frame <bytes> @r<reg>".
+	tail := strings.TrimSpace(strings.TrimSuffix(head[closeP+1:], "{"))
+	if tail != "" {
+		fields := strings.Fields(tail)
+		if len(fields) != 3 || fields[0] != "frame" || !strings.HasPrefix(fields[2], "@") {
+			return nil, "", fmt.Errorf("rtl: malformed frame clause %q", tail)
+		}
+		fb, err := strconv.Atoi(fields[1])
+		if err != nil || fb < 0 {
+			return nil, "", fmt.Errorf("rtl: bad frame size in %q", tail)
+		}
+		fr, err := fp.parseReg(fields[2][1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("rtl: bad frame register in %q: %v", tail, err)
+		}
+		fp.fn.FrameBytes = fb
+		fp.fn.FrameReg = fr
+	}
 
 	paramList := strings.TrimSpace(head[open+1 : closeP])
 	if paramList != "" {
@@ -386,13 +457,16 @@ func (fp *fnParser) parseAssign(dst Reg, rhs string) (*Instr, error) {
 
 	}
 
+	// Calls are the only remaining form with parentheses; a multi-argument
+	// call like "f(r1, r2, r3)" splits into any number of fields, so
+	// dispatch on the paren before counting fields.
+	if strings.Contains(rhs, "(") {
+		return fp.parseCall(dst, rhs)
+	}
 	fields := strings.Fields(rhs)
 	switch len(fields) {
 	case 1:
 		tok := fields[0]
-		if strings.Contains(tok, "(") {
-			return fp.parseCall(dst, rhs)
-		}
 		// "-rN" and "--5" are negations ("-5" alone is a constant move).
 		if strings.HasPrefix(tok, "-") &&
 			(strings.HasPrefix(tok[1:], "r") || strings.HasPrefix(tok[1:], "-")) {
@@ -429,9 +503,6 @@ func (fp *fnParser) parseAssign(dst Reg, rhs string) (*Instr, error) {
 		}
 		return &Instr{Op: spec.op, Dst: dst, A: a, B: b, Signed: spec.signed}, nil
 	default:
-		if strings.Contains(rhs, "(") {
-			return fp.parseCall(dst, rhs)
-		}
 		return nil, fmt.Errorf("cannot parse %q", rhs)
 	}
 }

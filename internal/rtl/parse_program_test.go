@@ -1,0 +1,120 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProgramStringRoundTripGlobals pins the program-level print↔parse
+// fixpoint the compile cache's disk tier relies on: globals (with and
+// without initializers) and functions survive a full round trip.
+func TestProgramStringRoundTripGlobals(t *testing.T) {
+	f := NewFn("f", 1)
+	r := f.NewReg()
+	b := f.Entry()
+	b.Instrs = append(b.Instrs,
+		&Instr{Op: Load, Dst: r, A: R(f.Params[0]), Width: W4, Signed: true},
+		&Instr{Op: Ret, A: R(r)},
+	)
+	p := NewProgram(f)
+	p.Globals = []*Global{
+		{Name: "table", Addr: 4096, Size: 64, Init: []byte{0x00, 0x01, 0xfe, 0xff}},
+		{Name: "bss", Addr: 8192, Size: 128},
+	}
+
+	text := p.String()
+	got, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v\n%s", err, text)
+	}
+	if got.String() != text {
+		t.Fatalf("round trip not a fixpoint:\n--- printed ---\n%s--- reprinted ---\n%s", text, got.String())
+	}
+	if len(got.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(got.Globals))
+	}
+	g := got.Globals[0]
+	if g.Name != "table" || g.Addr != 4096 || g.Size != 64 || string(g.Init) != string(p.Globals[0].Init) {
+		t.Errorf("global[0] = %+v", g)
+	}
+	if got.Globals[1].Init != nil {
+		t.Errorf("global[1] grew an initializer: %x", got.Globals[1].Init)
+	}
+}
+
+// TestFnStringRoundTripFrame pins the spill-frame header round trip, so
+// register-allocated functions are losslessly cacheable on disk.
+func TestFnStringRoundTripFrame(t *testing.T) {
+	f := NewFn("spilly", 1)
+	fr := f.NewReg()
+	r := f.NewReg()
+	f.FrameBytes = 24
+	f.FrameReg = fr
+	b := f.Entry()
+	b.Instrs = append(b.Instrs,
+		&Instr{Op: Store, A: R(fr), B: R(f.Params[0]), Width: W8},
+		&Instr{Op: Load, Dst: r, A: R(fr), Width: W8},
+		&Instr{Op: Ret, A: R(r)},
+	)
+
+	text := f.String()
+	if !strings.Contains(text, "frame 24 @r1") {
+		t.Fatalf("header does not carry the frame clause:\n%s", text)
+	}
+	got, err := ParseFn(text)
+	if err != nil {
+		t.Fatalf("ParseFn: %v\n%s", err, text)
+	}
+	if got.FrameBytes != 24 || got.FrameReg != fr {
+		t.Fatalf("frame = (%d, %s), want (24, %s)", got.FrameBytes, got.FrameReg, fr)
+	}
+	if got.String() != text {
+		t.Fatalf("round trip not a fixpoint:\n%s\nvs\n%s", text, got.String())
+	}
+}
+
+// TestParseGlobalErrors rejects malformed global directives.
+func TestParseGlobalErrors(t *testing.T) {
+	for _, src := range []string{
+		"global\n",
+		"global x\n",
+		"global x @12 size\n",
+		"global x 12 size 4\n",
+		"global x @12 extent 4\n",
+		"global x @12 size 4 init zz\n",
+		"global x @12 size 2 init aabbcc\n",
+	} {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) accepted malformed global", src)
+		}
+	}
+}
+
+// TestCallRoundTripAnyArity pins call parsing for every argument count:
+// a call with two or more comma-separated register arguments splits into
+// three-plus fields and must not be mistaken for a binary operation.
+func TestCallRoundTripAnyArity(t *testing.T) {
+	for arity := 0; arity <= 4; arity++ {
+		f := NewFn("caller", arity)
+		dst := f.NewReg()
+		call := &Instr{Op: Call, Dst: dst, Callee: "callee"}
+		for _, p := range f.Params {
+			call.Args = append(call.Args, R(p))
+		}
+		b := f.Entry()
+		b.Instrs = append(b.Instrs, call, &Instr{Op: Ret, A: R(dst)})
+
+		text := f.String()
+		got, err := ParseFn(text)
+		if err != nil {
+			t.Fatalf("arity %d: ParseFn: %v\n%s", arity, err, text)
+		}
+		in := got.Entry().Instrs[0]
+		if in.Op != Call || in.Callee != "callee" || len(in.Args) != arity {
+			t.Fatalf("arity %d: parsed %v (callee %q, %d args)", arity, in.Op, in.Callee, len(in.Args))
+		}
+		if got.String() != text {
+			t.Fatalf("arity %d: round trip not a fixpoint:\n%s\nvs\n%s", arity, text, got.String())
+		}
+	}
+}

@@ -85,14 +85,21 @@ func (in *Instr) String() string {
 	return in.Op.String()
 }
 
-// String renders the whole function, one block per label.
+// String renders the whole function, one block per label. A function that
+// carries a spill frame (regalloc ran) prints it in the header so the
+// textual form stays lossless: `func f(r0, r1) frame 24 @r7 {`.
 func (f *Fn) String() string {
 	var sb strings.Builder
 	var params []string
 	for _, p := range f.Params {
 		params = append(params, p.String())
 	}
-	fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	if f.FrameBytes != 0 {
+		fmt.Fprintf(&sb, "func %s(%s) frame %d @%s {\n",
+			f.Name, strings.Join(params, ", "), f.FrameBytes, f.FrameReg)
+	} else {
+		fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	}
 	for _, b := range f.Blocks {
 		fmt.Fprintf(&sb, "%s:\n", b)
 		for _, in := range b.Instrs {
@@ -100,6 +107,25 @@ func (f *Fn) String() string {
 		}
 	}
 	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders the whole program: one `global` directive per static data
+// object followed by every function. ParseProgram reads this format back,
+// and the round trip is lossless — the content-addressed compile cache's
+// disk tier depends on it.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s @%d size %d", g.Name, g.Addr, g.Size)
+		if len(g.Init) > 0 {
+			fmt.Fprintf(&sb, " init %x", g.Init)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range p.Fns {
+		sb.WriteString(f.String())
+	}
 	return sb.String()
 }
 

@@ -22,7 +22,9 @@ package macc
 
 import (
 	"fmt"
+	"strings"
 
+	"macc/internal/ccache"
 	"macc/internal/cfg"
 	"macc/internal/core"
 	"macc/internal/dataflow"
@@ -81,6 +83,19 @@ type Config struct {
 	// the same recorder's Registry into sim.AttachMetrics to see static
 	// decisions and dynamic memory traffic side by side.
 	Telemetry *telemetry.Recorder
+	// Cache, when non-nil, memoizes whole compilations content-addressed
+	// by (source text, configuration, machine): byte-identical inputs are
+	// compiled once and every further Compile is served from the cache's
+	// memory or disk tier, with concurrent identical compiles
+	// deduplicated singleflight-style. A cache hit returns a program
+	// observably identical to a cold compile (same printed RTL, same
+	// simulated behaviour) but skips the pass pipeline, so per-pass
+	// telemetry spans and remarks are not re-emitted; the cache's own
+	// counters (ccache.mem_hits, ...) record the hit instead. The cache
+	// is bypassed when DumpStage or WrapPass is set (those observe or
+	// perturb individual passes and need the real pipeline), and compiles
+	// that degrade (Diagnostics non-empty) are returned but never stored.
+	Cache *ccache.Cache
 }
 
 // emitter returns the remark sink for the configured recorder (a Nop when
@@ -132,17 +147,52 @@ type Program struct {
 	// simulator, so static pipeline counters and dynamic run counters
 	// accumulate side by side.
 	Telemetry *telemetry.Recorder
+	// Cached reports that this program was served from Config.Cache (a
+	// memory/disk hit or a shared in-flight compile) rather than compiled
+	// by this call.
+	Cached bool
 }
 
-// Compile runs the full pipeline over a mini-C translation unit.
+// Compile runs the full pipeline over a mini-C translation unit. With
+// Config.Cache set, byte-identical (source, config, machine) compiles are
+// served from the content-addressed cache instead of re-running the
+// front end and pass pipeline.
 func Compile(src string, cfg Config) (*Program, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = machine.Alpha()
 	}
+	cold := func() (*Program, error) { return compileSource(src, cfg) }
+	if cfg.usesCache() {
+		return compileCached(src, cfg, cold)
+	}
+	return cold()
+}
+
+func compileSource(src string, cfg Config) (*Program, error) {
 	rp, err := minic.Compile(src)
 	if err != nil {
 		return nil, err
 	}
+	return compileProgram(rp, cfg)
+}
+
+// CompileRTL applies the pipeline to an already-built RTL program (used by
+// tests and by callers constructing IR directly). With Config.Cache set the
+// compile is keyed by the program's printed text; on a hit rp is left
+// untouched and the cached result is returned instead.
+func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	if cfg.usesCache() {
+		return compileCached(rp.String(), cfg, func() (*Program, error) {
+			return compileProgram(rp, cfg)
+		})
+	}
+	return compileProgram(rp, cfg)
+}
+
+func compileProgram(rp *rtl.Program, cfg Config) (*Program, error) {
 	p := newProgram(rp, cfg.Machine)
 	p.Telemetry = cfg.Telemetry
 	for _, f := range rp.Fns {
@@ -153,20 +203,94 @@ func Compile(src string, cfg Config) (*Program, error) {
 	return p, nil
 }
 
-// CompileRTL applies the pipeline to an already-built RTL program (used by
-// tests and by callers constructing IR directly).
-func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
-	if cfg.Machine == nil {
-		cfg.Machine = machine.Alpha()
+// usesCache reports whether this configuration may consult the compile
+// cache. DumpStage and WrapPass observe or perturb individual passes, so
+// their compiles must run the real pipeline every time.
+func (cfg Config) usesCache() bool {
+	return cfg.Cache != nil && cfg.DumpStage == nil && cfg.WrapPass == nil
+}
+
+// fingerprint renders every semantics-affecting Config field canonically;
+// it is one of the three cache key components.
+func (cfg Config) fingerprint() string {
+	return fmt.Sprintf("opt=%t;unroll=%t;factor=%d;coalesce=%t/%t/%t/%t;sched=%t;regs=%d;strict=%t",
+		cfg.Optimize, cfg.Unroll, cfg.UnrollFactor,
+		cfg.Coalesce.Loads, cfg.Coalesce.Stores, cfg.Coalesce.Force,
+		cfg.Coalesce.NoRuntimeChecks, cfg.Schedule, cfg.Registers, cfg.Strict)
+}
+
+// machineFingerprint renders the full machine description — capability
+// flags, cache geometry, and both cost tables — so two models sharing a
+// name but differing anywhere observable never share a cache key.
+func machineFingerprint(m *machine.Machine) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s;word=%d;align=%t;pipe=%t;icache=%d/%d/%d;dcache=%d/%d",
+		m.Name, m.WordBytes, m.MustAlign, m.Pipelined,
+		m.ICacheBytes, m.BytesPerInstr, m.ICacheMissPenalty,
+		m.DCacheBytes, m.DCacheMissPenalty)
+	costFingerprint(&sb, &m.Sched)
+	costFingerprint(&sb, &m.Exec)
+	return sb.String()
+}
+
+func costFingerprint(sb *strings.Builder, c *machine.Costs) {
+	fmt.Fprintf(sb, ";alu=%d,mul=%d,div=%d,x=%d,i=%d,br=%d,call=%d,xo=%d,io=%d",
+		c.Alu, c.Mul, c.Div, c.Extract, c.Insert, c.Branch, c.Call,
+		c.ExtractOcc, c.InsertOcc)
+	for _, w := range []rtl.Width{rtl.W1, rtl.W2, rtl.W4, rtl.W8} {
+		fmt.Fprintf(sb, ",l%d=%d/%d,s%d=%d/%d",
+			w, c.Load[w], c.LoadOcc[w], w, c.Store[w], c.StoreOcc[w])
 	}
-	p := newProgram(rp, cfg.Machine)
-	p.Telemetry = cfg.Telemetry
-	for _, f := range rp.Fns {
-		if err := p.optimizeFn(f, cfg); err != nil {
-			return nil, fmt.Errorf("%s: %w", f.Name, err)
+}
+
+// compileCached serves the compile from cfg.Cache: a hit (memory, disk, or
+// a shared in-flight compile) materializes a private copy of the cached
+// program; a miss runs cold once — concurrent identical compiles wait for
+// it instead of duplicating the work — and stores an immutable copy of the
+// result. Degraded compiles are returned but never stored (and a caller
+// sharing the leader's flight sees the program without its diagnostics).
+func compileCached(keySrc string, cfg Config, cold func() (*Program, error)) (*Program, error) {
+	key := ccache.KeyOf(keySrc, cfg.fingerprint(), machineFingerprint(cfg.Machine))
+	var coldProg *Program
+	e, hit, err := cfg.Cache.GetOrCompute(key, func() (ccache.Entry, error) {
+		p, err := cold()
+		if err != nil {
+			return ccache.Entry{}, err
 		}
+		coldProg = p
+		snap := ccache.Entry{
+			Program:     p.RTL,
+			Machine:     cfg.Machine.Name,
+			Reports:     append([]core.LoopReport(nil), p.Reports...),
+			Unrolled:    make(map[string]int, len(p.Unrolled)),
+			Uncacheable: p.Diagnostics.Degraded(),
+		}
+		for k, v := range p.Unrolled {
+			snap.Unrolled[k] = v
+		}
+		// The cache owns its entry outright: snapshot the program so no
+		// later mutation through the caller's pointer can poison it.
+		snap.Program = snap.CloneProgram()
+		return snap, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	if !hit {
+		return coldProg, nil
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Count("ccache.compile_hits", 1)
+	}
+	return &Program{
+		RTL:         e.CloneProgram(),
+		Machine:     cfg.Machine,
+		Reports:     e.CloneReports(),
+		Unrolled:    e.CloneUnrolled(),
+		Diagnostics: &pipeline.Diagnostics{},
+		Telemetry:   cfg.Telemetry,
+		Cached:      true,
+	}, nil
 }
 
 func newProgram(rp *rtl.Program, m *machine.Machine) *Program {
