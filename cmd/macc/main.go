@@ -55,6 +55,13 @@
 //
 //	macc -cache-dir ~/.cache/macc -print prog.c   # second run hits
 //	macc -j 8 -cache-dir /tmp/mc -print a.c a.c   # a.c compiles once
+//
+// With -server the compile runs on a maccd farm instead of locally, through
+// the resilient farm client (retries, hedged requests, circuit breakers);
+// -priority batch marks the request sheddable under saturation:
+//
+//	macc -server http://farm0:8080,http://farm1:8080 -print prog.c
+//	macc -server http://farm0:8080 -priority batch -run 'f(4096,100)' prog.c
 package main
 
 import (
@@ -66,6 +73,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"macc"
 	"macc/internal/ccache"
@@ -125,12 +133,48 @@ func main() {
 	jobs := flag.Int("j", 0, "with multiple input files: compile them on this many workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "enable the on-disk compile cache tier rooted at this directory")
 	cacheMem := flag.Int64("cache-mem", ccache.DefaultMemBudget, "in-memory compile cache budget in bytes")
+	server := flag.String("server", "", "comma-separated maccd base URLs: compile remotely on the farm instead of locally")
+	priority := flag.String("priority", "", "with -server: admission tier, interactive (default) or batch")
+	remoteTimeout := flag.Duration("server-timeout", 30*time.Second, "with -server: per-attempt request timeout")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl ...")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *server != "" {
+		if flag.NArg() > 1 {
+			fatal(errors.New("-server compiles a single input file"))
+		}
+		if *dump || *dotFn != "" || *traceOut != "" || *metricsOut != "" || *bisect ||
+			*profile > 0 || *inject != "" || remarks.mode != "" || *cacheDir != "" ||
+			*force || *static || *strict {
+			fatal(errors.New("-server supports only -machine, -coalesce, -unroll, -O, -schedule, -regs, -print, -reports, -run, -mem, and -priority"))
+		}
+		var servers []string
+		for _, s := range strings.Split(*server, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				servers = append(servers, s)
+			}
+		}
+		os.Exit(runRemote(remoteOpts{
+			servers:   servers,
+			file:      flag.Arg(0),
+			machine:   *machName,
+			coalesce:  *coalesce,
+			unroll:    *unrollFlag,
+			optimize:  *optimize,
+			schedule:  *schedule,
+			registers: *regs,
+			priority:  *priority,
+			printRTL:  *printRTL,
+			reports:   *reports,
+			run:       *run,
+			mem:       *mem,
+			timeout:   *remoteTimeout,
+		}))
 	}
 
 	m, ok := machine.ByName(*machName)

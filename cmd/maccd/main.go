@@ -1,5 +1,6 @@
 // Command maccd serves the macc compiler over HTTP with a shared
-// content-addressed compile cache.
+// content-addressed compile cache, and optionally joins a compile farm of
+// replicas that consult each other's caches before compiling.
 //
 // Endpoints (JSON in/out):
 //
@@ -9,28 +10,40 @@
 //	               -> {"ret": ..., "cycles": ..., "cached": ...}
 //	GET  /metrics  telemetry registry snapshot (cache hit/miss/eviction/
 //	               dedup counters, request-latency histograms)
-//	GET  /healthz  liveness probe
+//	GET  /healthz  liveness probe (503 while draining)
+//	GET  /peer/entry/<key>  farm peer cache lookup (disk-envelope JSON)
 //
 // Identical concurrent compiles are deduplicated through the cache's
 // singleflight, so a thundering herd of the same source costs one compile.
 // Requests run on a bounded worker pool with a per-request deadline that
 // covers queue wait; a saturated server sheds load with 503 instead of
-// accepting unbounded work.
+// accepting unbounded work, and batch-priority requests are shed first.
 //
-// Example:
+// On SIGTERM/SIGINT the server drains gracefully: it stops accepting new
+// work (503 + failing health checks), lets in-flight requests finish up to
+// their deadlines, flushes a final metrics snapshot, and exits.
 //
-//	maccd -addr :8080 -cache-dir /tmp/macc-cache &
-//	curl -s localhost:8080/compile -d '{"source":"int f(int x) { return x + 1; }"}'
+// Example farm:
+//
+//	maccd -addr :8080 -cache-dir /tmp/c0 -peers http://localhost:8081,http://localhost:8082 &
+//	maccd -addr :8081 -cache-dir /tmp/c1 -peers http://localhost:8080,http://localhost:8082 &
+//	maccd -addr :8082 -cache-dir /tmp/c2 -peers http://localhost:8080,http://localhost:8081 &
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"macc/internal/ccache"
+	"macc/internal/faultinject"
 )
 
 func main() {
@@ -40,15 +53,77 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent compiles/runs (0: GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
+	peers := flag.String("peers", "", "comma-separated base URLs of farm replicas to consult on cache misses")
+	batchSlots := flag.Int("batch-slots", 0, "max batch-priority requests in the queue (0: workers)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful shutdown budget (0: request timeout + 5s)")
+	chaos := flag.String("chaos", "", "fault injection spec, e.g. drop=0.1,delay=0.2,corrupt=0.1,maxdelay=50ms,diskfull=0.05,crashwrite=0.05,seed=42")
+	metricsOut := flag.String("metrics-out", "", "file to write the final metrics snapshot to on shutdown (empty: stderr)")
 	flag.Parse()
 
+	spec, err := faultinject.ParseServiceSpec(*chaos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+
 	srv := NewServer(ServerOptions{
-		CacheDir: *cacheDir,
-		CacheMem: *cacheMem,
-		Workers:  *workers,
-		Timeout:  *timeout,
-		MaxBody:  *maxBody,
+		CacheDir:   *cacheDir,
+		CacheMem:   *cacheMem,
+		Workers:    *workers,
+		Timeout:    *timeout,
+		MaxBody:    *maxBody,
+		Peers:      peerList,
+		BatchSlots: *batchSlots,
+		Chaos:      spec,
 	})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	drainBudget := *drainTimeout
+	if drainBudget <= 0 {
+		drainBudget = *timeout + 5*time.Second
+	}
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		// Drain: stop admitting, fail health checks so peers and load
+		// balancers route around us, then wait for in-flight requests
+		// up to their deadlines.
+		srv.StartDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(sctx)
+	}()
+
 	fmt.Printf("maccd listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if err := <-shutdownDone; err != nil {
+		log.Printf("maccd: drain incomplete: %v", err)
+	}
+
+	// Flush the final metrics snapshot exactly once, after the last
+	// request has been counted.
+	out := os.Stderr
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Printf("maccd: metrics flush: %v", err)
+		} else {
+			defer f.Close()
+			out = f
+		}
+	}
+	if err := srv.Metrics().WriteJSON(out); err != nil {
+		log.Printf("maccd: metrics flush: %v", err)
+	}
 }

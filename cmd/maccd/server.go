@@ -16,11 +16,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"macc"
 	"macc/internal/ccache"
 	"macc/internal/core"
+	"macc/internal/farm"
+	"macc/internal/faultinject"
 	"macc/internal/machine"
 	"macc/internal/rtl"
 	"macc/internal/telemetry"
@@ -44,13 +47,27 @@ type ServerOptions struct {
 	// MaxSimFuel bounds a /run request's executed instructions
 	// (0 = 1<<28).
 	MaxSimFuel int64
+	// Peers are the other replicas' base URLs; when set, cache misses
+	// consult their caches (verified, never trusted) before compiling.
+	Peers []string
+	// BatchSlots bounds how many batch-priority requests may occupy the
+	// worker queue at once (0 = Workers). Interactive traffic is admitted
+	// up to the full queue; batch beyond its slots is shed immediately.
+	BatchSlots int
+	// Chaos injects service faults (sabotaged peer responses, failing
+	// disk writes) for resilience testing. Zero value: no chaos.
+	Chaos faultinject.ServiceSpec
 }
 
 // Server holds the service state shared by all handlers.
 type Server struct {
 	cache      *ccache.Cache
 	reg        *telemetry.Registry
+	farm       *farm.Client
+	saboteur   *faultinject.ServiceSaboteur
 	sem        chan struct{}
+	batchSem   chan struct{}
+	draining   atomic.Bool
 	timeout    time.Duration
 	maxBody    int64
 	maxSimMem  int
@@ -58,11 +75,16 @@ type Server struct {
 }
 
 // NewServer builds the service: one shared cache, one shared metrics
-// registry, one worker-pool semaphore.
+// registry, one worker-pool semaphore, and (when peers are configured) one
+// farm client wired in as the cache's fallback tier.
 func NewServer(opts ServerOptions) *Server {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	batchSlots := opts.BatchSlots
+	if batchSlots <= 0 {
+		batchSlots = workers
 	}
 	timeout := opts.Timeout
 	if timeout <= 0 {
@@ -81,88 +103,82 @@ func NewServer(opts ServerOptions) *Server {
 		maxSimFuel = 1 << 28
 	}
 	reg := telemetry.NewRegistry()
-	return &Server{
-		cache:      ccache.New(ccache.Options{Dir: opts.CacheDir, MemBudget: opts.CacheMem, Metrics: reg}),
+	s := &Server{
 		reg:        reg,
 		sem:        make(chan struct{}, workers),
+		batchSem:   make(chan struct{}, batchSlots),
 		timeout:    timeout,
 		maxBody:    maxBody,
 		maxSimMem:  maxSimMem,
 		maxSimFuel: maxSimFuel,
 	}
+	cacheOpts := ccache.Options{Dir: opts.CacheDir, MemBudget: opts.CacheMem, Metrics: reg}
+	if opts.Chaos.Active() {
+		s.saboteur = faultinject.NewServiceSaboteur(opts.Chaos)
+		cacheOpts.DiskFault = s.saboteur.DiskFault()
+	}
+	if len(opts.Peers) > 0 {
+		s.farm = farm.NewClient(farm.ClientOptions{
+			Peers:   opts.Peers,
+			Metrics: reg,
+			Seed:    opts.Chaos.Seed,
+		})
+		cacheOpts.Fallback = s.farm.FallbackFunc()
+	}
+	s.cache = ccache.New(cacheOpts)
+	return s
 }
 
-// Handler returns the service mux.
+// Close stops the farm client's background prober (no-op without peers).
+func (s *Server) Close() {
+	if s.farm != nil {
+		s.farm.Close()
+	}
+}
+
+// StartDrain begins a graceful shutdown: new compile/run requests are shed
+// with 503, /healthz fails so peers and load balancers stop routing here,
+// and in-flight requests keep their deadlines. /metrics stays available for
+// the final flush.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+}
+
+// Metrics returns the service registry (for the shutdown flush).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Handler returns the service mux. The peer cache endpoint answers only
+// from local tiers (never the farm fallback), so replica lookups cannot
+// recurse; when chaos is configured, the saboteur sits in front of it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
+	peer := http.Handler(farm.PeerCacheHandler(s.cache, s.reg))
+	if s.saboteur != nil {
+		peer = s.saboteur.WrapHandler(peer)
+	}
+	mux.Handle(farm.PeerPathPrefix, peer)
 	return mux
 }
 
-// CompileRequest selects a source, a machine, and a pipeline configuration
-// (the same knobs as the cmd/macc flags). Zero values mean the default
-// optimizing configuration.
-type CompileRequest struct {
-	Source string `json:"source"`
-	// Machine is alpha, m88100, or m68030 (default alpha).
-	Machine string `json:"machine,omitempty"`
-	// Coalesce is both, loads, stores, or off (default both).
-	Coalesce string `json:"coalesce,omitempty"`
-	// Unroll is auto, off, or a factor >= 2 (default auto).
-	Unroll string `json:"unroll,omitempty"`
-	// Optimize and Schedule default to true; send false to disable.
-	Optimize  *bool `json:"optimize,omitempty"`
-	Schedule  *bool `json:"schedule,omitempty"`
-	Registers int   `json:"registers,omitempty"`
-}
-
-// CompileResponse carries the optimized RTL and the compile's side records.
-type CompileResponse struct {
-	RTL         string            `json:"rtl"`
-	Machine     string            `json:"machine"`
-	Cached      bool              `json:"cached"`
-	Degraded    bool              `json:"degraded"`
-	Diagnostics string            `json:"diagnostics,omitempty"`
-	Reports     []core.LoopReport `json:"reports,omitempty"`
-	Unrolled    map[string]int    `json:"unrolled,omitempty"`
-}
-
-// RunRequest compiles like CompileRequest and then executes Call on the
-// simulator. Data seeds simulator memory before the run.
-type RunRequest struct {
-	CompileRequest
-	// Call is "fn(arg, ...)" with integer arguments.
-	Call string `json:"call"`
-	// Mem is the simulator memory size in bytes (default 1 MiB).
-	Mem int `json:"mem,omitempty"`
-	// Data writes integer arrays into memory before the run.
-	Data []DataWrite `json:"data,omitempty"`
-}
-
-// DataWrite is one pre-run memory initialization.
-type DataWrite struct {
-	Addr  int64   `json:"addr"`
-	Width int     `json:"width"` // 1, 2, 4, or 8 bytes
-	Ints  []int64 `json:"ints"`
-}
-
-// RunResponse is the simulator's verdict.
-type RunResponse struct {
-	Ret          int64 `json:"ret"`
-	Cycles       int64 `json:"cycles"`
-	Instrs       int64 `json:"instrs"`
-	Loads        int64 `json:"loads"`
-	Stores       int64 `json:"stores"`
-	MemRefs      int64 `json:"mem_refs"`
-	ICacheMisses int64 `json:"icache_misses"`
-	DCacheMisses int64 `json:"dcache_misses"`
-	Cached       bool  `json:"cached"`
-}
+// Wire types live in internal/farm so cmd/macc -server and cmd/loadgen
+// speak the same protocol.
+type (
+	CompileRequest  = farm.CompileRequest
+	CompileResponse = farm.CompileResponse
+	RunRequest      = farm.RunRequest
+	RunResponse     = farm.RunResponse
+	DataWrite       = farm.DataWrite
+)
 
 // httpError carries a status code out of a worker.
 type httpError struct {
@@ -223,6 +239,11 @@ func (s *Server) configFor(req CompileRequest) (macc.Config, error) {
 		return macc.Config{}, badRequest("negative registers")
 	}
 	cfg.Registers = req.Registers
+	switch req.Priority {
+	case "", farm.PriorityInteractive, farm.PriorityBatch:
+	default:
+		return macc.Config{}, badRequest("unknown priority %q", req.Priority)
+	}
 	return cfg, nil
 }
 
@@ -236,6 +257,11 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.draining.Load() {
+		s.reg.Counter("maccd.shed_draining").Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
 	var req Req
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -247,11 +273,27 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 
+	// Admission control: batch-priority requests may occupy only their
+	// bounded share of the queue and are shed immediately when it is
+	// full — interactive latency is never hostage to a batch backlog.
+	releaseBatch := func() {}
+	if p, ok := any(req).(interface{ AdmissionTier() string }); ok && p.AdmissionTier() == farm.PriorityBatch {
+		select {
+		case s.batchSem <- struct{}{}:
+			releaseBatch = func() { <-s.batchSem }
+		default:
+			s.reg.Counter("maccd.shed_batch").Add(1)
+			s.fail(w, http.StatusServiceUnavailable, "saturated: batch queue full")
+			return
+		}
+	}
+
 	// Acquire a pool slot; a saturated service sheds load when the
 	// deadline expires in the queue.
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		releaseBatch()
 		s.reg.Counter("maccd.queue_timeouts").Add(1)
 		s.fail(w, http.StatusServiceUnavailable, "saturated: timed out waiting for a worker")
 		return
@@ -263,7 +305,7 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		defer func() { <-s.sem }()
+		defer func() { <-s.sem; releaseBatch() }()
 		defer func() {
 			if p := recover(); p != nil {
 				s.reg.Counter("maccd.panics").Add(1)
@@ -390,6 +432,9 @@ func (s *Server) compile(req CompileRequest) (*macc.Program, macc.Config, error)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.farm != nil {
+		s.farm.PublishStats()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.WriteJSON(w); err != nil {
 		s.fail(w, http.StatusInternalServerError, err.Error())

@@ -19,13 +19,17 @@
 package ccache
 
 import (
+	"bufio"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"macc/internal/core"
@@ -44,6 +48,18 @@ type Key [sha256.Size]byte
 
 // String returns the key in hex, as used for disk file names.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String (as used in the peer
+// protocol's URLs).
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("bad cache key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // KeyOf derives the content address of a compilation from the source text,
 // the canonical configuration fingerprint, and the machine fingerprint.
@@ -124,7 +140,26 @@ type Options struct {
 	// Metrics, when non-nil, receives the cache's counters and gauges;
 	// nil gets a private registry (readable via Metrics()).
 	Metrics *telemetry.Registry
+	// Fallback, when non-nil, is consulted after both local tiers miss —
+	// the compile farm wires a validated peer-cache lookup in here. A
+	// fallback hit is promoted into both local tiers. The fallback is
+	// never consulted by GetLocal, so a replica answering peer probes can
+	// not recurse into its own peers.
+	Fallback func(Key) (Entry, bool)
+	// DiskFault, when non-nil, is invoked before each disk-tier write
+	// step ("create", "write", "rename") and fails that step when it
+	// returns an error. Returning ErrSimulatedCrash models a writer
+	// killed mid-step: the half-written temp file is abandoned in place,
+	// exactly as kill -9 would leave it, for the recovery scan to find.
+	// This is a fault-injection hook (internal/faultinject); production
+	// caches leave it nil.
+	DiskFault func(op string) error
 }
+
+// ErrSimulatedCrash, returned by an Options.DiskFault hook, makes the disk
+// tier abandon the current write as a kill -9 would: no cleanup, no rename,
+// the torn temp file left for crash recovery to collect.
+var ErrSimulatedCrash = errors.New("ccache: simulated crash during disk write")
 
 // DefaultMemBudget is the memory tier's default byte budget.
 const DefaultMemBudget = 64 << 20
@@ -132,15 +167,19 @@ const DefaultMemBudget = 64 << 20
 // Cache is a two-tier content-addressed compile cache with singleflight
 // deduplication. All methods are safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	lru     *list.List // front = most recently used
-	byKey   map[Key]*list.Element
-	bytes   int64
-	budget  int64
-	dir     string
-	reg     *telemetry.Registry
-	flights map[Key]*flight
-	fmu     sync.Mutex
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used
+	byKey    map[Key]*list.Element
+	bytes    int64
+	budget   int64
+	dir      string
+	reg      *telemetry.Registry
+	fallback func(Key) (Entry, bool)
+	fault    func(op string) error
+	flights  map[Key]*flight
+	fmu      sync.Mutex
+	jmu      sync.Mutex
+	journal  *os.File
 	// onWait, when non-nil, is invoked whenever a caller joins an
 	// existing flight (test hook for deterministic dedup assertions).
 	onWait func()
@@ -167,14 +206,20 @@ func New(opts Options) *Cache {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	return &Cache{
-		lru:     list.New(),
-		byKey:   make(map[Key]*list.Element),
-		budget:  budget,
-		dir:     opts.Dir,
-		reg:     reg,
-		flights: make(map[Key]*flight),
+	c := &Cache{
+		lru:      list.New(),
+		byKey:    make(map[Key]*list.Element),
+		budget:   budget,
+		dir:      opts.Dir,
+		reg:      reg,
+		fallback: opts.Fallback,
+		fault:    opts.DiskFault,
+		flights:  make(map[Key]*flight),
 	}
+	if c.dir != "" {
+		c.recover()
+	}
+	return c
 }
 
 // Metrics returns the registry the cache publishes into: counters
@@ -197,11 +242,39 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
-// Get looks the key up in the memory tier and then the disk tier. A disk
-// hit is revalidated by reparse and promoted into the memory tier. The
-// second return is false on a miss (including every form of invalid disk
-// entry).
+// Get looks the key up in the memory tier, the disk tier, and finally the
+// configured Fallback (the farm's peer lookup). A disk or fallback hit is
+// revalidated and promoted into the faster tiers. The second return is
+// false on a miss (including every form of invalid disk entry).
 func (c *Cache) Get(key Key) (Entry, bool) {
+	if e, ok := c.GetLocal(key); ok {
+		return e, true
+	}
+	if c.fallback != nil {
+		if e, ok := c.fallback(key); ok && e.Program != nil {
+			c.reg.Counter("ccache.peer_hits").Add(1)
+			if e.Text == "" {
+				e.Text = e.Program.String()
+			}
+			c.insertMem(key, e)
+			if c.dir != "" {
+				if err := c.storeDisk(key, e); err != nil {
+					c.reg.Counter("ccache.disk_errors").Add(1)
+				}
+			}
+			return e, true
+		}
+	}
+	c.reg.Counter("ccache.misses").Add(1)
+	return Entry{}, false
+}
+
+// GetLocal looks the key up in the local tiers only (memory, then disk) —
+// never the peer fallback. The farm's peer-protocol handler answers probes
+// from here, so a farm of replicas can not turn one miss into a lookup
+// cycle. A local miss is not counted in ccache.misses (the probing peer
+// accounts for its own miss).
+func (c *Cache) GetLocal(key Key) (Entry, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -219,7 +292,6 @@ func (c *Cache) Get(key Key) (Entry, bool) {
 			return e, true
 		}
 	}
-	c.reg.Counter("ccache.misses").Add(1)
 	return Entry{}, false
 }
 
@@ -328,15 +400,15 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, hexKey[:2], hexKey+".json")
 }
 
-// storeDisk writes the entry atomically (temp file + rename), so a reader
-// never observes a half-written envelope.
-func (c *Cache) storeDisk(key Key, e Entry) error {
-	p := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
-		return err
+// EncodeEntry renders the entry as the disk-format JSON envelope for key.
+// The same bytes are written to the disk tier and served to farm peers, so
+// every consumer revalidates the one format with DecodeEntry.
+func EncodeEntry(key Key, e Entry) ([]byte, error) {
+	if e.Text == "" && e.Program != nil {
+		e.Text = e.Program.String()
 	}
 	sum := sha256.Sum256([]byte(e.Text))
-	data, err := json.Marshal(diskEntry{
+	return json.Marshal(diskEntry{
 		Schema:   SchemaVersion,
 		Key:      key.String(),
 		Machine:  e.Machine,
@@ -345,11 +417,96 @@ func (c *Cache) storeDisk(key Key, e Entry) error {
 		Sum:      hex.EncodeToString(sum[:]),
 		RTL:      e.Text,
 	})
+}
+
+// DecodeEntry parses and revalidates one disk-format envelope against the
+// key it was requested under: schema and key must match, the checksum must
+// cover the RTL, and the RTL must reparse. Any violation is an error — the
+// caller treats it as a miss. This is the verification gate that makes a
+// corrupt or stale peer answer harmless.
+func DecodeEntry(key Key, data []byte) (Entry, error) {
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil {
+		return Entry{}, fmt.Errorf("envelope: %w", err)
+	}
+	if de.Schema != SchemaVersion {
+		return Entry{}, fmt.Errorf("schema %q, want %q", de.Schema, SchemaVersion)
+	}
+	if de.Key != key.String() {
+		return Entry{}, fmt.Errorf("key mismatch: envelope %s", de.Key)
+	}
+	sum := sha256.Sum256([]byte(de.RTL))
+	if de.Sum != hex.EncodeToString(sum[:]) {
+		return Entry{}, errors.New("checksum mismatch")
+	}
+	prog, err := rtl.ParseProgram(de.RTL)
 	if err != nil {
+		return Entry{}, fmt.Errorf("reparse: %w", err)
+	}
+	return Entry{
+		Program:  prog,
+		Text:     de.RTL,
+		Machine:  de.Machine,
+		Unrolled: de.Unrolled,
+		Reports:  de.Reports,
+	}, nil
+}
+
+// EncodeLocal encodes the locally cached entry for key (for the farm peer
+// handler). The bool is false when the key is not in a local tier.
+func (c *Cache) EncodeLocal(key Key) ([]byte, bool) {
+	e, ok := c.GetLocal(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := EncodeEntry(key, e)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// step runs one injected-fault checkpoint of the disk write path.
+func (c *Cache) step(op string) error {
+	if c.fault == nil {
+		return nil
+	}
+	return c.fault(op)
+}
+
+// storeDisk writes the entry via a write-ahead journal entry plus temp file
+// + rename, so a reader never observes a half-written envelope and a writer
+// killed at any point leaves only a journaled temp file for the next
+// startup's recovery scan to collect.
+func (c *Cache) storeDisk(key Key, e Entry) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+		return err
+	}
+	data, err := EncodeEntry(key, e)
+	if err != nil {
+		return err
+	}
+	if err := c.step("create"); err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
 	if err != nil {
+		return err
+	}
+	// Journal the intent before the first payload byte: whatever happens
+	// from here on, recovery knows this temp file is not a real entry.
+	c.journalIntent(tmp.Name())
+	if err := c.step("write"); err != nil {
+		if errors.Is(err, ErrSimulatedCrash) {
+			// Model the writer dying mid-WriteFile: half the payload
+			// lands, nothing is cleaned up.
+			tmp.Write(data[:len(data)/2])
+			tmp.Close()
+			return err
+		}
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -361,7 +518,84 @@ func (c *Cache) storeDisk(key Key, e Entry) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := c.step("rename"); err != nil {
+		if !errors.Is(err, ErrSimulatedCrash) {
+			os.Remove(tmp.Name())
+		}
+		return err
+	}
 	return os.Rename(tmp.Name(), p)
+}
+
+// journalIntent appends one line naming a temp file about to be written.
+// A successful rename removes the temp file, so at recovery time any
+// journaled name that still exists is a torn write. Journal append errors
+// are deliberately non-fatal (the sweep in recover backstops them).
+func (c *Cache) journalIntent(tmpPath string) {
+	rel, err := filepath.Rel(c.dir, tmpPath)
+	if err != nil {
+		return
+	}
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if c.journal == nil {
+		f, err := os.OpenFile(c.journalPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+		if err != nil {
+			return
+		}
+		c.journal = f
+	}
+	fmt.Fprintf(c.journal, "intent %s\n", rel)
+}
+
+func (c *Cache) journalPath() string { return filepath.Join(c.dir, "journal") }
+
+// recover runs the startup crash-recovery scan: every temp file named by a
+// journal intent that still exists is a torn write from a killed writer and
+// is removed (ccache.recovered_torn); a belt-and-braces sweep also collects
+// unjournaled *.tmp* strays (ccache.recovered_tmp), covering journal-append
+// failures. The journal is then truncated. Final-path entries need no scan:
+// loadDisk revalidates every read and deletes invalid files on sight.
+func (c *Cache) recover() {
+	if f, err := os.Open(c.journalPath()); err == nil {
+		var torn int64
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			name, ok := strings.CutPrefix(sc.Text(), "intent ")
+			if !ok {
+				continue
+			}
+			name = filepath.Clean(name)
+			if name == "" || name == "." || filepath.IsAbs(name) ||
+				strings.HasPrefix(name, "..") {
+				continue // a corrupt journal must not delete outside dir
+			}
+			p := filepath.Join(c.dir, name)
+			if _, err := os.Lstat(p); err == nil {
+				os.Remove(p)
+				torn++
+			}
+		}
+		f.Close()
+		if torn > 0 {
+			c.reg.Counter("ccache.recovered_torn").Add(torn)
+		}
+		os.Remove(c.journalPath())
+	}
+	var strays int64
+	filepath.WalkDir(c.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			os.Remove(p)
+			strays++
+		}
+		return nil
+	})
+	if strays > 0 {
+		c.reg.Counter("ccache.recovered_tmp").Add(strays)
+	}
 }
 
 // loadDisk reads and revalidates one disk entry. Every failure mode —
@@ -374,31 +608,11 @@ func (c *Cache) loadDisk(key Key) (Entry, bool) {
 	if err != nil {
 		return Entry{}, false
 	}
-	invalid := func() (Entry, bool) {
+	e, err := DecodeEntry(key, data)
+	if err != nil {
 		c.reg.Counter("ccache.disk_invalid").Add(1)
 		os.Remove(p)
 		return Entry{}, false
 	}
-	var de diskEntry
-	if err := json.Unmarshal(data, &de); err != nil {
-		return invalid()
-	}
-	if de.Schema != SchemaVersion || de.Key != key.String() {
-		return invalid()
-	}
-	sum := sha256.Sum256([]byte(de.RTL))
-	if de.Sum != hex.EncodeToString(sum[:]) {
-		return invalid()
-	}
-	prog, err := rtl.ParseProgram(de.RTL)
-	if err != nil {
-		return invalid()
-	}
-	return Entry{
-		Program:  prog,
-		Text:     de.RTL,
-		Machine:  de.Machine,
-		Unrolled: de.Unrolled,
-		Reports:  de.Reports,
-	}, true
+	return e, true
 }

@@ -1,0 +1,177 @@
+package ccache
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpFiles returns every *.tmp* file under dir.
+func tmpFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var tmps []string
+	filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			tmps = append(tmps, p)
+		}
+		return nil
+	})
+	return tmps
+}
+
+// crashAt returns a DiskFault hook that simulates a kill -9 at the given
+// write step, once armed.
+func crashAt(step string, armed *bool) func(string) error {
+	return func(op string) error {
+		if *armed && op == step {
+			return ErrSimulatedCrash
+		}
+		return nil
+	}
+}
+
+// TestCrashRecoveryTornWrite kills a disk-tier writer mid-WriteFile via an
+// injected fault and asserts the crash contract: the half-written temp file
+// never becomes a visible entry, the next cache open garbage-collects it,
+// and the key is a clean miss (then recompiles and caches normally).
+func TestCrashRecoveryTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("src", "cfg", "alpha")
+
+	armed := false
+	c := New(Options{Dir: dir, DiskFault: crashAt("write", &armed)})
+	armed = true
+	c.Put(key, entryFor(t, "f", 4))
+	armed = false
+
+	// The writer died mid-write: a journaled temp file exists, the final
+	// path does not, and the memory tier still serves the entry (the
+	// process survived in this simulation; only the disk write was lost).
+	if tmps := tmpFiles(t, dir); len(tmps) != 1 {
+		t.Fatalf("after crash: %d temp files, want 1 (%v)", len(tmps), tmps)
+	}
+	if _, err := os.Stat(c.path(key)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("final entry path exists after mid-write crash (err=%v)", err)
+	}
+	if c.Metrics().CounterValue("ccache.disk_errors") != 1 {
+		t.Errorf("disk_errors = %d, want 1", c.Metrics().CounterValue("ccache.disk_errors"))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "journal"))
+	if err != nil || !strings.Contains(string(data), "intent ") {
+		t.Fatalf("journal missing intent record: %q err=%v", data, err)
+	}
+
+	// "Reboot": a fresh cache over the same directory runs the recovery
+	// scan, which must remove the torn temp file and leave the key a miss.
+	c2 := New(Options{Dir: dir})
+	if got := c2.Metrics().CounterValue("ccache.recovered_torn"); got != 1 {
+		t.Errorf("recovered_torn = %d, want 1", got)
+	}
+	if tmps := tmpFiles(t, dir); len(tmps) != 0 {
+		t.Fatalf("temp files survive recovery: %v", tmps)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("torn write visible as a hit after recovery")
+	}
+	if got := c2.Metrics().CounterValue("ccache.disk_invalid"); got != 0 {
+		t.Errorf("disk_invalid = %d, want 0 (torn write must not reach the read path)", got)
+	}
+
+	// The key caches normally afterwards: write, then read back from disk
+	// through a third instance.
+	c2.Put(key, entryFor(t, "f", 4))
+	c3 := New(Options{Dir: dir})
+	if _, ok := c3.Get(key); !ok {
+		t.Fatal("post-recovery write not readable")
+	}
+}
+
+// TestCrashRecoveryBeforeRename kills the writer after the payload is fully
+// written but before the rename: still a torn write, still collected.
+func TestCrashRecoveryBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("src", "cfg", "alpha")
+
+	armed := false
+	c := New(Options{Dir: dir, DiskFault: crashAt("rename", &armed)})
+	armed = true
+	c.Put(key, entryFor(t, "g", 2))
+
+	if tmps := tmpFiles(t, dir); len(tmps) != 1 {
+		t.Fatalf("after crash: %d temp files, want 1", len(tmps))
+	}
+	c2 := New(Options{Dir: dir})
+	if got := c2.Metrics().CounterValue("ccache.recovered_torn"); got != 1 {
+		t.Errorf("recovered_torn = %d, want 1", got)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("unrenamed temp visible as a hit")
+	}
+}
+
+// TestRecoverySweepsUnjournaledStrays covers the journal-append-failure
+// backstop: a stray temp file with no journal record is still collected.
+func TestRecoverySweepsUnjournaledStrays(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(shard, ".deadbeef.json.tmp123")
+	if err := os.WriteFile(stray, []byte("{half"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: dir})
+	if got := c.Metrics().CounterValue("ccache.recovered_tmp"); got != 1 {
+		t.Errorf("recovered_tmp = %d, want 1", got)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("stray temp file survived the sweep")
+	}
+}
+
+// TestMaliciousJournalCannotEscapeDir ensures a corrupt journal naming
+// paths outside the cache directory deletes nothing out there.
+func TestMaliciousJournalCannotEscapeDir(t *testing.T) {
+	outside := filepath.Join(t.TempDir(), "precious")
+	if err := os.WriteFile(outside, []byte("keep"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	journal := "intent ../" + filepath.Base(filepath.Dir(outside)) + "/precious\n" +
+		"intent " + outside + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "journal"), []byte(journal), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	New(Options{Dir: dir})
+	if _, err := os.Stat(outside); err != nil {
+		t.Fatalf("recovery deleted a file outside the cache dir: %v", err)
+	}
+}
+
+// TestDiskFullIsDegradedNotFatal: a non-crash write error (ENOSPC-style)
+// cleans up after itself and leaves the cache serving from memory.
+func TestDiskFullIsDegradedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("src", "cfg", "alpha")
+	full := errors.New("disk full")
+	c := New(Options{Dir: dir, DiskFault: func(op string) error {
+		if op == "create" {
+			return full
+		}
+		return nil
+	}})
+	c.Put(key, entryFor(t, "h", 2))
+	if got := c.Metrics().CounterValue("ccache.disk_errors"); got != 1 {
+		t.Errorf("disk_errors = %d, want 1", got)
+	}
+	if tmps := tmpFiles(t, dir); len(tmps) != 0 {
+		t.Errorf("temp files left by a clean write failure: %v", tmps)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("memory tier lost the entry after a disk write failure")
+	}
+}

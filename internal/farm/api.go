@@ -1,0 +1,87 @@
+package farm
+
+import "macc/internal/core"
+
+// Wire types shared by the service (cmd/maccd), the remote CLI
+// (cmd/macc -server), and the load generator (cmd/loadgen).
+
+// Priority tiers for admission control. Interactive traffic (a developer
+// waiting at a prompt) is never queued behind batch traffic (a sweep
+// harness); a saturated replica sheds batch first.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// CompileRequest selects a source, a machine, and a pipeline configuration
+// (the same knobs as the cmd/macc flags). Zero values mean the default
+// optimizing configuration.
+type CompileRequest struct {
+	Source string `json:"source"`
+	// Machine is alpha, m88100, or m68030 (default alpha).
+	Machine string `json:"machine,omitempty"`
+	// Coalesce is both, loads, stores, or off (default both).
+	Coalesce string `json:"coalesce,omitempty"`
+	// Unroll is auto, off, or a factor >= 2 (default auto).
+	Unroll string `json:"unroll,omitempty"`
+	// Optimize and Schedule default to true; send false to disable.
+	Optimize  *bool `json:"optimize,omitempty"`
+	Schedule  *bool `json:"schedule,omitempty"`
+	Registers int   `json:"registers,omitempty"`
+	// Priority is interactive (default) or batch; batch requests are the
+	// first shed under saturation.
+	Priority string `json:"priority,omitempty"`
+}
+
+// AdmissionTier resolves the request's priority tier, defaulting to
+// interactive. RunRequest inherits it through embedding, so the service's
+// admission control can treat both request kinds uniformly.
+func (r CompileRequest) AdmissionTier() string {
+	if r.Priority == PriorityBatch {
+		return PriorityBatch
+	}
+	return PriorityInteractive
+}
+
+// CompileResponse carries the optimized RTL and the compile's side records.
+type CompileResponse struct {
+	RTL         string            `json:"rtl"`
+	Machine     string            `json:"machine"`
+	Cached      bool              `json:"cached"`
+	Degraded    bool              `json:"degraded"`
+	Diagnostics string            `json:"diagnostics,omitempty"`
+	Reports     []core.LoopReport `json:"reports,omitempty"`
+	Unrolled    map[string]int    `json:"unrolled,omitempty"`
+}
+
+// RunRequest compiles like CompileRequest and then executes Call on the
+// simulator. Data seeds simulator memory before the run.
+type RunRequest struct {
+	CompileRequest
+	// Call is "fn(arg, ...)" with integer arguments.
+	Call string `json:"call"`
+	// Mem is the simulator memory size in bytes (default 1 MiB).
+	Mem int `json:"mem,omitempty"`
+	// Data writes integer arrays into memory before the run.
+	Data []DataWrite `json:"data,omitempty"`
+}
+
+// DataWrite is one pre-run memory initialization.
+type DataWrite struct {
+	Addr  int64   `json:"addr"`
+	Width int     `json:"width"` // 1, 2, 4, or 8 bytes
+	Ints  []int64 `json:"ints"`
+}
+
+// RunResponse is the simulator's verdict.
+type RunResponse struct {
+	Ret          int64 `json:"ret"`
+	Cycles       int64 `json:"cycles"`
+	Instrs       int64 `json:"instrs"`
+	Loads        int64 `json:"loads"`
+	Stores       int64 `json:"stores"`
+	MemRefs      int64 `json:"mem_refs"`
+	ICacheMisses int64 `json:"icache_misses"`
+	DCacheMisses int64 `json:"dcache_misses"`
+	Cached       bool  `json:"cached"`
+}

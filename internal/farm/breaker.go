@@ -1,0 +1,258 @@
+// Package farm is the fault-tolerance layer that turns maccd replicas into
+// a compile farm. It provides the peer cache-lookup protocol (replicas
+// consult each other's content-addressed caches before compiling, every
+// answer revalidated by checksum and reparse), a resilient HTTP client
+// (per-attempt timeouts, exponential backoff with jitter, hedged requests
+// driven by observed p99 latency, and per-peer circuit breakers with
+// health-check-driven recovery), and the wire types shared by maccd,
+// cmd/macc -server, and cmd/loadgen.
+//
+// The package takes the paper's stance one layer up: just as a coalesced
+// access must be proven safe before it replaces narrow ones, a degraded
+// replica must be proven unable to corrupt a result — every remote answer
+// is either verified byte-for-byte or silently discarded in favour of a
+// local compile. Failure degrades latency, never correctness.
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the classic three circuit-breaker states.
+type BreakerState int32
+
+const (
+	// Closed passes traffic and records outcomes.
+	Closed BreakerState = iota
+	// Open fails fast: the peer is presumed down until the cooldown
+	// elapses or a health probe succeeds.
+	Open
+	// HalfOpen admits one probe request at a time; enough consecutive
+	// successes close the breaker, any failure reopens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// BreakerOptions tunes a Breaker. Zero values select the defaults.
+type BreakerOptions struct {
+	// ConsecutiveFailures trips the breaker regardless of rate
+	// (default 5). Timeout storms trip through this path.
+	ConsecutiveFailures int
+	// ErrorRate trips the breaker when the failure fraction over the
+	// rolling window reaches it, once MinSamples outcomes are recorded
+	// (default 0.5).
+	ErrorRate float64
+	// Window is the rolling outcome window size (default 20).
+	Window int
+	// MinSamples gates the error-rate trip (default 10).
+	MinSamples int
+	// Cooldown is how long an open breaker waits before letting one
+	// probe through (default 1s). A successful health check shortcuts
+	// the wait.
+	Cooldown time.Duration
+	// SuccessesToClose is how many consecutive half-open probe successes
+	// close the breaker (default 2).
+	SuccessesToClose int
+	// Clock is injectable for tests (default time.Now).
+	Clock func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.ConsecutiveFailures <= 0 {
+		o.ConsecutiveFailures = 5
+	}
+	if o.ErrorRate <= 0 {
+		o.ErrorRate = 0.5
+	}
+	if o.Window <= 0 {
+		o.Window = 20
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 10
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.SuccessesToClose <= 0 {
+		o.SuccessesToClose = 2
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Breaker is a per-peer circuit breaker. The contract is Allow-then-Record:
+// every Allow() == true must be paired with exactly one Record(ok) or
+// Cancel() call. Cancel releases an admission without an outcome (used for
+// hedged requests abandoned after the other leg won — an abandoned request
+// says nothing about the peer's health). All methods are safe for
+// concurrent use; in the half-open state at most one admission is
+// outstanding at a time, so concurrent callers cannot double-probe a
+// recovering peer.
+type Breaker struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+
+	state       BreakerState
+	consecFails int
+	window      []bool // ring buffer of outcomes, true = failure
+	windowIdx   int
+	windowLen   int
+	openedAt    time.Time
+	probing     bool // half-open: a probe admission is outstanding
+	probeOKs    int
+	trips       int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	opts = opts.withDefaults()
+	return &Breaker{opts: opts, window: make([]bool, opts.Window)}
+}
+
+// State reports the current state (open breakers past their cooldown still
+// report Open until an Allow transitions them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports how many times the breaker has tripped to Open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow reports whether a request may be sent to the peer. In the
+// half-open state exactly one admission is outstanding at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.opts.Clock().Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probeOKs = 0
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports the outcome of an admitted request.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		if !ok {
+			b.trip()
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.opts.SuccessesToClose {
+			b.reset()
+		}
+	case Closed:
+		if ok {
+			b.consecFails = 0
+		} else {
+			b.consecFails++
+		}
+		b.push(!ok)
+		if b.consecFails >= b.opts.ConsecutiveFailures {
+			b.trip()
+			return
+		}
+		if b.windowLen >= b.opts.MinSamples && b.failureRate() >= b.opts.ErrorRate {
+			b.trip()
+		}
+	case Open:
+		// A late outcome from before the trip; nothing to learn.
+	}
+}
+
+// Cancel releases an admission without recording an outcome.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+	}
+}
+
+// HealthOK is the health prober's recovery signal: an open breaker moves
+// to half-open immediately (skipping the remaining cooldown), so real
+// traffic can probe the recovered peer.
+func (b *Breaker) HealthOK() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		b.state = HalfOpen
+		b.probeOKs = 0
+		b.probing = false
+	}
+}
+
+// trip moves to Open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.opts.Clock()
+	b.probing = false
+	b.trips++
+}
+
+// reset moves to Closed with a clean window. Caller holds b.mu.
+func (b *Breaker) reset() {
+	b.state = Closed
+	b.consecFails = 0
+	b.windowIdx, b.windowLen = 0, 0
+	b.probing = false
+}
+
+// push records one outcome in the rolling window. Caller holds b.mu.
+func (b *Breaker) push(failed bool) {
+	b.window[b.windowIdx] = failed
+	b.windowIdx = (b.windowIdx + 1) % len(b.window)
+	if b.windowLen < len(b.window) {
+		b.windowLen++
+	}
+}
+
+// failureRate is the failure fraction over the window. Caller holds b.mu.
+func (b *Breaker) failureRate() float64 {
+	var fails int
+	for i := 0; i < b.windowLen; i++ {
+		if b.window[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(b.windowLen)
+}

@@ -1,0 +1,267 @@
+package farm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable test clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// step is one scripted action against the breaker.
+type step struct {
+	op      string // "allow", "deny", "ok", "fail", "cancel", "advance", "health", "state"
+	advance time.Duration
+	state   BreakerState
+}
+
+func allow() step                  { return step{op: "allow"} }
+func deny() step                   { return step{op: "deny"} }
+func ok() step                     { return step{op: "ok"} }
+func fail() step                   { return step{op: "fail"} }
+func advance(d time.Duration) step { return step{op: "advance", advance: d} }
+func health() step                 { return step{op: "health"} }
+func inState(s BreakerState) step  { return step{op: "state", state: s} }
+
+// TestBreakerTransitions drives the full closed -> open -> half-open ->
+// closed cycle (and its failure branches) through scripted outcome tables.
+func TestBreakerTransitions(t *testing.T) {
+	opts := BreakerOptions{
+		ConsecutiveFailures: 3,
+		ErrorRate:           0.5,
+		Window:              8,
+		MinSamples:          4,
+		Cooldown:            time.Second,
+		SuccessesToClose:    2,
+	}
+	cases := []struct {
+		name  string
+		steps []step
+		trips int64
+	}{
+		{
+			name: "consecutive failures trip, cooldown probes, successes close",
+			steps: []step{
+				inState(Closed),
+				allow(), fail(), allow(), fail(), inState(Closed),
+				allow(), fail(), inState(Open), // 3rd consecutive failure trips
+				deny(),                                  // open fails fast
+				advance(999 * time.Millisecond), deny(), // cooldown not elapsed
+				advance(2 * time.Millisecond),
+				allow(), inState(HalfOpen), // first probe admitted
+				deny(),        // single probe at a time
+				ok(),          // probe 1 succeeds
+				allow(), ok(), // probe 2 succeeds
+				inState(Closed), // SuccessesToClose reached
+			},
+			trips: 1,
+		},
+		{
+			name: "half-open failure reopens and restarts the cooldown",
+			steps: []step{
+				allow(), fail(), allow(), fail(), allow(), fail(), inState(Open),
+				advance(time.Second),
+				allow(), inState(HalfOpen),
+				fail(), inState(Open), // probe failed: back to open
+				deny(), // and the cooldown restarted
+				advance(time.Second),
+				allow(), ok(), allow(), ok(), inState(Closed),
+			},
+			trips: 2,
+		},
+		{
+			name: "error rate over the window trips without consecutive failures",
+			steps: []step{
+				// fail/ok alternation: never 3 consecutive, but 50% of 4+.
+				allow(), fail(), allow(), ok(), allow(), fail(), inState(Closed),
+				allow(), ok(), inState(Open), // 4 samples at rate 0.5
+			},
+			trips: 1,
+		},
+		{
+			name: "cancel releases the half-open probe slot without an outcome",
+			steps: []step{
+				allow(), fail(), allow(), fail(), allow(), fail(), inState(Open),
+				advance(time.Second),
+				allow(), inState(HalfOpen),
+				deny(),
+				{op: "cancel"}, // abandoned hedge: no judgement
+				inState(HalfOpen),
+				allow(), ok(), allow(), ok(), inState(Closed),
+			},
+			trips: 1,
+		},
+		{
+			name: "health check recovers an open breaker before the cooldown",
+			steps: []step{
+				allow(), fail(), allow(), fail(), allow(), fail(), inState(Open),
+				deny(),
+				health(), inState(HalfOpen),
+				allow(), ok(), allow(), ok(), inState(Closed),
+			},
+			trips: 1,
+		},
+		{
+			name: "closing resets the window (old failures are forgiven)",
+			steps: []step{
+				allow(), fail(), allow(), fail(), allow(), fail(), inState(Open),
+				advance(time.Second),
+				allow(), ok(), allow(), ok(), inState(Closed),
+				// A fresh window: one failure among successes must not trip.
+				allow(), fail(), allow(), ok(), allow(), ok(), allow(), ok(),
+				inState(Closed),
+			},
+			trips: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{now: time.Unix(0, 0)}
+			o := opts
+			o.Clock = clk.Now
+			b := NewBreaker(o)
+			for i, s := range tc.steps {
+				switch s.op {
+				case "allow":
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow() = false, want true (state %v)", i, b.State())
+					}
+				case "deny":
+					if b.Allow() {
+						t.Fatalf("step %d: Allow() = true, want false (state %v)", i, b.State())
+					}
+				case "ok":
+					b.Record(true)
+				case "fail":
+					b.Record(false)
+				case "cancel":
+					b.Cancel()
+				case "advance":
+					clk.Advance(s.advance)
+				case "health":
+					b.HealthOK()
+				case "state":
+					if got := b.State(); got != s.state {
+						t.Fatalf("step %d: state %v, want %v", i, got, s.state)
+					}
+				}
+			}
+			if got := b.Trips(); got != tc.trips {
+				t.Errorf("trips = %d, want %d", got, tc.trips)
+			}
+		})
+	}
+}
+
+// TestHalfOpenProbeRace hammers Allow from many goroutines against a
+// breaker whose cooldown has just elapsed: exactly one goroutine per probe
+// round may win the admission, no matter the interleaving. Run under -race
+// this also proves the state transitions are data-race free.
+func TestHalfOpenProbeRace(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 1,
+		Cooldown:            time.Millisecond,
+		SuccessesToClose:    1,
+		Clock:               clk.Now,
+	})
+
+	for round := 0; round < 50; round++ {
+		if !b.Allow() {
+			t.Fatalf("round %d: breaker not closed at round start", round)
+		}
+		b.Record(false) // trip
+		if b.State() != Open {
+			t.Fatalf("round %d: state %v after failure, want open", round, b.State())
+		}
+		clk.Advance(2 * time.Millisecond)
+
+		const goroutines = 16
+		var admitted atomic.Int32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d goroutines admitted into half-open, want exactly 1", round, n)
+		}
+		b.Record(true) // close again for the next round
+		if b.State() != Closed {
+			t.Fatalf("round %d: state %v after probe success, want closed", round, b.State())
+		}
+	}
+}
+
+// TestHalfOpenConcurrentProbeAndCancel interleaves winners that Cancel with
+// winners that Record, asserting the probe slot never leaks (the breaker
+// keeps admitting future probes) and never admits two at once.
+func TestHalfOpenConcurrentProbeAndCancel(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 1,
+		Cooldown:            time.Millisecond,
+		SuccessesToClose:    3,
+		Clock:               clk.Now,
+	})
+	b.Allow()
+	b.Record(false)
+	clk.Advance(2 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	var inProbe atomic.Int32
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !b.Allow() {
+					continue
+				}
+				if n := inProbe.Add(1); n != 1 && b.State() == HalfOpen {
+					t.Errorf("%d concurrent half-open probes", n)
+				}
+				switch {
+				case b.State() == Closed:
+					// Breaker closed under us mid-loop; the admission
+					// contract still requires a release.
+					inProbe.Add(-1)
+					b.Record(true)
+				case g%2 == 0:
+					inProbe.Add(-1)
+					b.Cancel()
+				default:
+					inProbe.Add(-1)
+					b.Record(true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,555 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macc/internal/ccache"
+	"macc/internal/telemetry"
+)
+
+// ClientOptions configures a resilient farm client. Zero values select the
+// defaults noted on each field.
+type ClientOptions struct {
+	// Peers are the replica base URLs ("http://host:port").
+	Peers []string
+	// AttemptTimeout bounds one compile/run attempt (default 10s).
+	AttemptTimeout time.Duration
+	// LookupTimeout bounds one peer cache-lookup attempt (default 300ms).
+	// Lookups are an optimization: a slow peer must cost less than the
+	// compile it would have saved.
+	LookupTimeout time.Duration
+	// MaxAttempts bounds retries per call, first try included (default 3).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts (defaults 25ms and 1s); jitter in [0.5, 1.5) is applied.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeQuantile is the observed per-peer latency quantile after which
+	// a second request is hedged to another peer (default 0.99).
+	HedgeQuantile float64
+	// HedgeMinSamples gates hedging on observed latency until this many
+	// samples exist (default 16); before that a quarter of the attempt
+	// timeout is used.
+	HedgeMinSamples int64
+	// HedgeFloor is the minimum hedge delay (default 2ms), so a fast farm
+	// does not double every request.
+	HedgeFloor time.Duration
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker BreakerOptions
+	// HealthInterval is the background health-probe period for peers with
+	// open breakers (default 500ms; negative disables the prober).
+	HealthInterval time.Duration
+	// Transport overrides the HTTP transport (fault injection hooks in
+	// here; nil uses http.DefaultTransport).
+	Transport http.RoundTripper
+	// Seed makes backoff jitter deterministic for tests (0 seeds from the
+	// breaker clock's notion of now).
+	Seed int64
+	// Metrics receives the client's counters (nil: private registry).
+	Metrics *telemetry.Registry
+	// MaxResponse bounds a response body in bytes (default 16 MiB).
+	MaxResponse int64
+}
+
+// StatusError is a non-retryable HTTP-level answer from a peer (a 4xx, or
+// a 5xx that survived every retry), carrying the service's error message.
+type StatusError struct {
+	Code int
+	Msg  string
+	Peer string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("peer %s: status %d: %s", e.Peer, e.Code, e.Msg)
+}
+
+// ErrNoPeers means every peer's circuit breaker was open for the whole
+// retry budget: the farm is unreachable and the caller should fall back to
+// a local compile.
+var ErrNoPeers = errors.New("farm: no peer available (all circuit breakers open)")
+
+// errAbandoned marks a hedged request leg cancelled because the other leg
+// already won; it carries no verdict about the peer.
+var errAbandoned = errors.New("farm: attempt abandoned")
+
+// peerState is one replica as seen by the client.
+type peerState struct {
+	name    string
+	url     string
+	breaker *Breaker
+	lat     *telemetry.Histogram // successful-attempt latency (ns)
+}
+
+// Client is the resilient farm client used replica-to-replica (peer cache
+// lookups) and by cmd/macc and cmd/loadgen (remote compiles). All methods
+// are safe for concurrent use.
+type Client struct {
+	opts  ClientOptions
+	peers []*peerState
+	http  *http.Client
+	reg   *telemetry.Registry
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	next atomic.Uint64 // round-robin rotation of the primary peer
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewClient builds a client over the given peers and starts the background
+// health prober (stop it with Close).
+func NewClient(opts ClientOptions) *Client {
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 10 * time.Second
+	}
+	if opts.LookupTimeout <= 0 {
+		opts.LookupTimeout = 300 * time.Millisecond
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 25 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = time.Second
+	}
+	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile >= 1 {
+		opts.HedgeQuantile = 0.99
+	}
+	if opts.HedgeMinSamples <= 0 {
+		opts.HedgeMinSamples = 16
+	}
+	if opts.HedgeFloor <= 0 {
+		opts.HedgeFloor = 2 * time.Millisecond
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = 500 * time.Millisecond
+	}
+	if opts.MaxResponse <= 0 {
+		opts.MaxResponse = 16 << 20
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		opts: opts,
+		http: &http.Client{Transport: opts.Transport},
+		reg:  reg,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+	}
+	for _, u := range opts.Peers {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		name := u
+		if p, err := url.Parse(u); err == nil && p.Host != "" {
+			name = p.Host
+		}
+		c.peers = append(c.peers, &peerState{
+			name:    name,
+			url:     u,
+			breaker: NewBreaker(opts.Breaker),
+			lat:     &telemetry.Histogram{},
+		})
+	}
+	if opts.HealthInterval > 0 && len(c.peers) > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
+	return c
+}
+
+// Close stops the health prober.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Peers returns the configured peer count.
+func (c *Client) Peers() int { return len(c.peers) }
+
+// Metrics returns the registry the client publishes into.
+func (c *Client) Metrics() *telemetry.Registry { return c.reg }
+
+// PublishStats refreshes the breaker gauges (farm.breaker_trips,
+// farm.breaker_open) in the metrics registry; callers snapshotting metrics
+// invoke it first.
+func (c *Client) PublishStats() {
+	var trips int64
+	var open float64
+	for _, p := range c.peers {
+		trips += p.breaker.Trips()
+		if p.breaker.State() != Closed {
+			open++
+		}
+	}
+	c.reg.Gauge("farm.breaker_trips").Set(float64(trips))
+	c.reg.Gauge("farm.breaker_open").Set(open)
+}
+
+// probeLoop health-checks peers whose breakers are open and feeds successes
+// back as recovery signals.
+func (c *Client) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, p := range c.peers {
+			if p.breaker.State() != Open {
+				continue
+			}
+			c.reg.Counter("farm.health_probes").Add(1)
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.HealthInterval)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/healthz", nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := c.http.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					p.breaker.HealthOK()
+					c.reg.Counter("farm.health_recoveries").Add(1)
+				}
+			}
+			cancel()
+		}
+	}
+}
+
+// callSpec shapes one resilient call.
+type callSpec struct {
+	method   string
+	path     string
+	body     []byte
+	timeout  time.Duration // per attempt
+	attempts int
+	hedge    bool
+}
+
+// callResult is one call's outcome.
+type callResult struct {
+	status int
+	body   []byte
+	peer   string
+	err    error
+}
+
+// call runs the full resilience stack for one logical request: peer
+// selection under circuit breakers, per-attempt timeouts, hedging, and
+// exponential backoff with jitter between attempts.
+func (c *Client) call(ctx context.Context, spec callSpec) callResult {
+	if len(c.peers) == 0 {
+		return callResult{err: ErrNoPeers}
+	}
+	last := callResult{err: ErrNoPeers}
+	for attempt := 0; attempt < spec.attempts; attempt++ {
+		if attempt > 0 {
+			c.reg.Counter("farm.retries").Add(1)
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return callResult{err: err}
+			}
+		}
+		primary, second := c.pickPeers()
+		if primary == nil {
+			last = callResult{err: ErrNoPeers}
+			c.reg.Counter("farm.no_peer").Add(1)
+			continue
+		}
+		res := c.race(ctx, spec, primary, second)
+		if res.err == nil && res.status < 500 {
+			return res
+		}
+		if res.err != nil && ctx.Err() != nil {
+			return callResult{err: ctx.Err()}
+		}
+		last = res
+	}
+	if last.err == nil {
+		// A 5xx that survived every retry surfaces as a StatusError.
+		last.err = &StatusError{Code: last.status, Msg: errorMsg(last.body), Peer: last.peer}
+	}
+	return last
+}
+
+// race runs one attempt on the primary peer and hedges a second leg to
+// another peer when the primary exceeds its observed p99 latency (or fails
+// outright). The first acceptable answer wins; the loser is cancelled and
+// its breaker admission released without a verdict.
+func (c *Client) race(ctx context.Context, spec callSpec, primary, second *peerState) callResult {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan callResult, 2)
+	outstanding := 1
+	go c.attempt(actx, spec, primary, resc)
+
+	var hedgeCh <-chan time.Time
+	if spec.hedge && second != nil {
+		t := time.NewTimer(c.hedgeDelay(primary, spec))
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	launchSecond := func() bool {
+		if second == nil || !second.breaker.Allow() {
+			return false
+		}
+		outstanding++
+		go c.attempt(actx, spec, second, resc)
+		second = nil // one hedge leg only
+		return true
+	}
+
+	var last callResult
+	for {
+		select {
+		case r := <-resc:
+			outstanding--
+			if r.err == nil && r.status < 500 {
+				if r.peer != primary.name {
+					c.reg.Counter("farm.hedge_wins").Add(1)
+				}
+				return r
+			}
+			if !errors.Is(r.err, errAbandoned) {
+				last = r
+			}
+			// The leg failed: fail over to the hedge peer immediately
+			// rather than waiting out the hedge timer.
+			if outstanding == 0 {
+				hedgeCh = nil
+				if !launchSecond() {
+					return last
+				}
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if launchSecond() {
+				c.reg.Counter("farm.hedges").Add(1)
+			}
+		case <-ctx.Done():
+			return callResult{err: ctx.Err()}
+		}
+	}
+}
+
+// attempt issues one HTTP request to one peer and settles its breaker
+// admission: success and failure are recorded, abandonment (the hedge race
+// was decided elsewhere) is released without a verdict.
+func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, resc chan<- callResult) {
+	start := time.Now()
+	actx, cancel := context.WithTimeout(ctx, spec.timeout)
+	defer cancel()
+	var rd io.Reader
+	if spec.body != nil {
+		rd = bytes.NewReader(spec.body)
+	}
+	req, err := http.NewRequestWithContext(actx, spec.method, p.url+spec.path, rd)
+	if err != nil {
+		p.breaker.Record(false)
+		resc <- callResult{peer: p.name, err: err}
+		return
+	}
+	if spec.body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	var body []byte
+	if err == nil {
+		body, err = io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxResponse))
+		resp.Body.Close()
+	}
+	if err != nil {
+		if ctx.Err() != nil && actx.Err() != context.DeadlineExceeded {
+			// Cancelled from above: either the race was decided by the
+			// other leg or the caller gave up. Not the peer's fault.
+			p.breaker.Cancel()
+			resc <- callResult{peer: p.name, err: errAbandoned}
+			return
+		}
+		p.breaker.Record(false)
+		c.reg.Counter("farm.attempt_errors").Add(1)
+		resc <- callResult{peer: p.name, err: fmt.Errorf("peer %s: %w", p.name, err)}
+		return
+	}
+	healthy := resp.StatusCode < 500
+	p.breaker.Record(healthy)
+	if healthy {
+		p.lat.Observe(time.Since(start).Nanoseconds())
+	} else {
+		c.reg.Counter("farm.attempt_5xx").Add(1)
+	}
+	resc <- callResult{status: resp.StatusCode, body: body, peer: p.name}
+}
+
+// pickPeers selects the primary peer (claiming its breaker admission) and
+// a hedge candidate (not yet claimed), rotating the starting point for
+// load balance. Peers with open breakers are skipped.
+func (c *Client) pickPeers() (primary, second *peerState) {
+	n := len(c.peers)
+	start := int(c.next.Add(1)) % n
+	for i := 0; i < n; i++ {
+		p := c.peers[(start+i)%n]
+		if primary == nil {
+			if p.breaker.Allow() {
+				primary = p
+			}
+			continue
+		}
+		if p.breaker.State() != Open {
+			return primary, p
+		}
+	}
+	return primary, nil
+}
+
+// hedgeDelay is how long to give the primary before hedging: its observed
+// HedgeQuantile latency once enough samples exist, a quarter of the attempt
+// timeout before that, floored and capped.
+func (c *Client) hedgeDelay(p *peerState, spec callSpec) time.Duration {
+	var d time.Duration
+	if p.lat.Count() >= c.opts.HedgeMinSamples {
+		d = time.Duration(p.lat.Quantile(c.opts.HedgeQuantile))
+	} else {
+		d = spec.timeout / 4
+	}
+	if d < c.opts.HedgeFloor {
+		d = c.opts.HedgeFloor
+	}
+	if d > spec.timeout {
+		d = spec.timeout
+	}
+	return d
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given attempt
+// number (1-based for the first retry).
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.opts.BackoffBase << uint(attempt-1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	c.rmu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rmu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// errorMsg extracts the service's {"error": ...} message from a body.
+func errorMsg(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// Lookup asks the farm for a cached compilation. The answer is revalidated
+// end to end (schema, key, checksum, reparse): a corrupt, stale, or
+// truncated peer answer — and every transport failure — is a silent miss,
+// never an error, so degraded peers can only cost latency. 404 is the
+// peers' honest miss answer and is returned quickly without retries.
+func (c *Client) Lookup(ctx context.Context, key ccache.Key) (ccache.Entry, bool) {
+	attempts := 1
+	if len(c.peers) > 1 {
+		attempts = 2
+	}
+	res := c.call(ctx, callSpec{
+		method:   http.MethodGet,
+		path:     PeerPathPrefix + key.String(),
+		timeout:  c.opts.LookupTimeout,
+		attempts: attempts,
+		hedge:    true,
+	})
+	if res.err != nil || res.status != http.StatusOK {
+		return ccache.Entry{}, false
+	}
+	e, err := ccache.DecodeEntry(key, res.body)
+	if err != nil {
+		c.reg.Counter("farm.peer_invalid").Add(1)
+		return ccache.Entry{}, false
+	}
+	c.reg.Counter("farm.peer_lookup_hits").Add(1)
+	return e, true
+}
+
+// FallbackFunc adapts Lookup to the ccache.Options.Fallback signature with
+// an internal deadline, wiring the farm in as a third cache tier.
+func (c *Client) FallbackFunc() func(ccache.Key) (ccache.Entry, bool) {
+	return func(key ccache.Key) (ccache.Entry, bool) {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*c.opts.LookupTimeout)
+		defer cancel()
+		return c.Lookup(ctx, key)
+	}
+}
+
+// PostJSON runs one resilient JSON POST against the farm (retries, backoff,
+// hedging, breakers) and decodes the answer into out. It returns the name
+// of the peer that answered.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) (string, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return "", err
+	}
+	res := c.call(ctx, callSpec{
+		method:   http.MethodPost,
+		path:     path,
+		body:     body,
+		timeout:  c.opts.AttemptTimeout,
+		attempts: c.opts.MaxAttempts,
+		hedge:    true,
+	})
+	if res.err != nil {
+		return res.peer, res.err
+	}
+	if res.status != http.StatusOK {
+		return res.peer, &StatusError{Code: res.status, Msg: errorMsg(res.body), Peer: res.peer}
+	}
+	if err := json.Unmarshal(res.body, out); err != nil {
+		return res.peer, fmt.Errorf("peer %s: bad response: %w", res.peer, err)
+	}
+	return res.peer, nil
+}

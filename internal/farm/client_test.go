@@ -1,0 +1,381 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"macc/internal/ccache"
+	"macc/internal/rtl"
+	"macc/internal/telemetry"
+)
+
+// testEntry builds a small valid cache entry (its RTL reparses, so it
+// survives DecodeEntry's revalidation).
+func testEntry(t *testing.T, name string) ccache.Entry {
+	t.Helper()
+	src := fmt.Sprintf("func %s(r0) {\nentry:\n\tr1 = r0 + 1\n\tret r1\n}\n", name)
+	p, err := rtl.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("testEntry: %v", err)
+	}
+	return ccache.Entry{Program: p, Machine: "alpha"}
+}
+
+// fastClient builds a client with small timeouts and no health prober
+// unless asked for.
+func fastClient(t *testing.T, opts ClientOptions) *Client {
+	t.Helper()
+	if opts.AttemptTimeout == 0 {
+		opts.AttemptTimeout = 2 * time.Second
+	}
+	if opts.LookupTimeout == 0 {
+		opts.LookupTimeout = time.Second
+	}
+	if opts.BackoffBase == 0 {
+		opts.BackoffBase = time.Millisecond
+	}
+	if opts.BackoffMax == 0 {
+		opts.BackoffMax = 4 * time.Millisecond
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = -1 // off unless the test wants it
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := NewClient(opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestPeerLookupHitAndMiss serves a real cache through PeerCacheHandler and
+// looks it up through the resilient client: a present key round-trips the
+// entry, an absent key is a clean miss (404, no error, no retries burned).
+func TestPeerLookupHitAndMiss(t *testing.T) {
+	cache := ccache.New(ccache.Options{})
+	key := ccache.KeyOf("src", "cfg", "alpha")
+	want := testEntry(t, "f")
+	cache.Put(key, want)
+
+	reg := telemetry.NewRegistry()
+	ts := httptest.NewServer(PeerCacheHandler(cache, reg))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{Peers: []string{ts.URL}})
+	e, ok := c.Lookup(context.Background(), key)
+	if !ok {
+		t.Fatal("Lookup miss for a key the peer has")
+	}
+	if e.Text != want.Program.String() {
+		t.Fatalf("Lookup returned different RTL:\n got %q\nwant %q", e.Text, want.Program.String())
+	}
+	if got := reg.CounterValue("farm.peer_serves"); got != 1 {
+		t.Errorf("peer_serves = %d, want 1", got)
+	}
+	if _, ok := c.Lookup(context.Background(), ccache.KeyOf("other", "cfg", "alpha")); ok {
+		t.Fatal("Lookup hit for a key nobody has")
+	}
+	if got := c.Metrics().CounterValue("farm.peer_lookup_hits"); got != 1 {
+		t.Errorf("peer_lookup_hits = %d, want 1", got)
+	}
+}
+
+// TestLookupRejectsCorruptAnswer flips bytes in the peer's answer: the
+// checksum/reparse gate must turn it into a silent miss, never an error
+// and never a bogus entry.
+func TestLookupRejectsCorruptAnswer(t *testing.T) {
+	cache := ccache.New(ccache.Options{})
+	key := ccache.KeyOf("src", "cfg", "alpha")
+	cache.Put(key, testEntry(t, "f"))
+	data, ok := cache.EncodeLocal(key)
+	if !ok {
+		t.Fatal("EncodeLocal miss")
+	}
+
+	corrupt := bytes.Replace(data, []byte("r0 + 1"), []byte("r0 + 9"), 1)
+	if bytes.Equal(corrupt, data) {
+		t.Fatal("corruption did not apply")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(corrupt)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{Peers: []string{ts.URL}})
+	if _, ok := c.Lookup(context.Background(), key); ok {
+		t.Fatal("corrupt peer answer accepted as a hit")
+	}
+	if got := c.Metrics().CounterValue("farm.peer_invalid"); got == 0 {
+		t.Error("peer_invalid not counted")
+	}
+
+	// A stale answer (valid envelope for a different key) is equally
+	// rejected.
+	other := ccache.KeyOf("other", "cfg", "alpha")
+	if _, ok := c.Lookup(context.Background(), other); ok {
+		t.Fatal("stale (wrong-key) peer answer accepted as a hit")
+	}
+}
+
+// TestFallbackPromotesPeerHit wires the farm client into a second cache as
+// its fallback tier: a local miss consults the peer, revalidates, promotes
+// into the local tiers, and counts ccache.peer_hits.
+func TestFallbackPromotesPeerHit(t *testing.T) {
+	remote := ccache.New(ccache.Options{})
+	key := ccache.KeyOf("src", "cfg", "alpha")
+	remote.Put(key, testEntry(t, "f"))
+	ts := httptest.NewServer(PeerCacheHandler(remote, nil))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{Peers: []string{ts.URL}})
+	local := ccache.New(ccache.Options{Fallback: c.FallbackFunc()})
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("fallback lookup did not reach the peer")
+	}
+	if got := local.Metrics().CounterValue("ccache.peer_hits"); got != 1 {
+		t.Errorf("ccache.peer_hits = %d, want 1", got)
+	}
+	// Promoted: a second Get is a local memory hit, not another peer trip.
+	before := c.Metrics().CounterValue("farm.peer_lookup_hits")
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if after := c.Metrics().CounterValue("farm.peer_lookup_hits"); after != before {
+		t.Error("second Get went back to the peer instead of the promoted copy")
+	}
+}
+
+// TestPostJSONRetriesTransientFailures: two 500s then success must succeed
+// within the retry budget and count the retries.
+func TestPostJSONRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"answer": 42}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{Peers: []string{ts.URL}, MaxAttempts: 3})
+	var out struct {
+		Answer int `json:"answer"`
+	}
+	peer, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out)
+	if err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if out.Answer != 42 || peer == "" {
+		t.Fatalf("answer=%d peer=%q", out.Answer, peer)
+	}
+	if got := c.Metrics().CounterValue("farm.retries"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+// TestPostJSONDoesNotRetryClientErrors: a 4xx is the caller's fault; it
+// must surface immediately as a StatusError without burning retries.
+func TestPostJSONDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad source"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{Peers: []string{ts.URL}, MaxAttempts: 3})
+	err := func() error {
+		var out struct{}
+		_, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out)
+		return err
+	}()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if se.Msg != "bad source" {
+		t.Errorf("msg = %q, want the service's error text", se.Msg)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server called %d times for a 400, want 1", n)
+	}
+}
+
+// TestFailoverToSecondPeer: the primary peer is down; the same logical call
+// must still succeed via the other replica, and the dead peer's breaker
+// must trip after enough failures.
+func TestFailoverToSecondPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer alive.Close()
+
+	c := fastClient(t, ClientOptions{
+		Peers:       []string{dead.URL, alive.URL},
+		MaxAttempts: 2,
+		Breaker:     BreakerOptions{ConsecutiveFailures: 3, Cooldown: time.Hour},
+	})
+	var out struct{}
+	for i := 0; i < 10; i++ {
+		if _, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out); err != nil {
+			t.Fatalf("call %d failed despite a healthy replica: %v", i, err)
+		}
+	}
+	c.PublishStats()
+	if got := c.reg.Gauge("farm.breaker_trips").Value(); got < 1 {
+		t.Errorf("dead peer's breaker never tripped (trips gauge = %v)", got)
+	}
+	// With the dead peer's breaker open, calls keep succeeding via the
+	// living one and stop hitting the dead one.
+	if _, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out); err != nil {
+		t.Fatalf("call with open breaker failed: %v", err)
+	}
+}
+
+// TestAllPeersDownReturnsError: with every breaker open the client reports
+// ErrNoPeers (the caller's signal to fall back to a local compile).
+func TestAllPeersDownReturnsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{
+		Peers:       []string{ts.URL},
+		MaxAttempts: 2,
+		Breaker:     BreakerOptions{ConsecutiveFailures: 2, Cooldown: time.Hour},
+	})
+	var out struct{}
+	// Trip the breaker.
+	var firstErr error
+	for i := 0; i < 3 && firstErr == nil; i++ {
+		_, firstErr = c.PostJSON(context.Background(), "/x", struct{}{}, &out)
+		firstErr = nil
+		if c.peers[0].breaker.State() == Open {
+			break
+		}
+	}
+	if c.peers[0].breaker.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	_, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out)
+	if !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+// TestHedgedRequestWins: the primary peer stalls well past the hedge delay;
+// the hedge leg to the second peer must answer the call, counted as a
+// hedge win.
+func TestHedgedRequestWins(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // before the Cleanup'd slow.Close, so its handler can exit
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server can watch for client disconnect.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		w.Write([]byte(`{"peer":"slow"}`))
+	}))
+	t.Cleanup(slow.Close)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"peer":"fast"}`))
+	}))
+	defer fast.Close()
+
+	// next.Add(1) % 2 == 1 on the first call: peers[1] is the primary, so
+	// put the slow server there to make the hedge deterministic.
+	c := fastClient(t, ClientOptions{
+		Peers:          []string{fast.URL, slow.URL},
+		AttemptTimeout: 5 * time.Second,
+		HedgeFloor:     5 * time.Millisecond,
+		MaxAttempts:    1,
+	})
+	var out struct {
+		Peer string `json:"peer"`
+	}
+	start := time.Now()
+	if _, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if out.Peer != "fast" {
+		t.Fatalf("answered by %q, want the hedge leg", out.Peer)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge took %v; it waited for the slow primary", elapsed)
+	}
+	if got := c.Metrics().CounterValue("farm.hedges"); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+	if got := c.Metrics().CounterValue("farm.hedge_wins"); got != 1 {
+		t.Errorf("hedge_wins = %d, want 1", got)
+	}
+}
+
+// TestHealthProberRecoversPeer: a tripped breaker with an hour-long cooldown
+// must still recover promptly once /healthz answers, proving recovery is
+// health-check driven rather than cooldown driven.
+func TestHealthProberRecoversPeer(t *testing.T) {
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			if healthy.Load() {
+				w.Write([]byte("ok\n"))
+			} else {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+			}
+			return
+		}
+		if !healthy.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ClientOptions{
+		Peers:          []string{ts.URL},
+		MaxAttempts:    1,
+		HealthInterval: 5 * time.Millisecond,
+		Breaker:        BreakerOptions{ConsecutiveFailures: 1, Cooldown: time.Hour, SuccessesToClose: 1},
+	})
+	var out struct{}
+	if _, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out); err == nil {
+		t.Fatal("call to a down peer succeeded")
+	}
+	if c.peers[0].breaker.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+
+	healthy.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.peers[0].breaker.State() == Open {
+		if time.Now().After(deadline) {
+			t.Fatal("health prober never recovered the breaker")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.PostJSON(context.Background(), "/x", struct{}{}, &out); err != nil {
+		t.Fatalf("call after recovery failed: %v", err)
+	}
+	if got := c.Metrics().CounterValue("farm.health_recoveries"); got < 1 {
+		t.Error("health_recoveries not counted")
+	}
+}

@@ -1,0 +1,45 @@
+package farm
+
+import (
+	"net/http"
+	"strings"
+
+	"macc/internal/ccache"
+	"macc/internal/telemetry"
+)
+
+// PeerPathPrefix is the peer cache-lookup route; the remainder of the path
+// is the 64-hex-digit content address.
+const PeerPathPrefix = "/peer/entry/"
+
+// PeerCacheHandler serves a replica's local cache tiers (memory and disk,
+// never its own fallback — so peer lookups cannot recurse through the farm)
+// to other replicas. GET with a content-addressed key; 200 carries the disk
+// envelope verbatim, 404 is an honest miss. The requesting side revalidates
+// everything, so this handler stays trivially cheap.
+func PeerCacheHandler(cache *ccache.Cache, reg *telemetry.Registry) http.Handler {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		hexKey := strings.TrimPrefix(r.URL.Path, PeerPathPrefix)
+		key, err := ccache.ParseKey(hexKey)
+		if err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		reg.Counter("farm.peer_probes").Add(1)
+		data, ok := cache.EncodeLocal(key)
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		reg.Counter("farm.peer_serves").Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+}

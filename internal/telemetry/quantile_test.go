@@ -1,0 +1,36 @@
+package telemetry
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// 100 samples 1..100: p50 upper bound is the bucket holding 50 (le_64),
+	// p99 the bucket holding 99, tightened by max=100.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	if got := h.Quantile(0.5); got != 64 {
+		t.Errorf("p50 = %d, want 64", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("p99 = %d, want 100 (bucket le_128 clamped to max)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p1.0 = %d, want max 100", got)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	// A single huge sample must not overflow the bucket upper bound.
+	big := &Histogram{}
+	big.Observe(1 << 62)
+	if got := big.Quantile(0.99); got != 1<<62 {
+		t.Errorf("big p99 = %d, want %d", got, int64(1)<<62)
+	}
+}
