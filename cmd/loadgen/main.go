@@ -17,7 +17,11 @@
 //	        -requests 400 -concurrency 8 -seed 42 -out BENCH_service.json
 //
 // The artifact records latency quantiles, saturation throughput, shed and
-// error counts, the farm-wide peer-hit ratio, and breaker trips. A second
+// error counts, the farm-wide peer-hit ratio, and breaker trips. Every
+// request is distributed-traced: the slowest N land in the artifact with
+// their trace IDs and per-hop span breakdowns (pull the full tree from any
+// replica at /debug/trace/<id>), and the embedded client metrics snapshot
+// carries latency-bucket exemplars naming the same traces. A second
 // invocation gates on an artifact (optionally against a baseline):
 //
 //	loadgen -gate BENCH_service.json -baseline BENCH_single.json -max-5xx-frac 0.02
@@ -29,9 +33,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +48,7 @@ import (
 	"macc/internal/farm"
 	"macc/internal/machine"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 )
 
 // Schema identifies the artifact format.
@@ -193,6 +200,49 @@ type Artifact struct {
 	Retries      int64   `json:"retries"`
 	CacheHits    int64   `json:"cache_hits"`
 	TornWrites   int64   `json:"recovered_torn"`
+
+	// Slowest names the tail: the slowest completed requests with their
+	// distributed-trace IDs (fetchable from any replica at
+	// /debug/trace/<id>) and per-hop span breakdowns.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+	// ClientMetrics embeds the load generator's own registry snapshot in
+	// the shared macc-metrics/v1 envelope (latency exemplars included).
+	ClientMetrics *telemetry.Snapshot `json:"client_metrics,omitempty"`
+}
+
+// SlowRequest is one tail-latency exemplar: enough to pull the full trace
+// and see where the time went without re-running anything.
+type SlowRequest struct {
+	Trace    string `json:"trace"`
+	NS       int64  `json:"ns"`
+	Kernel   string `json:"kernel"`
+	Tenant   int    `json:"tenant"`
+	Endpoint string `json:"endpoint"`
+	// Spans counts the assembled trace's spans; BreakdownNS sums span
+	// durations by kind (ingress, attempt, cache, compute, pass, ...).
+	// Zero/nil when the trace could not be fetched back.
+	Spans       int              `json:"spans,omitempty"`
+	BreakdownNS map[string]int64 `json:"breakdown_ns,omitempty"`
+}
+
+// slowTracker keeps the N slowest completed requests, concurrency-safe.
+type slowTracker struct {
+	mu  sync.Mutex
+	n   int
+	top []SlowRequest
+}
+
+func (st *slowTracker) offer(s SlowRequest) {
+	if st.n <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.top = append(st.top, s)
+	sort.Slice(st.top, func(i, j int) bool { return st.top[i].NS > st.top[j].NS })
+	if len(st.top) > st.n {
+		st.top = st.top[:st.n]
+	}
 }
 
 func main() {
@@ -208,6 +258,7 @@ func main() {
 	out := flag.String("out", "BENCH_service.json", "artifact output path")
 	label := flag.String("label", "", "free-form label recorded in the artifact")
 	chaos := flag.String("chaos", "", "chaos spec in effect on the targets (recorded, not enforced)")
+	slowest := flag.Int("slowest", 5, "slowest requests to record with trace IDs and span breakdowns (0: off)")
 
 	gate := flag.String("gate", "", "gate mode: path of the artifact to check (skips load generation)")
 	baseline := flag.String("baseline", "", "gate mode: artifact to beat on throughput")
@@ -232,7 +283,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	art, err := run(urls, *requests, *concurrency, *tenants, *zipfS, *seed, *batchFrac, *runFrac, *timeout)
+	art, err := run(urls, *requests, *concurrency, *tenants, *zipfS, *seed, *batchFrac, *runFrac, *timeout, *slowest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -265,12 +316,14 @@ func main() {
 
 // run drives the closed-loop workers and assembles the artifact.
 func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed int64,
-	batchFrac, runFrac float64, timeout time.Duration) (*Artifact, error) {
+	batchFrac, runFrac float64, timeout time.Duration, slowest int) (*Artifact, error) {
+	tracer := dtrace.New("loadgen", 0)
 	client := farm.NewClient(farm.ClientOptions{
 		Peers:          urls,
 		AttemptTimeout: timeout,
 		Seed:           seed,
 		Metrics:        telemetry.NewRegistry(),
+		Tracer:         tracer,
 	})
 	defer client.Close()
 
@@ -290,7 +343,10 @@ func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed 
 	}
 
 	var completed, shed, http5xx, clientErrs, miscompiles atomic.Int64
-	lat := &telemetry.Histogram{} // internally locked; shared across workers
+	// Request latency lives in the client registry so the artifact's
+	// embedded snapshot carries the histogram and its trace exemplars.
+	lat := client.Metrics().Histogram("loadgen.request_ns")
+	slow := &slowTracker{n: slowest}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -316,28 +372,50 @@ func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed 
 					req.Priority = farm.PriorityBatch
 				}
 				isRun := rng.Float64() < runFrac
+				endpoint := "/compile"
+				if isRun {
+					endpoint = "/run"
+				}
+
+				// Every request is a trace: the root span's context rides
+				// the farm client's attempt legs into the serving replica.
+				root := tracer.StartRoot(endpoint+" "+k.name, dtrace.KindRequest)
+				root.SetAttr("kernel", k.name)
+				root.SetAttr("tenant", fmt.Sprintf("%d", tenant))
+				ctx := dtrace.ContextWith(context.Background(), root.Context())
 
 				t0 := time.Now()
 				var ok, wrong bool
 				if isRun {
 					var resp farm.RunResponse
-					_, err = client.PostJSON(context.Background(), "/run",
+					_, err = client.PostJSON(ctx, "/run",
 						farm.RunRequest{CompileRequest: req, Call: k.call, Mem: k.mem, Data: k.data}, &resp)
 					ok = err == nil
 					wrong = ok && (resp.Ret != ref.ret || resp.Cycles != ref.cycles)
 				} else {
 					var resp farm.CompileResponse
-					_, err = client.PostJSON(context.Background(), "/compile", req, &resp)
+					_, err = client.PostJSON(ctx, "/compile", req, &resp)
 					ok = err == nil
 					wrong = ok && resp.RTL != ref.rtl
 				}
+				elapsed := time.Since(t0).Nanoseconds()
+				if err != nil {
+					root.SetErr(err.Error())
+				}
+				root.End()
 				switch {
 				case wrong:
 					miscompiles.Add(1)
 					fmt.Fprintf(os.Stderr, "loadgen: MISCOMPILE kernel=%s tenant=%d run=%v\n", k.name, tenant, isRun)
 				case ok:
 					completed.Add(1)
-					lat.Observe(time.Since(t0).Nanoseconds())
+					// The exemplar ties the latency bucket to the trace, so
+					// a fat tail in the artifact names traces to pull.
+					lat.ObserveExemplar(elapsed, root.TraceID())
+					slow.offer(SlowRequest{
+						Trace: root.TraceID(), NS: elapsed,
+						Kernel: k.name, Tenant: tenant, Endpoint: endpoint,
+					})
 				default:
 					var se *farm.StatusError
 					switch {
@@ -398,7 +476,47 @@ func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed 
 	if c := completed.Load(); c > 0 {
 		art.PeerHitRatio = float64(art.PeerHits) / float64(c)
 	}
+
+	// Push the slowest traces' client-side spans to the farm, then pull
+	// each assembled trace back for its per-hop breakdown.
+	slow.mu.Lock()
+	art.Slowest = append([]SlowRequest(nil), slow.top...)
+	slow.mu.Unlock()
+	for i := range art.Slowest {
+		s := &art.Slowest[i]
+		client.ReportTrace(context.Background(), s.Trace)
+		if spans := fetchTrace(urls, s.Trace); len(spans) > 0 {
+			s.Spans = len(spans)
+			s.BreakdownNS = make(map[string]int64)
+			for _, sp := range spans {
+				s.BreakdownNS[sp.Kind] += sp.Dur
+			}
+		}
+	}
+
+	snap := creg.Snapshot()
+	snap.Service = "loadgen"
+	art.ClientMetrics = &snap
 	return art, nil
+}
+
+// fetchTrace pulls one assembled trace's raw spans from the first replica
+// that has it (best-effort: a dead replica just yields no breakdown).
+func fetchTrace(urls []string, traceID string) []dtrace.Span {
+	c := &http.Client{Timeout: 5 * time.Second}
+	for _, u := range urls {
+		resp, err := c.Get(u + farm.DebugTracePrefix + traceID + "?format=spans")
+		if err != nil {
+			continue
+		}
+		var dump farm.TraceDump
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&dump)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK && len(dump.Spans) > 0 {
+			return dump.Spans
+		}
+	}
+	return nil
 }
 
 // scrapeSnapshot is the subset of a /metrics answer the artifact needs.

@@ -136,6 +136,7 @@ func main() {
 	server := flag.String("server", "", "comma-separated maccd base URLs: compile remotely on the farm instead of locally")
 	priority := flag.String("priority", "", "with -server: admission tier, interactive (default) or batch")
 	remoteTimeout := flag.Duration("server-timeout", 30*time.Second, "with -server: per-attempt request timeout")
+	remoteTraceID := flag.Bool("trace-id", false, "with -server: print the request's distributed trace ID on stderr (inspect it at <replica>/debug/trace/<id>)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -174,6 +175,7 @@ func main() {
 			run:       *run,
 			mem:       *mem,
 			timeout:   *remoteTimeout,
+			traceID:   *remoteTraceID,
 		}))
 	}
 
@@ -348,7 +350,9 @@ func main() {
 			defer fw.Close()
 			w = fw
 		}
-		if err := rec.WriteMetrics(w); err != nil {
+		// Same envelope as maccd's /metrics and loadgen's artifact embed:
+		// schema macc-metrics/v1 plus a service name.
+		if err := rec.Metrics().WriteServiceJSON(w, "macc"); err != nil {
 			fatal(err)
 		}
 	}

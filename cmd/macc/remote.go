@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"macc/internal/farm"
+	"macc/internal/telemetry/dtrace"
 )
 
 // remoteOpts carries the subset of CLI flags a farm compile supports.
@@ -32,6 +33,7 @@ type remoteOpts struct {
 	run       string
 	mem       int
 	timeout   time.Duration
+	traceID   bool
 }
 
 // runRemote executes one compile (or compile+run) against the farm and
@@ -42,9 +44,11 @@ func runRemote(o remoteOpts) int {
 		fmt.Fprintln(os.Stderr, "macc:", err)
 		return 1
 	}
+	tracer := dtrace.New("macc-cli", 0)
 	c := farm.NewClient(farm.ClientOptions{
 		Peers:          o.servers,
 		AttemptTimeout: o.timeout,
+		Tracer:         tracer,
 	})
 	defer c.Close()
 
@@ -58,7 +62,18 @@ func runRemote(o remoteOpts) int {
 		Registers: o.registers,
 		Priority:  o.priority,
 	}
-	ctx := context.Background()
+	// Root the request's distributed trace here so the farm's spans (and a
+	// replica's /debug/trace view) include the CLI's side of the call.
+	root := tracer.StartRoot("macc -server "+o.file, dtrace.KindRequest)
+	ctx := dtrace.ContextWith(context.Background(), root.Context())
+	finishTrace := func() {
+		root.End()
+		if o.traceID {
+			c.ReportTrace(context.Background(), root.TraceID())
+			fmt.Fprintf(os.Stderr, "macc: trace %s (inspect at <replica>%s%s)\n",
+				root.TraceID(), farm.DebugTracePrefix, root.TraceID())
+		}
+	}
 
 	if o.run != "" {
 		var resp farm.RunResponse
@@ -67,6 +82,7 @@ func runRemote(o remoteOpts) int {
 			Call:           o.run,
 			Mem:            o.mem,
 		}, &resp)
+		finishTrace()
 		if err != nil {
 			return remoteFail(peer, err)
 		}
@@ -78,6 +94,7 @@ func runRemote(o remoteOpts) int {
 
 	var resp farm.CompileResponse
 	peer, err := c.PostJSON(ctx, "/compile", req, &resp)
+	finishTrace()
 	if err != nil {
 		return remoteFail(peer, err)
 	}

@@ -12,6 +12,18 @@
 //	               dedup counters, request-latency histograms)
 //	GET  /healthz  liveness probe (503 while draining)
 //	GET  /peer/entry/<key>  farm peer cache lookup (disk-envelope JSON)
+//	GET  /debug/trace/<id>  one assembled distributed trace as Chrome
+//	               trace_event JSON (?format=spans for the raw span set,
+//	               ?scope=local to skip the peer fan-out)
+//	POST /debug/spans       span ingest from clients (loadgen, macc -server)
+//	GET  /debug/flight      flight-recorder dump (?full=1 includes spans)
+//	GET  /debug/farm        plain-text dashboard: breaker states, hedge
+//	               win rate, cache tier ratios, flight depth
+//
+// Every request carries a distributed trace: the ingress span parents
+// under the caller's traceparent header (or roots a new trace), and the
+// response echoes the trace in its traceparent header. SIGQUIT dumps the
+// flight recorder to stderr without exiting.
 //
 // Identical concurrent compiles are deduplicated through the cache's
 // singleflight, so a thundering herd of the same source costs one compile.
@@ -58,6 +70,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 0, "graceful shutdown budget (0: request timeout + 5s)")
 	chaos := flag.String("chaos", "", "fault injection spec, e.g. drop=0.1,delay=0.2,corrupt=0.1,maxdelay=50ms,diskfull=0.05,crashwrite=0.05,seed=42")
 	metricsOut := flag.String("metrics-out", "", "file to write the final metrics snapshot to on shutdown (empty: stderr)")
+	flight := flag.Int("flight", 0, "flight-recorder capacity in traces per ring (0: default)")
 	flag.Parse()
 
 	spec, err := faultinject.ParseServiceSpec(*chaos)
@@ -80,8 +93,22 @@ func main() {
 		Peers:      peerList,
 		BatchSlots: *batchSlots,
 		Chaos:      spec,
+		Service:    serviceName(*addr),
+		FlightCap:  *flight,
 	})
 	defer srv.Close()
+
+	// SIGQUIT dumps the flight recorder to stderr without exiting — the
+	// "what was this replica just doing" escape hatch for a wedged farm.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if err := srv.Tracer().WriteFlight(os.Stderr, false); err != nil {
+				log.Printf("maccd: flight dump: %v", err)
+			}
+		}
+	}()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -123,7 +150,16 @@ func main() {
 			out = f
 		}
 	}
-	if err := srv.Metrics().WriteJSON(out); err != nil {
+	if err := srv.Metrics().WriteServiceJSON(out, srv.Service()); err != nil {
 		log.Printf("maccd: metrics flush: %v", err)
 	}
+}
+
+// serviceName derives the span/metrics service name from the listen
+// address: ":8080" -> "maccd:8080", "host:8080" -> "maccd@host:8080".
+func serviceName(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "maccd" + addr
+	}
+	return "maccd@" + addr
 }

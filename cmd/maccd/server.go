@@ -12,8 +12,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -27,6 +29,7 @@ import (
 	"macc/internal/machine"
 	"macc/internal/rtl"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 )
 
 // ServerOptions configures a Server.
@@ -57,17 +60,25 @@ type ServerOptions struct {
 	// Chaos injects service faults (sabotaged peer responses, failing
 	// disk writes) for resilience testing. Zero value: no chaos.
 	Chaos faultinject.ServiceSpec
+	// Service names this replica in trace spans and metrics envelopes
+	// (empty = "maccd").
+	Service string
+	// FlightCap bounds the flight recorder's retained traces per ring
+	// (0 = dtrace.DefaultFlightCap).
+	FlightCap int
 }
 
 // Server holds the service state shared by all handlers.
 type Server struct {
 	cache      *ccache.Cache
 	reg        *telemetry.Registry
+	tracer     *dtrace.Tracer
 	farm       *farm.Client
 	saboteur   *faultinject.ServiceSaboteur
 	sem        chan struct{}
 	batchSem   chan struct{}
 	draining   atomic.Bool
+	service    string
 	timeout    time.Duration
 	maxBody    int64
 	maxSimMem  int
@@ -102,17 +113,23 @@ func NewServer(opts ServerOptions) *Server {
 	if maxSimFuel <= 0 {
 		maxSimFuel = 1 << 28
 	}
+	service := opts.Service
+	if service == "" {
+		service = "maccd"
+	}
 	reg := telemetry.NewRegistry()
 	s := &Server{
 		reg:        reg,
+		tracer:     dtrace.New(service, opts.FlightCap),
 		sem:        make(chan struct{}, workers),
 		batchSem:   make(chan struct{}, batchSlots),
+		service:    service,
 		timeout:    timeout,
 		maxBody:    maxBody,
 		maxSimMem:  maxSimMem,
 		maxSimFuel: maxSimFuel,
 	}
-	cacheOpts := ccache.Options{Dir: opts.CacheDir, MemBudget: opts.CacheMem, Metrics: reg}
+	cacheOpts := ccache.Options{Dir: opts.CacheDir, MemBudget: opts.CacheMem, Metrics: reg, Tracer: s.tracer}
 	if opts.Chaos.Active() {
 		s.saboteur = faultinject.NewServiceSaboteur(opts.Chaos)
 		cacheOpts.DiskFault = s.saboteur.DiskFault()
@@ -122,6 +139,7 @@ func NewServer(opts ServerOptions) *Server {
 			Peers:   opts.Peers,
 			Metrics: reg,
 			Seed:    opts.Chaos.Seed,
+			Tracer:  s.tracer,
 		})
 		cacheOpts.Fallback = s.farm.FallbackFunc()
 	}
@@ -147,6 +165,13 @@ func (s *Server) StartDrain() {
 // Metrics returns the service registry (for the shutdown flush).
 func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
+// Tracer returns the replica's span tracer / flight recorder (for the
+// SIGQUIT dump).
+func (s *Server) Tracer() *dtrace.Tracer { return s.tracer }
+
+// Service returns the replica's service name (for metrics envelopes).
+func (s *Server) Service() string { return s.service }
+
 // Handler returns the service mux. The peer cache endpoint answers only
 // from local tiers (never the farm fallback), so replica lookups cannot
 // recurse; when chaos is configured, the saboteur sits in front of it.
@@ -155,6 +180,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc(farm.DebugSpansPath, s.handleDebugSpans)
+	mux.HandleFunc(farm.DebugTracePrefix, s.handleDebugTrace)
+	mux.HandleFunc(farm.DebugFlightPath, s.handleDebugFlight)
+	mux.HandleFunc(farm.DebugFarmPath, s.handleDebugFarm)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -250,28 +279,48 @@ func (s *Server) configFor(req CompileRequest) (macc.Config, error) {
 // serve decodes a JSON request, runs work on the bounded pool under the
 // request deadline, and encodes the JSON response. work runs on a worker
 // goroutine; panics there become 500s, deadline overruns 503/504s.
+//
+// Every request gets an ingress span opened before admission control, so
+// queue wait is on the trace. Its parent comes from the traceparent request
+// header when a farm client sent one; otherwise the span roots a new trace.
+// Either way the span's context is echoed back in the response traceparent
+// header, so callers can fetch /debug/trace/<id> afterwards. 5xx outcomes
+// pin the trace into the flight recorder's incident ring.
 func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
-	histogram string, work func(req Req) (Resp, error)) {
+	histogram string, work func(ctx context.Context, req Req) (Resp, error)) {
 	s.reg.Counter("maccd.requests").Add(1)
+	parent, _ := dtrace.ParseTraceparent(r.Header.Get(dtrace.Header))
+	sp := s.tracer.StartSpan(parent, r.Method+" "+r.URL.Path, dtrace.KindIngress)
+	w.Header().Set(dtrace.Header, sp.Context().Traceparent())
+	defer sp.End()
+	fail := func(code int, msg string) {
+		sp.SetAttr("status", strconv.Itoa(code))
+		sp.SetErr(msg)
+		if code >= 500 {
+			s.tracer.MarkIncident(sp.TraceID())
+		}
+		s.fail(w, code, msg)
+	}
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		fail(http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	if s.draining.Load() {
 		s.reg.Counter("maccd.shed_draining").Add(1)
-		s.fail(w, http.StatusServiceUnavailable, "draining")
+		fail(http.StatusServiceUnavailable, "draining")
 		return
 	}
 	var req Req
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		fail(http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	ctx = dtrace.ContextWith(ctx, sp.Context())
 
 	// Admission control: batch-priority requests may occupy only their
 	// bounded share of the queue and are shed immediately when it is
@@ -283,7 +332,7 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 			releaseBatch = func() { <-s.batchSem }
 		default:
 			s.reg.Counter("maccd.shed_batch").Add(1)
-			s.fail(w, http.StatusServiceUnavailable, "saturated: batch queue full")
+			fail(http.StatusServiceUnavailable, "saturated: batch queue full")
 			return
 		}
 	}
@@ -295,7 +344,7 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 	case <-ctx.Done():
 		releaseBatch()
 		s.reg.Counter("maccd.queue_timeouts").Add(1)
-		s.fail(w, http.StatusServiceUnavailable, "saturated: timed out waiting for a worker")
+		fail(http.StatusServiceUnavailable, "saturated: timed out waiting for a worker")
 		return
 	}
 
@@ -314,8 +363,10 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 			}
 		}()
 		start := time.Now()
-		resp, err := work(req)
-		s.reg.Histogram(histogram).Observe(time.Since(start).Nanoseconds())
+		resp, err := work(ctx, req)
+		// The exemplar links this latency sample to its trace, so a
+		// tail-latency bucket in /metrics names a trace to pull.
+		s.reg.Histogram(histogram).ObserveExemplar(time.Since(start).Nanoseconds(), sp.TraceID())
 		done <- outcome{resp: resp, err: err}
 	}()
 
@@ -324,12 +375,13 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 		if out.err != nil {
 			var he *httpError
 			if errors.As(out.err, &he) {
-				s.fail(w, he.code, he.msg)
+				fail(he.code, he.msg)
 			} else {
-				s.fail(w, http.StatusUnprocessableEntity, out.err.Error())
+				fail(http.StatusUnprocessableEntity, out.err.Error())
 			}
 			return
 		}
+		sp.SetAttr("status", "200")
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out.resp)
 	case <-ctx.Done():
@@ -337,7 +389,7 @@ func serve[Req any, Resp any](s *Server, w http.ResponseWriter, r *http.Request,
 		// cancellable mid-pass) but the client gets released; a later
 		// identical request will hit the cache the worker populates.
 		s.reg.Counter("maccd.timeouts").Add(1)
-		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+		fail(http.StatusGatewayTimeout, "deadline exceeded")
 	}
 }
 
@@ -349,8 +401,8 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	serve(s, w, r, "maccd.compile_ns", func(req CompileRequest) (CompileResponse, error) {
-		prog, _, err := s.compile(req)
+	serve(s, w, r, "maccd.compile_ns", func(ctx context.Context, req CompileRequest) (CompileResponse, error) {
+		prog, _, err := s.compile(ctx, req)
 		if err != nil {
 			return CompileResponse{}, err
 		}
@@ -370,7 +422,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	serve(s, w, r, "maccd.run_ns", func(req RunRequest) (RunResponse, error) {
+	serve(s, w, r, "maccd.run_ns", func(ctx context.Context, req RunRequest) (RunResponse, error) {
 		name, args, err := parseCall(req.Call)
 		if err != nil {
 			return RunResponse{}, badRequest("bad call: %v", err)
@@ -382,7 +434,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if mem > s.maxSimMem {
 			return RunResponse{}, badRequest("mem %d exceeds limit %d", mem, s.maxSimMem)
 		}
-		prog, _, err := s.compile(req.CompileRequest)
+		prog, _, err := s.compile(ctx, req.CompileRequest)
 		if err != nil {
 			return RunResponse{}, err
 		}
@@ -400,10 +452,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			sim.WriteInts(d.Addr, w, d.Ints)
 		}
+		runSp := s.tracer.StartSpan(dtrace.FromContext(ctx), "simulate", dtrace.KindRun)
+		runSp.SetAttr("call", req.Call)
 		res, err := sim.Run(name, args...)
 		if err != nil {
+			runSp.SetErr(err.Error())
+			runSp.End()
 			return RunResponse{}, fmt.Errorf("run: %w", err)
 		}
+		runSp.End()
 		return RunResponse{
 			Ret:          res.Ret,
 			Cycles:       res.Cycles,
@@ -418,13 +475,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// compile routes one request through the shared cache.
-func (s *Server) compile(req CompileRequest) (*macc.Program, macc.Config, error) {
+// compile routes one request through the shared cache. ctx carries the
+// ingress span's context; a per-request recorder lets a cold compile's
+// pass spans link into the request trace (warm hits and singleflight
+// waiters record cache-tier spans instead).
+func (s *Server) compile(ctx context.Context, req CompileRequest) (*macc.Program, macc.Config, error) {
 	cfg, err := s.configFor(req)
 	if err != nil {
 		return nil, cfg, err
 	}
-	prog, err := macc.Compile(req.Source, cfg)
+	cfg.Telemetry = telemetry.NewRecorder()
+	cfg.Tracer = s.tracer
+	prog, err := macc.CompileCtx(ctx, req.Source, cfg)
 	if err != nil {
 		return nil, cfg, badRequest("compile: %v", err)
 	}
@@ -436,8 +498,155 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.farm.PublishStats()
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.WriteJSON(w); err != nil {
+	if err := s.reg.WriteServiceJSON(w, s.service); err != nil {
 		s.fail(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleDebugSpans ingests spans pushed by clients (loadgen, macc -server)
+// so this replica can answer /debug/trace/<id> with the client-side view
+// of the request included.
+func (s *Server) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in farm.SpanIngest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&in); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad span batch: "+err.Error())
+		return
+	}
+	s.tracer.Ingest(in.Spans)
+	fmt.Fprintf(w, "accepted %d spans\n", len(in.Spans))
+}
+
+// handleDebugTrace serves one assembled trace. By default the replica
+// merges its local spans with each peer's (?scope=local pulls, so replicas
+// never recurse) and renders Chrome trace_event JSON; ?format=spans
+// returns the raw span set instead (used replica-to-replica and by
+// loadgen for per-hop breakdowns).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, farm.DebugTracePrefix)
+	if _, err := dtrace.ParseTraceID(id); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad trace id: want 32 hex digits")
+		return
+	}
+	spans := s.tracer.Spans(id)
+	if r.URL.Query().Get("scope") != "local" && s.farm != nil {
+		spans = mergeSpans(spans, s.pullPeerSpans(r.Context(), id))
+	}
+	if len(spans) == 0 {
+		s.fail(w, http.StatusNotFound, "unknown trace "+id)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		dtrace.WriteChromeTrace(w, spans)
+	case "spans":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(farm.TraceDump{Trace: id, Spans: spans})
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format (want chrome or spans)")
+	}
+}
+
+// pullPeerSpans fetches each peer's local spans for one trace. Failures
+// are fine — a dead peer just means its hops are missing from the view.
+func (s *Server) pullPeerSpans(ctx context.Context, id string) []dtrace.Span {
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var out []dtrace.Span
+	for _, base := range s.farm.PeerURLs() {
+		url := base + farm.DebugTracePrefix + id + "?scope=local&format=spans"
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			continue
+		}
+		var dump farm.TraceDump
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&dump)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			out = append(out, dump.Spans...)
+		}
+	}
+	return out
+}
+
+// mergeSpans unions local and remote spans, deduplicating by span ID (a
+// span pushed to us earlier may also come back in a peer pull).
+func mergeSpans(local, remote []dtrace.Span) []dtrace.Span {
+	seen := make(map[string]bool, len(local))
+	for _, sp := range local {
+		seen[sp.ID] = true
+	}
+	out := local
+	for _, sp := range remote {
+		if !seen[sp.ID] {
+			seen[sp.ID] = true
+			out = append(out, sp)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// handleDebugFlight dumps the flight recorder: one summary line per
+// retained trace (incidents pinned), full spans with ?full=1.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteFlight(w, r.URL.Query().Get("full") == "1")
+}
+
+// handleDebugFarm is the plain-text at-a-glance dashboard: request and
+// shed counters, cache tier ratios, hedge win rate, per-peer breaker
+// state and latency, and flight-recorder depth.
+func (s *Server) handleDebugFarm(w http.ResponseWriter, r *http.Request) {
+	if s.farm != nil {
+		s.farm.PublishStats()
+	}
+	snap := s.reg.Snapshot()
+	c := snap.Counters
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "service   %s draining=%v workers=%d\n", s.service, s.draining.Load(), cap(s.sem))
+	fmt.Fprintf(w, "requests  total=%d errors=%d panics=%d shed_draining=%d shed_batch=%d queue_timeouts=%d timeouts=%d\n",
+		c["maccd.requests"], c["maccd.errors"], c["maccd.panics"],
+		c["maccd.shed_draining"], c["maccd.shed_batch"], c["maccd.queue_timeouts"], c["maccd.timeouts"])
+	hits := c["ccache.mem_hits"] + c["ccache.disk_hits"] + c["ccache.peer_hits"]
+	lookups := hits + c["ccache.misses"]
+	ratio := 0.0
+	if lookups > 0 {
+		ratio = float64(hits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "cache     hit_ratio=%.3f mem=%d disk=%d peer=%d miss=%d dedup_waits=%d evictions=%d\n",
+		ratio, c["ccache.mem_hits"], c["ccache.disk_hits"], c["ccache.peer_hits"],
+		c["ccache.misses"], c["ccache.dedup_waiters"], c["ccache.evictions"])
+	winRate := 0.0
+	if c["farm.hedges"] > 0 {
+		winRate = float64(c["farm.hedge_wins"]) / float64(c["farm.hedges"])
+	}
+	fmt.Fprintf(w, "farm      hedges=%d hedge_wins=%d win_rate=%.3f retries=%d attempt_errors=%d attempt_5xx=%d peer_lookup_hits=%d\n",
+		c["farm.hedges"], c["farm.hedge_wins"], winRate, c["farm.retries"],
+		c["farm.attempt_errors"], c["farm.attempt_5xx"], c["farm.peer_lookup_hits"])
+	traces := s.tracer.Summaries()
+	incidents := 0
+	for _, t := range traces {
+		if t.Incident {
+			incidents++
+		}
+	}
+	fmt.Fprintf(w, "flight    traces=%d incidents=%d\n", len(traces), incidents)
+	if s.farm != nil {
+		for _, p := range s.farm.PeerStats() {
+			fmt.Fprintf(w, "peer      %-28s state=%-9s trips=%d samples=%d p50=%v p99=%v\n",
+				p.URL, p.State, p.Trips, p.Samples,
+				time.Duration(p.P50NS).Round(time.Microsecond),
+				time.Duration(p.P99NS).Round(time.Microsecond))
+		}
 	}
 }
 

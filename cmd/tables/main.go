@@ -19,6 +19,9 @@
 //	                        coalesce counts; "-" writes to stdout)
 //	-dump-kernels DIR       write each benchmark's C source into DIR so
 //	                        other tools (e.g. macc -remarks) can run them
+//	-trace trace.json       write a merged Chrome trace of every cell
+//	                        compile; with -j each worker gets its own
+//	                        process row (load it in chrome://tracing)
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the Alpha table as a JSON benchmark artifact to this path (\"-\" for stdout)")
 	dumpDir := flag.String("dump-kernels", "", "write each benchmark's C source into this directory")
 	jobs := flag.Int("j", 0, "worker pool width for table measurement (0 = GOMAXPROCS; output is identical at any width)")
+	traceOut := flag.String("trace", "", "write a merged per-worker Chrome trace of the table's compiles to this path")
 	flag.Parse()
 
 	wl := bench.DefaultWorkload()
@@ -51,6 +55,22 @@ func main() {
 		wl = bench.SmallWorkload()
 	}
 	topts := bench.TableOptions{Jobs: *jobs}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		topts.Trace = f
+	}
+	// A Chrome trace file holds one JSON document, so only the first measured
+	// table gets the writer; under -all the rest run untraced.
+	tableOpts := func() bench.TableOptions {
+		o := topts
+		topts.Trace = nil
+		return o
+	}
 
 	any := false
 	if *dumpDir != "" {
@@ -61,7 +81,7 @@ func main() {
 		any = true
 	}
 	if *jsonOut != "" {
-		if err := writeArtifact(*jsonOut, wl, topts); err != nil {
+		if err := writeArtifact(*jsonOut, wl, tableOpts()); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
@@ -73,15 +93,15 @@ func main() {
 		any = true
 	}
 	if want(2) {
-		machineTable("Table II: DEC Alpha (simulated cycles)", machine.Alpha(), wl, topts)
+		machineTable("Table II: DEC Alpha (simulated cycles)", machine.Alpha(), wl, tableOpts())
 		any = true
 	}
 	if want(3) {
-		machineTable("Table III: Motorola 88100 (simulated cycles)", machine.M88100(), wl, topts)
+		machineTable("Table III: Motorola 88100 (simulated cycles)", machine.M88100(), wl, tableOpts())
 		any = true
 	}
 	if want(4) {
-		machineTable("Motorola 68030 (simulated cycles; the paper's §3 negative result)", machine.M68030(), wl, topts)
+		machineTable("Motorola 68030 (simulated cycles; the paper's §3 negative result)", machine.M68030(), wl, tableOpts())
 		any = true
 	}
 	if want(5) {

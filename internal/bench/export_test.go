@@ -3,6 +3,7 @@ package bench
 import (
 	"macc"
 	"macc/internal/machine"
+	"macc/internal/telemetry"
 )
 
 // RunTableBenches exposes the worker-pool core to tests that need a custom
@@ -13,5 +14,5 @@ func RunTableBenches(benches []Benchmark, m *machine.Machine, wl Workload, opts 
 
 // MeasureCell exposes the panic-isolating wrapper around Measure.
 func MeasureCell(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
-	return measureCell(b, cfgc, wl)
+	return measureCell(b, cfgc, wl, telemetry.NewRecorder())
 }

@@ -3,8 +3,10 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -349,7 +351,13 @@ func Configs(m *machine.Machine) []macc.Config {
 // coalescer counters alongside the dynamic cycle counts, and so failure
 // messages can summarize what the coalescer decided.
 func Measure(b Benchmark, cfgc macc.Config, wl Workload) (Cell, error) {
-	rec := telemetry.NewRecorder()
+	return MeasureTraced(b, cfgc, wl, telemetry.NewRecorder())
+}
+
+// MeasureTraced is Measure with a caller-supplied recorder, so a harness
+// can harvest the compile's per-pass spans afterwards (the parallel table
+// runner merges them into one worker-attributed Chrome trace).
+func MeasureTraced(b Benchmark, cfgc macc.Config, wl Workload, rec *telemetry.Recorder) (Cell, error) {
 	cfgc.Telemetry = rec
 	p, err := macc.Compile(b.Src, cfgc)
 	if err != nil {
@@ -393,6 +401,11 @@ type TableOptions struct {
 	// registries that are merged here at the pool barrier, so the hot path
 	// never contends on shared counters.
 	Registry *telemetry.Registry
+	// Trace, when non-nil, receives the merged per-pass Chrome trace of
+	// every cell compile. Each worker's spans are stamped with its worker
+	// ID, so a -j run renders one process row per worker instead of all
+	// workers interleaving on one timeline.
+	Trace io.Writer
 }
 
 // columnNames are the table's configuration columns, in Configs order.
@@ -423,13 +436,13 @@ type cellResult struct {
 // measureCell runs one Measure under panic isolation: a panicking
 // configuration (a miscompiled kernel tripping a harness invariant, say)
 // degrades only its row, exactly like a returned error.
-func measureCell(b Benchmark, cfgc macc.Config, wl Workload) (cell Cell, err error) {
+func measureCell(b Benchmark, cfgc macc.Config, wl Workload, rec *telemetry.Recorder) (cell Cell, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%s: panic: %v", b.Name, r)
 		}
 	}()
-	return Measure(b, cfgc, wl)
+	return MeasureTraced(b, cfgc, wl, rec)
 }
 
 // runTable fans the (benchmark, configuration) cell matrix out over a
@@ -455,24 +468,36 @@ func runTable(benches []Benchmark, cfgs []macc.Config, wl Workload, opts TableOp
 	type task struct{ bi, ci int }
 	taskc := make(chan task)
 	regs := make([]*telemetry.Registry, jobs)
+	workerSpans := make([][]telemetry.Span, jobs)
+	epoch := time.Now() // common timeline for every cell recorder's spans
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		reg := telemetry.NewRegistry()
 		regs[w] = reg
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for t := range taskc {
 				start := time.Now()
-				cell, err := measureCell(benches[t.bi], cfgs[t.ci], wl)
+				rec := telemetry.NewRecorder()
+				cell, err := measureCell(benches[t.bi], cfgs[t.ci], wl, rec)
 				results[t.bi][t.ci] = cellResult{cell: cell, err: err}
 				reg.Counter("bench.cells_measured").Add(1)
 				if err != nil {
 					reg.Counter("bench.cell_failures").Add(1)
 				}
 				reg.Histogram("bench.cell_wall_ns").Observe(time.Since(start).Nanoseconds())
+				if opts.Trace != nil {
+					// Rebase onto the shared epoch and stamp the worker ID
+					// so the merged trace attributes each span's lane.
+					spans := rec.SpansSince(epoch)
+					for i := range spans {
+						spans[i].PID = worker + 1
+					}
+					workerSpans[worker] = append(workerSpans[worker], spans...)
+				}
 			}
-		}()
+		}(w)
 	}
 	for bi := range benches {
 		for ci := range cfgs {
@@ -485,6 +510,16 @@ func runTable(benches []Benchmark, cfgs []macc.Config, wl Workload, opts TableOp
 	if opts.Registry != nil {
 		for _, reg := range regs {
 			opts.Registry.Merge(reg)
+		}
+	}
+	if opts.Trace != nil {
+		var all []telemetry.Span
+		for _, ws := range workerSpans {
+			all = append(all, ws...)
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+		if err := telemetry.WriteTraceEvents(opts.Trace, all); err != nil {
+			return nil, fmt.Errorf("bench: write trace: %w", err)
 		}
 	}
 

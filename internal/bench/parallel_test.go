@@ -2,6 +2,7 @@ package bench_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -119,6 +120,55 @@ func TestWorkerTelemetryMerged(t *testing.T) {
 		t.Errorf("cell_wall_ns samples = %d, want 12", hs.Count)
 	}
 	_ = rows
+}
+
+// TestParallelTraceSeparatesWorkers: TableOptions.Trace must emit one Chrome
+// trace where each pool worker owns a distinct pid (so a -j run renders one
+// process row per worker), and every compile's pass spans must be present.
+func TestParallelTraceSeparatesWorkers(t *testing.T) {
+	m := machine.Alpha()
+	wl := bench.SmallWorkload()
+	var buf bytes.Buffer
+	_, err := bench.RunTableOpts(m, wl, bench.TableOptions{Jobs: 3, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	workers := map[int]bool{}
+	passSpans := 0
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				name, _ := ev.Args["name"].(string)
+				if !strings.HasPrefix(name, "worker ") {
+					t.Errorf("process %d named %q, want worker prefix", ev.Pid, name)
+				}
+				workers[ev.Pid] = true
+			}
+		case "X":
+			passSpans++
+			if ev.Pid == 0 {
+				t.Errorf("span %q has no worker pid", ev.Name)
+			}
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("trace names %d worker processes, want >= 2 at Jobs=3", len(workers))
+	}
+	if passSpans == 0 {
+		t.Error("trace has no pass spans")
+	}
 }
 
 // TestConcurrentMeasureSharedRegistry is the -race stress case: many

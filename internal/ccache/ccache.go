@@ -21,6 +21,7 @@ package ccache
 import (
 	"bufio"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -35,6 +36,7 @@ import (
 	"macc/internal/core"
 	"macc/internal/rtl"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 )
 
 // SchemaVersion names the cache layout. Bumping it invalidates every
@@ -144,8 +146,14 @@ type Options struct {
 	// the compile farm wires a validated peer-cache lookup in here. A
 	// fallback hit is promoted into both local tiers. The fallback is
 	// never consulted by GetLocal, so a replica answering peer probes can
-	// not recurse into its own peers.
-	Fallback func(Key) (Entry, bool)
+	// not recurse into its own peers. The ctx carries the requesting
+	// trace's span context so the peer lookup's spans join the trace.
+	Fallback func(context.Context, Key) (Entry, bool)
+	// Tracer, when non-nil, records one tier-decision span per ctx-aware
+	// lookup (mem hit, disk hit + reparse revalidation, peer fallback,
+	// miss), a wait span per singleflight waiter, and a compute span
+	// around each singleflight leader's compile.
+	Tracer *dtrace.Tracer
 	// DiskFault, when non-nil, is invoked before each disk-tier write
 	// step ("create", "write", "rename") and fails that step when it
 	// returns an error. Returning ErrSimulatedCrash models a writer
@@ -174,8 +182,9 @@ type Cache struct {
 	budget   int64
 	dir      string
 	reg      *telemetry.Registry
-	fallback func(Key) (Entry, bool)
+	fallback func(context.Context, Key) (Entry, bool)
 	fault    func(op string) error
+	tracer   *dtrace.Tracer
 	flights  map[Key]*flight
 	fmu      sync.Mutex
 	jmu      sync.Mutex
@@ -214,6 +223,7 @@ func New(opts Options) *Cache {
 		reg:      reg,
 		fallback: opts.Fallback,
 		fault:    opts.DiskFault,
+		tracer:   opts.Tracer,
 		flights:  make(map[Key]*flight),
 	}
 	if c.dir != "" {
@@ -247,26 +257,42 @@ func (c *Cache) Bytes() int64 {
 // revalidated and promoted into the faster tiers. The second return is
 // false on a miss (including every form of invalid disk entry).
 func (c *Cache) Get(key Key) (Entry, bool) {
-	if e, ok := c.GetLocal(key); ok {
-		return e, true
-	}
-	if c.fallback != nil {
-		if e, ok := c.fallback(key); ok && e.Program != nil {
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with trace propagation: one cache span records which tier
+// answered (mem, disk, peer, or miss), and the peer fallback runs under the
+// span's context so its lookup attempts join the request trace.
+func (c *Cache) GetCtx(ctx context.Context, key Key) (Entry, bool) {
+	sp := c.tracer.StartSpan(dtrace.FromContext(ctx), "ccache.get", dtrace.KindCache)
+	e, tier, ok := c.getLocal(key)
+	if !ok && c.fallback != nil {
+		fctx := ctx
+		if sp.Context().Valid() {
+			fctx = dtrace.ContextWith(ctx, sp.Context())
+		}
+		if fe, fok := c.fallback(fctx, key); fok && fe.Program != nil {
 			c.reg.Counter("ccache.peer_hits").Add(1)
-			if e.Text == "" {
-				e.Text = e.Program.String()
+			if fe.Text == "" {
+				fe.Text = fe.Program.String()
 			}
-			c.insertMem(key, e)
+			c.insertMem(key, fe)
 			if c.dir != "" {
-				if err := c.storeDisk(key, e); err != nil {
+				if err := c.storeDisk(key, fe); err != nil {
 					c.reg.Counter("ccache.disk_errors").Add(1)
 				}
 			}
-			return e, true
+			e, tier, ok = fe, "peer", true
 		}
 	}
-	c.reg.Counter("ccache.misses").Add(1)
-	return Entry{}, false
+	if !ok {
+		c.reg.Counter("ccache.misses").Add(1)
+		tier = "miss"
+	}
+	sp.SetAttr("tier", tier)
+	sp.SetAttr("key", key.String()[:12])
+	sp.End()
+	return e, ok
 }
 
 // GetLocal looks the key up in the local tiers only (memory, then disk) —
@@ -275,13 +301,21 @@ func (c *Cache) Get(key Key) (Entry, bool) {
 // cycle. A local miss is not counted in ccache.misses (the probing peer
 // accounts for its own miss).
 func (c *Cache) GetLocal(key Key) (Entry, bool) {
+	e, _, ok := c.getLocal(key)
+	return e, ok
+}
+
+// getLocal is GetLocal plus the answering tier's name: "mem" for a memory
+// hit, "disk" for a disk hit (which implies a successful checksum +
+// reparse revalidation), "" on a miss.
+func (c *Cache) getLocal(key Key) (Entry, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
 		e := el.Value.(*lruEntry).e
 		c.mu.Unlock()
 		c.reg.Counter("ccache.mem_hits").Add(1)
-		return e, true
+		return e, "mem", true
 	}
 	c.mu.Unlock()
 
@@ -289,10 +323,10 @@ func (c *Cache) GetLocal(key Key) (Entry, bool) {
 		if e, ok := c.loadDisk(key); ok {
 			c.reg.Counter("ccache.disk_hits").Add(1)
 			c.insertMem(key, e)
-			return e, true
+			return e, "disk", true
 		}
 	}
-	return Entry{}, false
+	return Entry{}, "", false
 }
 
 // Put stores the entry under key in both tiers. The entry becomes cache
@@ -321,24 +355,51 @@ func (c *Cache) Put(key Key, e Entry) {
 // this caller's own compute. A compute error is shared with every waiter
 // and nothing is stored.
 func (c *Cache) GetOrCompute(key Key, compute func() (Entry, error)) (e Entry, hit bool, err error) {
-	if e, ok := c.Get(key); ok {
+	return c.GetOrComputeCtx(context.Background(), key, func(context.Context) (Entry, error) {
+		return compute()
+	})
+}
+
+// GetOrComputeCtx is GetOrCompute with trace propagation: the tier lookup
+// records its cache span, a waiter joining an existing flight records a
+// wait span covering the time spent parked behind the leader, and the
+// leader's compute runs under a compute span whose context reaches the
+// pipeline (so per-pass spans nest beneath it).
+func (c *Cache) GetOrComputeCtx(ctx context.Context, key Key, compute func(context.Context) (Entry, error)) (e Entry, hit bool, err error) {
+	if e, ok := c.GetCtx(ctx, key); ok {
 		return e, true, nil
 	}
 	c.fmu.Lock()
 	if f, ok := c.flights[key]; ok {
 		c.fmu.Unlock()
 		c.reg.Counter("ccache.dedup_waiters").Add(1)
+		sp := c.tracer.StartSpan(dtrace.FromContext(ctx), "ccache.wait", dtrace.KindWait)
+		sp.SetAttr("key", key.String()[:12])
 		if c.onWait != nil {
 			c.onWait()
 		}
 		<-f.done
+		if f.err != nil {
+			sp.SetErr(f.err.Error())
+		}
+		sp.End()
 		return f.e, f.err == nil, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.fmu.Unlock()
 
-	f.e, f.err = compute()
+	sp := c.tracer.StartSpan(dtrace.FromContext(ctx), "compile", dtrace.KindCompute)
+	sp.SetAttr("key", key.String()[:12])
+	cctx := ctx
+	if sp.Context().Valid() {
+		cctx = dtrace.ContextWith(ctx, sp.Context())
+	}
+	f.e, f.err = compute(cctx)
+	if f.err != nil {
+		sp.SetErr(f.err.Error())
+	}
+	sp.End()
 	if f.err == nil {
 		c.Put(key, f.e)
 	}

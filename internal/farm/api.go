@@ -1,6 +1,38 @@
 package farm
 
-import "macc/internal/core"
+import (
+	"macc/internal/core"
+	"macc/internal/telemetry/dtrace"
+)
+
+// Debug-plane routes shared by maccd and the clients that push or pull
+// trace spans.
+const (
+	// DebugSpansPath accepts a SpanIngest POST: clients (loadgen,
+	// macc -server) push their local spans so a replica can answer
+	// /debug/trace/<id> with the full tree.
+	DebugSpansPath = "/debug/spans"
+	// DebugTracePrefix serves one assembled trace; the remainder of the
+	// path is the 32-hex trace ID.
+	DebugTracePrefix = "/debug/trace/"
+	// DebugFlightPath serves the replica's flight recorder.
+	DebugFlightPath = "/debug/flight"
+	// DebugFarmPath serves the plain-text farm dashboard.
+	DebugFarmPath = "/debug/farm"
+)
+
+// SpanIngest is the POST /debug/spans body.
+type SpanIngest struct {
+	Spans []dtrace.Span `json:"spans"`
+}
+
+// TraceDump is the /debug/trace/<id>?format=spans answer: the raw span
+// set, used replica-to-replica for trace assembly and by loadgen for
+// per-hop breakdowns.
+type TraceDump struct {
+	Trace string        `json:"trace"`
+	Spans []dtrace.Span `json:"spans"`
+}
 
 // Wire types shared by the service (cmd/maccd), the remote CLI
 // (cmd/macc -server), and the load generator (cmd/loadgen).

@@ -17,6 +17,7 @@ import (
 
 	"macc/internal/ccache"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 )
 
 // ClientOptions configures a resilient farm client. Zero values select the
@@ -61,6 +62,12 @@ type ClientOptions struct {
 	Metrics *telemetry.Registry
 	// MaxResponse bounds a response body in bytes (default 16 MiB).
 	MaxResponse int64
+	// Tracer records a span per logical call and per attempt leg (hedges
+	// marked, losers marked abandoned), parented under the span context
+	// carried by the call's ctx. The attempt span's context rides the
+	// traceparent header, so the answering replica's ingress span parents
+	// under the exact leg that reached it. Nil disables tracing.
+	Tracer *dtrace.Tracer
 }
 
 // StatusError is a non-retryable HTTP-level answer from a peer (a 4xx, or
@@ -191,6 +198,16 @@ func (c *Client) Close() {
 // Peers returns the configured peer count.
 func (c *Client) Peers() int { return len(c.peers) }
 
+// PeerURLs returns the configured peer base URLs (trace assembly fans a
+// /debug/trace pull across these).
+func (c *Client) PeerURLs() []string {
+	urls := make([]string, len(c.peers))
+	for i, p := range c.peers {
+		urls[i] = p.url
+	}
+	return urls
+}
+
 // Metrics returns the registry the client publishes into.
 func (c *Client) Metrics() *telemetry.Registry { return c.reg }
 
@@ -255,6 +272,7 @@ type callSpec struct {
 	timeout  time.Duration // per attempt
 	attempts int
 	hedge    bool
+	kind     string // dtrace span kind for the call span (KindCall/KindLookup)
 }
 
 // callResult is one call's outcome.
@@ -267,30 +285,49 @@ type callResult struct {
 
 // call runs the full resilience stack for one logical request: peer
 // selection under circuit breakers, per-attempt timeouts, hedging, and
-// exponential backoff with jitter between attempts.
+// exponential backoff with jitter between attempts. One call span wraps
+// the whole retry budget; each leg gets its own attempt span.
 func (c *Client) call(ctx context.Context, spec callSpec) callResult {
 	if len(c.peers) == 0 {
 		return callResult{err: ErrNoPeers}
 	}
+	kind := spec.kind
+	if kind == "" {
+		kind = dtrace.KindCall
+	}
+	callSp := c.opts.Tracer.StartSpan(dtrace.FromContext(ctx), spec.path, kind)
+	defer callSp.End()
 	last := callResult{err: ErrNoPeers}
+	rounds := 0
 	for attempt := 0; attempt < spec.attempts; attempt++ {
 		if attempt > 0 {
 			c.reg.Counter("farm.retries").Add(1)
 			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				callSp.SetErr(err.Error())
 				return callResult{err: err}
 			}
 		}
+		rounds++
 		primary, second := c.pickPeers()
 		if primary == nil {
 			last = callResult{err: ErrNoPeers}
 			c.reg.Counter("farm.no_peer").Add(1)
+			// The short-circuit is a span of its own: the trace shows the
+			// round where every breaker refused admission.
+			sc := c.opts.Tracer.StartSpan(callSp.Context(), "breaker_short_circuit", dtrace.KindBreaker)
+			sc.SetErr(ErrNoPeers.Error())
+			sc.End()
 			continue
 		}
-		res := c.race(ctx, spec, primary, second)
+		res := c.race(ctx, spec, callSp, primary, second)
 		if res.err == nil && res.status < 500 {
+			callSp.SetAttr("rounds", itoa(rounds))
+			callSp.SetAttr("winner_peer", res.peer)
+			callSp.SetAttr("status", itoa(res.status))
 			return res
 		}
 		if res.err != nil && ctx.Err() != nil {
+			callSp.SetErr(ctx.Err().Error())
 			return callResult{err: ctx.Err()}
 		}
 		last = res
@@ -299,19 +336,25 @@ func (c *Client) call(ctx context.Context, spec callSpec) callResult {
 		// A 5xx that survived every retry surfaces as a StatusError.
 		last.err = &StatusError{Code: last.status, Msg: errorMsg(last.body), Peer: last.peer}
 	}
+	callSp.SetAttr("rounds", itoa(rounds))
+	if last.err != nil {
+		callSp.SetErr(last.err.Error())
+	}
 	return last
 }
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
 // race runs one attempt on the primary peer and hedges a second leg to
 // another peer when the primary exceeds its observed p99 latency (or fails
 // outright). The first acceptable answer wins; the loser is cancelled and
 // its breaker admission released without a verdict.
-func (c *Client) race(ctx context.Context, spec callSpec, primary, second *peerState) callResult {
+func (c *Client) race(ctx context.Context, spec callSpec, callSp *dtrace.ActiveSpan, primary, second *peerState) callResult {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	resc := make(chan callResult, 2)
 	outstanding := 1
-	go c.attempt(actx, spec, primary, resc)
+	go c.attempt(actx, spec, primary, "primary", callSp.Context(), resc)
 
 	var hedgeCh <-chan time.Time
 	if spec.hedge && second != nil {
@@ -319,12 +362,14 @@ func (c *Client) race(ctx context.Context, spec callSpec, primary, second *peerS
 		defer t.Stop()
 		hedgeCh = t.C
 	}
+	hedged := false
 	launchSecond := func() bool {
 		if second == nil || !second.breaker.Allow() {
 			return false
 		}
 		outstanding++
-		go c.attempt(actx, spec, second, resc)
+		hedged = true
+		go c.attempt(actx, spec, second, "hedge", callSp.Context(), resc)
 		second = nil // one hedge leg only
 		return true
 	}
@@ -335,8 +380,14 @@ func (c *Client) race(ctx context.Context, spec callSpec, primary, second *peerS
 		case r := <-resc:
 			outstanding--
 			if r.err == nil && r.status < 500 {
+				if hedged {
+					callSp.SetAttr("hedged", "true")
+				}
 				if r.peer != primary.name {
 					c.reg.Counter("farm.hedge_wins").Add(1)
+					callSp.SetAttr("hedge_won", "true")
+				} else if hedged {
+					callSp.SetAttr("hedge_won", "false")
 				}
 				return r
 			}
@@ -364,9 +415,26 @@ func (c *Client) race(ctx context.Context, spec callSpec, primary, second *peerS
 
 // attempt issues one HTTP request to one peer and settles its breaker
 // admission: success and failure are recorded, abandonment (the hedge race
-// was decided elsewhere) is released without a verdict.
-func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, resc chan<- callResult) {
+// was decided elsewhere) is released without a verdict. Each leg records
+// its own attempt span — outcome ok, error, or abandoned (the hedge-race
+// loser) — and propagates that span's context as the traceparent header,
+// so the replica's ingress span parents under the leg that reached it.
+func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, leg string, parent dtrace.SpanContext, resc chan<- callResult) {
 	start := time.Now()
+	sp := c.opts.Tracer.StartSpan(parent, "attempt "+p.name, dtrace.KindAttempt)
+	sp.SetAttr("peer", p.name)
+	sp.SetAttr("leg", leg)
+	finish := func(r callResult, outcome string) {
+		sp.SetAttr("outcome", outcome)
+		if r.status != 0 {
+			sp.SetAttr("status", itoa(r.status))
+		}
+		if r.err != nil {
+			sp.SetErr(r.err.Error())
+		}
+		sp.End()
+		resc <- r
+	}
 	actx, cancel := context.WithTimeout(ctx, spec.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -376,11 +444,14 @@ func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, resc 
 	req, err := http.NewRequestWithContext(actx, spec.method, p.url+spec.path, rd)
 	if err != nil {
 		p.breaker.Record(false)
-		resc <- callResult{peer: p.name, err: err}
+		finish(callResult{peer: p.name, err: err}, "error")
 		return
 	}
 	if spec.body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if sp.Context().Valid() {
+		req.Header.Set(dtrace.Header, sp.Context().Traceparent())
 	}
 	resp, err := c.http.Do(req)
 	var body []byte
@@ -393,12 +464,12 @@ func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, resc 
 			// Cancelled from above: either the race was decided by the
 			// other leg or the caller gave up. Not the peer's fault.
 			p.breaker.Cancel()
-			resc <- callResult{peer: p.name, err: errAbandoned}
+			finish(callResult{peer: p.name, err: errAbandoned}, "abandoned")
 			return
 		}
 		p.breaker.Record(false)
 		c.reg.Counter("farm.attempt_errors").Add(1)
-		resc <- callResult{peer: p.name, err: fmt.Errorf("peer %s: %w", p.name, err)}
+		finish(callResult{peer: p.name, err: fmt.Errorf("peer %s: %w", p.name, err)}, "error")
 		return
 	}
 	healthy := resp.StatusCode < 500
@@ -408,7 +479,11 @@ func (c *Client) attempt(ctx context.Context, spec callSpec, p *peerState, resc 
 	} else {
 		c.reg.Counter("farm.attempt_5xx").Add(1)
 	}
-	resc <- callResult{status: resp.StatusCode, body: body, peer: p.name}
+	outcome := "ok"
+	if !healthy {
+		outcome = "5xx"
+	}
+	finish(callResult{status: resp.StatusCode, body: body, peer: p.name}, outcome)
 }
 
 // pickPeers selects the primary peer (claiming its breaker admission) and
@@ -503,6 +578,7 @@ func (c *Client) Lookup(ctx context.Context, key ccache.Key) (ccache.Entry, bool
 		timeout:  c.opts.LookupTimeout,
 		attempts: attempts,
 		hedge:    true,
+		kind:     dtrace.KindLookup,
 	})
 	if res.err != nil || res.status != http.StatusOK {
 		return ccache.Entry{}, false
@@ -517,13 +593,86 @@ func (c *Client) Lookup(ctx context.Context, key ccache.Key) (ccache.Entry, bool
 }
 
 // FallbackFunc adapts Lookup to the ccache.Options.Fallback signature with
-// an internal deadline, wiring the farm in as a third cache tier.
-func (c *Client) FallbackFunc() func(ccache.Key) (ccache.Entry, bool) {
-	return func(key ccache.Key) (ccache.Entry, bool) {
-		ctx, cancel := context.WithTimeout(context.Background(), 3*c.opts.LookupTimeout)
+// an internal deadline, wiring the farm in as a third cache tier. The
+// caller's ctx carries the request's span context, so the lookup's spans
+// land under the right trace.
+func (c *Client) FallbackFunc() func(context.Context, ccache.Key) (ccache.Entry, bool) {
+	return func(ctx context.Context, key ccache.Key) (ccache.Entry, bool) {
+		ctx, cancel := context.WithTimeout(ctx, 3*c.opts.LookupTimeout)
 		defer cancel()
 		return c.Lookup(ctx, key)
 	}
+}
+
+// PeerStat is one replica's client-side view: breaker state, trip count,
+// and observed successful-attempt latency. The /debug/farm dashboard
+// renders these.
+type PeerStat struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Trips   int64  `json:"trips"`
+	Samples int64  `json:"samples"`
+	P50NS   int64  `json:"p50_ns"`
+	P99NS   int64  `json:"p99_ns"`
+}
+
+// PeerStats snapshots every peer's breaker and latency view.
+func (c *Client) PeerStats() []PeerStat {
+	out := make([]PeerStat, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, PeerStat{
+			Name:    p.name,
+			URL:     p.url,
+			State:   p.breaker.State().String(),
+			Trips:   p.breaker.Trips(),
+			Samples: p.lat.Count(),
+			P50NS:   p.lat.Quantile(0.5),
+			P99NS:   p.lat.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// ReportTrace pushes the client tracer's spans for traceID to the farm
+// (POST /debug/spans), so a replica-side /debug/trace/<id> query can show
+// the client's root and attempt spans alongside the server's. Push is
+// best-effort: the first peer that accepts wins, failures are silent (a
+// trace missing client spans is still a trace). Returns whether any peer
+// accepted.
+func (c *Client) ReportTrace(ctx context.Context, traceID string) bool {
+	spans := c.opts.Tracer.Spans(traceID)
+	if len(spans) == 0 {
+		return false
+	}
+	body, err := json.Marshal(SpanIngest{Spans: spans})
+	if err != nil {
+		return false
+	}
+	// Plain single-attempt posts: running this through call() would mint
+	// new spans into the very trace being reported.
+	for _, p := range c.peers {
+		if p.breaker.State() == Open {
+			continue
+		}
+		actx, cancel := context.WithTimeout(ctx, c.opts.LookupTimeout)
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, p.url+DebugSpansPath, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+		}
+		cancel()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return true
+		}
+	}
+	return false
 }
 
 // PostJSON runs one resilient JSON POST against the farm (retries, backoff,
@@ -541,6 +690,7 @@ func (c *Client) PostJSON(ctx context.Context, path string, in, out any) (string
 		timeout:  c.opts.AttemptTimeout,
 		attempts: c.opts.MaxAttempts,
 		hedge:    true,
+		kind:     dtrace.KindCall,
 	})
 	if res.err != nil {
 		return res.peer, res.err

@@ -16,6 +16,7 @@ import (
 	"macc/internal/ccache"
 	"macc/internal/rtl"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 )
 
 // testEntry builds a small valid cache entry (its RTL reparses, so it
@@ -325,6 +326,93 @@ func TestHedgedRequestWins(t *testing.T) {
 	}
 	if got := c.Metrics().CounterValue("farm.hedge_wins"); got != 1 {
 		t.Errorf("hedge_wins = %d, want 1", got)
+	}
+}
+
+// TestHedgeSpansMarkWinner: a hedged call's trace must show both legs —
+// the stalled primary attempt marked abandoned, the hedge attempt marked
+// ok — and the call span marked hedged with hedge_won=true, so a trace
+// reader can tell exactly which leg answered.
+func TestHedgeSpansMarkWinner(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(slow.Close)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(dtrace.Header); got == "" {
+			t.Error("attempt carried no traceparent header")
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer fast.Close()
+
+	tr := dtrace.New("client", 0)
+	// peers[1] is the first primary (see TestHedgedRequestWins): slow there.
+	c := fastClient(t, ClientOptions{
+		Peers:          []string{fast.URL, slow.URL},
+		AttemptTimeout: 5 * time.Second,
+		HedgeFloor:     5 * time.Millisecond,
+		MaxAttempts:    1,
+		Tracer:         tr,
+	})
+	root := tr.StartRoot("req", dtrace.KindRequest)
+	ctx := dtrace.ContextWith(context.Background(), root.Context())
+	var out struct{}
+	if _, err := c.PostJSON(ctx, "/x", struct{}{}, &out); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	root.End()
+
+	// The abandoned primary's span ends asynchronously with its cancelled
+	// HTTP attempt; wait for both legs to be filed.
+	var spans []dtrace.Span
+	attempts := func() int {
+		spans = tr.Spans(root.TraceID())
+		n := 0
+		for _, sp := range spans {
+			if sp.Kind == dtrace.KindAttempt {
+				n++
+			}
+		}
+		return n
+	}
+	for wait := 0; wait < 200 && attempts() < 2; wait++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	legs := make(map[string]dtrace.Span)
+	var call dtrace.Span
+	for _, sp := range spans {
+		switch sp.Kind {
+		case dtrace.KindAttempt:
+			legs[sp.Attrs["leg"]] = sp
+		case dtrace.KindCall:
+			call = sp
+		}
+	}
+	if call.Attrs["hedged"] != "true" || call.Attrs["hedge_won"] != "true" {
+		t.Errorf("call span attrs = %v, want hedged=true hedge_won=true", call.Attrs)
+	}
+	p, ok := legs["primary"]
+	if !ok || p.Attrs["outcome"] != "abandoned" {
+		t.Errorf("primary leg = %+v, want outcome=abandoned", p.Attrs)
+	}
+	h, ok := legs["hedge"]
+	if !ok || h.Attrs["outcome"] != "ok" {
+		t.Errorf("hedge leg = %+v, want outcome=ok", h.Attrs)
+	}
+	if p.Parent != call.ID || h.Parent != call.ID {
+		t.Error("attempt legs are not children of the call span")
+	}
+	if call.Parent != root.Context().Span.String() {
+		t.Errorf("call span parent = %s, want the request root", call.Parent)
 	}
 }
 

@@ -1,0 +1,50 @@
+package dtrace
+
+import (
+	"strconv"
+
+	"macc/internal/telemetry"
+)
+
+// LinkRecorder republishes rec's per-pass pipeline spans as children of
+// parent in t, converting the recorder's relative timestamps onto the
+// absolute trace timeline. This is how one request trace reaches from HTTP
+// ingress down to individual passes: maccd gives each cold compile a fresh
+// Recorder, the pipeline fills it, and the compile path links it under the
+// request's compute span. Returns the number of spans linked.
+func LinkRecorder(t *Tracer, parent SpanContext, rec *telemetry.Recorder) int {
+	if t == nil || rec == nil || !parent.Valid() {
+		return 0
+	}
+	epoch := rec.StartTime().UnixNano()
+	spans := rec.Spans()
+	t.mu.Lock()
+	ids := make([]SpanID, len(spans))
+	for i := range ids {
+		ids[i] = t.newSpanID()
+	}
+	t.mu.Unlock()
+	for i, ps := range spans {
+		sp := Span{
+			Trace:   parent.Trace.String(),
+			ID:      ids[i].String(),
+			Parent:  parent.Span.String(),
+			Service: t.Service(),
+			Name:    ps.Pass,
+			Kind:    KindPass,
+			Start:   epoch + int64(ps.Start),
+			Dur:     int64(ps.Dur),
+			Attrs: map[string]string{
+				"fn":           ps.Fn,
+				"instrs_delta": strconv.Itoa(ps.InstrsAfter - ps.InstrsBefore),
+				"remarks":      strconv.Itoa(ps.Remarks),
+			},
+			Err: ps.Err,
+		}
+		if ps.RolledBack {
+			sp.Attrs["rolled_back"] = "true"
+		}
+		t.Add(sp)
+	}
+	return len(spans)
+}

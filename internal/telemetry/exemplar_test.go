@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveExemplar(100, "trace-a")
+	h.ObserveExemplar(120, "trace-b") // same bucket (le_128), larger value wins
+	h.ObserveExemplar(90, "trace-c")  // same bucket, smaller: ignored
+	h.ObserveExemplar(3, "trace-d")   // different bucket (le_4)
+	h.Observe(5)                      // no trace: counted, no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if e := s.Exemplars["le_128"]; e.Trace != "trace-b" || e.Value != 120 {
+		t.Fatalf("le_128 exemplar = %+v, want trace-b/120", e)
+	}
+	if e := s.Exemplars["le_4"]; e.Trace != "trace-d" || e.Value != 3 {
+		t.Fatalf("le_4 exemplar = %+v, want trace-d/3", e)
+	}
+	if _, ok := s.Exemplars["le_8"]; ok {
+		t.Fatal("trace-less sample produced an exemplar")
+	}
+}
+
+func TestExemplarMergeKeepsMax(t *testing.T) {
+	mk := func(v int64, trace string) *Registry {
+		r := NewRegistry()
+		r.Histogram("lat").ObserveExemplar(v, trace)
+		return r
+	}
+	// Merge in both orders: result must be identical (largest value wins).
+	for _, order := range [][]int64{{100, 120}, {120, 100}} {
+		dst := NewRegistry()
+		dst.Merge(mk(order[0], fmt.Sprintf("t%d", order[0])))
+		dst.Merge(mk(order[1], fmt.Sprintf("t%d", order[1])))
+		s := dst.Histogram("lat").Snapshot()
+		if e := s.Exemplars["le_128"]; e.Trace != "t120" || e.Value != 120 {
+			t.Fatalf("order %v: exemplar = %+v, want t120/120", order, e)
+		}
+		if s.Count != 2 {
+			t.Fatalf("order %v: count = %d, want 2", order, s.Count)
+		}
+	}
+	// Merging an exemplar-less histogram does not disturb existing ones.
+	dst := mk(100, "keep")
+	src := NewRegistry()
+	src.Histogram("lat").Observe(110)
+	dst.Merge(src)
+	if e := dst.Histogram("lat").Snapshot().Exemplars["le_128"]; e.Trace != "keep" {
+		t.Fatalf("exemplar lost on plain merge: %+v", e)
+	}
+}
+
+// TestConcurrentSnapshotMerge hammers one registry with concurrent
+// writers (counters, gauges, exemplar-carrying histograms), concurrent
+// mergers folding in per-worker registries, and a concurrent snapshotter
+// — the -race proof for the registry's export path.
+func TestConcurrentSnapshotMerge(t *testing.T) {
+	shared := NewRegistry()
+	const workers = 8
+	const iters = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				shared.Counter("reqs").Add(1)
+				shared.Gauge("load").Set(float64(w))
+				shared.Histogram("lat").ObserveExemplar(int64(i+1), fmt.Sprintf("w%d-i%d", w, i))
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters/10; i++ {
+				private := NewRegistry()
+				private.Counter("merged").Add(1)
+				private.Histogram("lat").ObserveExemplar(int64(1<<uint(w%8)), fmt.Sprintf("m%d-%d", w, i))
+				shared.Merge(private)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := shared.Snapshot()
+			if s.Counters["reqs"] < 0 {
+				t.Error("negative counter")
+				return
+			}
+			for label, e := range s.Histograms["lat"].Exemplars {
+				if e.Trace == "" {
+					t.Errorf("bucket %s has empty exemplar trace", label)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := shared.Snapshot()
+	if got := s.Counters["reqs"]; got != workers*iters {
+		t.Fatalf("reqs = %d, want %d", got, workers*iters)
+	}
+	if got := s.Counters["merged"]; got != workers*(iters/10) {
+		t.Fatalf("merged = %d, want %d", got, workers*(iters/10))
+	}
+	if got := s.Histograms["lat"].Count; got != int64(workers*iters+workers*(iters/10)) {
+		t.Fatalf("lat count = %d", got)
+	}
+	if len(s.Histograms["lat"].Exemplars) == 0 {
+		t.Fatal("no exemplars survived the merge storm")
+	}
+}
+
+func TestSnapshotSchemaEnvelope(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	if s := r.Snapshot(); s.Schema != MetricsSchema {
+		t.Fatalf("schema = %q, want %q", s.Schema, MetricsSchema)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteServiceJSON(&buf, "maccd:x"); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != MetricsSchema || m["service"] != "maccd:x" {
+		t.Fatalf("envelope = %v/%v", m["schema"], m["service"])
+	}
+	if _, ok := m["counters"].(map[string]any); !ok {
+		t.Fatal("counters field missing from envelope")
+	}
+}

@@ -102,12 +102,27 @@ type Histogram struct {
 	min     int64
 	max     int64
 	buckets [65]int64
+	// exemplars holds, per bucket, the largest-valued sample that carried a
+	// trace ID — the Prometheus exemplar idiom. Lazily allocated so plain
+	// Observe-only histograms (the bench hot path) pay nothing.
+	exemplars *[65]Exemplar
+}
+
+// Exemplar ties one observed sample to the distributed trace that produced
+// it, so a latency bucket in /metrics can be followed to /debug/trace/<id>.
+type Exemplar struct {
+	Value int64  `json:"value"`
+	Trace string `json:"trace"`
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+func (h *Histogram) observeLocked(v int64) int {
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -116,7 +131,33 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bucketOf(v)]++
+	b := bucketOf(v)
+	h.buckets[b]++
+	return b
+}
+
+// ObserveExemplar records one sample and, when trace is non-empty, offers
+// it as the bucket's exemplar. Each bucket keeps the largest-valued
+// exemplar it has seen — deterministic under Merge regardless of worker
+// interleaving, and the most useful one for tail-latency forensics.
+func (h *Histogram) ObserveExemplar(v int64, trace string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.observeLocked(v)
+	if trace == "" {
+		return
+	}
+	h.offerExemplarLocked(b, Exemplar{Value: v, Trace: trace})
+}
+
+func (h *Histogram) offerExemplarLocked(bucket int, e Exemplar) {
+	if h.exemplars == nil {
+		h.exemplars = new([65]Exemplar)
+	}
+	cur := h.exemplars[bucket]
+	if cur.Trace == "" || e.Value > cur.Value {
+		h.exemplars[bucket] = e
+	}
 }
 
 func bucketOf(v int64) int {
@@ -184,6 +225,10 @@ type HistogramSnapshot struct {
 	// Buckets maps the inclusive upper bound 2^i to its sample count;
 	// empty buckets are omitted.
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// Exemplars maps bucket labels to the trace-carrying sample retained
+	// for that bucket (see ObserveExemplar); buckets without one are
+	// omitted.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot freezes the histogram.
@@ -199,6 +244,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Buckets = make(map[string]int64)
 		}
 		s.Buckets[bucketLabel(i)] = n
+	}
+	if h.exemplars != nil {
+		for i, e := range h.exemplars {
+			if e.Trace == "" {
+				continue
+			}
+			if s.Exemplars == nil {
+				s.Exemplars = make(map[string]Exemplar)
+			}
+			s.Exemplars[bucketLabel(i)] = e
+		}
 	}
 	return s
 }
@@ -222,14 +278,21 @@ func itoa(v int64) string {
 	return string(buf[i:])
 }
 
+// MetricsSchema versions the metrics JSON envelope. Every exporter in the
+// tree — `macc -metrics`, maccd's /metrics and final flush, loadgen's
+// embedded snapshot — emits this same shape, so tooling parses one format.
+const MetricsSchema = "macc-metrics/v1"
+
 // Snapshot is the registry frozen for export.
 type Snapshot struct {
+	Schema     string                       `json:"schema,omitempty"`
+	Service    string                       `json:"service,omitempty"`
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot freezes every metric.
+// Snapshot freezes every metric under the shared schema envelope.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -247,6 +310,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 
 	s := Snapshot{
+		Schema:     MetricsSchema,
 		Counters:   make(map[string]int64, len(counters)),
 		Gauges:     make(map[string]float64, len(gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(hists)),
@@ -296,10 +360,17 @@ func (r *Registry) Merge(o *Registry) {
 	}
 }
 
-// merge folds o's samples into h.
+// merge folds o's samples into h. Exemplars merge by the same
+// largest-value rule ObserveExemplar applies, so the merged result is
+// independent of merge order.
 func (h *Histogram) merge(o *Histogram) {
 	o.mu.Lock()
 	count, sum, min, max, buckets := o.count, o.sum, o.min, o.max, o.buckets
+	var exemplars *[65]Exemplar
+	if o.exemplars != nil {
+		ex := *o.exemplars
+		exemplars = &ex
+	}
 	o.mu.Unlock()
 	if count == 0 {
 		return
@@ -316,6 +387,13 @@ func (h *Histogram) merge(o *Histogram) {
 	h.sum += sum
 	for i, n := range buckets {
 		h.buckets[i] += n
+	}
+	if exemplars != nil {
+		for i, e := range exemplars {
+			if e.Trace != "" {
+				h.offerExemplarLocked(i, e)
+			}
+		}
 	}
 }
 
@@ -350,7 +428,21 @@ func (r *Registry) Names() []string {
 
 // WriteJSON renders a snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return WriteSnapshot(w, r.Snapshot())
+}
+
+// WriteServiceJSON renders a snapshot stamped with the emitting service's
+// name — the one shared encoder behind `macc -metrics`, maccd's /metrics
+// endpoint and final flush, and loadgen's artifact embed.
+func (r *Registry) WriteServiceJSON(w io.Writer, service string) error {
+	s := r.Snapshot()
+	s.Service = service
+	return WriteSnapshot(w, s)
+}
+
+// WriteSnapshot renders one snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s Snapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }

@@ -80,6 +80,16 @@ func NewRecorder() *Recorder {
 // sim.AttachMetrics, so static and dynamic counters live side by side).
 func (r *Recorder) Metrics() *Registry { return r.reg }
 
+// StartTime returns the recorder's epoch: span Start offsets are relative
+// to it. Consumers that merge spans from several recorders (the parallel
+// bench harness, the distributed-trace linker) use it to rebase spans onto
+// a shared absolute timeline.
+func (r *Recorder) StartTime() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.start
+}
+
 // Emit records a remark, staging it when a pass is active.
 func (r *Recorder) Emit(rem Remark) {
 	r.mu.Lock()

@@ -22,6 +22,12 @@ type Span struct {
 	Remarks      int           `json:"remarks"`
 	RolledBack   bool          `json:"rolled_back,omitempty"`
 	Err          string        `json:"err,omitempty"`
+	// PID identifies the worker (or process) that recorded the span; 0
+	// means unattributed and renders as process 1. The parallel bench
+	// harness stamps each cell's spans with its worker's ID so merged
+	// traces from RunTable -j get one process row per worker instead of
+	// interleaving into one.
+	PID int `json:"pid,omitempty"`
 }
 
 // traceEvent is one Chrome trace_event entry. The format is documented in
@@ -48,16 +54,57 @@ type traceFile struct {
 // rolled-back passes are categorized "rollback" and colored differently by
 // the viewer.
 func (r *Recorder) WriteTrace(w io.Writer) error {
+	return WriteTraceEvents(w, r.Spans())
+}
+
+// SpansSince returns the recorder's spans rebased onto epoch: each span's
+// Start becomes its offset from epoch instead of from the recorder's own
+// start time. Merging spans from many recorders (one per bench cell) onto
+// one timeline is then just concatenation.
+func (r *Recorder) SpansSince(epoch time.Time) []Span {
+	shift := r.StartTime().Sub(epoch)
 	spans := r.Spans()
-	tids := make(map[string]int)
+	for i := range spans {
+		spans[i].Start += shift
+	}
+	return spans
+}
+
+// WriteTraceEvents renders pass spans — possibly harvested from several
+// recorders — as Chrome trace_event JSON. Spans are grouped by PID into
+// process rows (pid 0 renders as process 1, unnamed); within a process,
+// each function gets its own tid lane. The parallel bench harness stamps
+// spans with worker PIDs before merging, so a -j trace shows one labeled
+// process row per worker rather than every worker interleaved on one row.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
 	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	pidSeen := make(map[int]bool)
+	type laneKey struct {
+		pid int
+		fn  string
+	}
+	tids := make(map[laneKey]int)
+	laneCount := make(map[int]int)
 	for _, s := range spans {
-		tid, ok := tids[s.Fn]
-		if !ok {
-			tid = len(tids) + 1
-			tids[s.Fn] = tid
+		pid := s.PID
+		if pid == 0 {
+			pid = 1
+		}
+		if s.PID != 0 && !pidSeen[pid] {
+			pidSeen[pid] = true
 			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid,
+				Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": "worker " + itoa(int64(pid))},
+			})
+		}
+		key := laneKey{pid, s.Fn}
+		tid, ok := tids[key]
+		if !ok {
+			laneCount[pid]++
+			tid = laneCount[pid]
+			tids[key] = tid
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: tid,
 				Args: map[string]any{"name": s.Fn},
 			})
 		}
@@ -71,7 +118,7 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			Ph:   "X",
 			Ts:   float64(s.Start) / float64(time.Microsecond),
 			Dur:  float64(s.Dur) / float64(time.Microsecond),
-			Pid:  1,
+			Pid:  pid,
 			Tid:  tid,
 			Args: map[string]any{
 				"fn":            s.Fn,

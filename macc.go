@@ -21,6 +21,7 @@
 package macc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,7 @@ import (
 	"macc/internal/sched"
 	"macc/internal/sim"
 	"macc/internal/telemetry"
+	"macc/internal/telemetry/dtrace"
 	"macc/internal/unroll"
 )
 
@@ -96,6 +98,13 @@ type Config struct {
 	// perturb individual passes and need the real pipeline), and compiles
 	// that degrade (Diagnostics non-empty) are returned but never stored.
 	Cache *ccache.Cache
+	// Tracer, when non-nil together with Telemetry, links the compile's
+	// per-pass pipeline spans into the distributed trace carried by the
+	// CompileCtx context (each pass becomes a child of the span context in
+	// ctx — typically the cache's compute span, or the server's ingress
+	// span for uncached compiles). Like Telemetry, it never affects the
+	// cache key or the compiled output.
+	Tracer *dtrace.Tracer
 }
 
 // emitter returns the remark sink for the configured recorder (a Nop when
@@ -158,22 +167,30 @@ type Program struct {
 // served from the content-addressed cache instead of re-running the
 // front end and pass pipeline.
 func Compile(src string, cfg Config) (*Program, error) {
+	return CompileCtx(context.Background(), src, cfg)
+}
+
+// CompileCtx is Compile with context propagation. When ctx carries a
+// dtrace span context (a farm request's ingress span) and Config.Tracer is
+// set, the compile's cache-tier decision, singleflight wait or compute
+// span, and per-pass pipeline spans all join that request's trace.
+func CompileCtx(ctx context.Context, src string, cfg Config) (*Program, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = machine.Alpha()
 	}
-	cold := func() (*Program, error) { return compileSource(src, cfg) }
+	cold := func(ctx context.Context) (*Program, error) { return compileSource(ctx, src, cfg) }
 	if cfg.usesCache() {
-		return compileCached(src, cfg, cold)
+		return compileCached(ctx, src, cfg, cold)
 	}
-	return cold()
+	return cold(ctx)
 }
 
-func compileSource(src string, cfg Config) (*Program, error) {
+func compileSource(ctx context.Context, src string, cfg Config) (*Program, error) {
 	rp, err := minic.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return compileProgram(rp, cfg)
+	return compileProgram(ctx, rp, cfg)
 }
 
 // CompileRTL applies the pipeline to an already-built RTL program (used by
@@ -181,24 +198,35 @@ func compileSource(src string, cfg Config) (*Program, error) {
 // compile is keyed by the program's printed text; on a hit rp is left
 // untouched and the cached result is returned instead.
 func CompileRTL(rp *rtl.Program, cfg Config) (*Program, error) {
+	return CompileRTLCtx(context.Background(), rp, cfg)
+}
+
+// CompileRTLCtx is CompileRTL with context propagation (see CompileCtx).
+func CompileRTLCtx(ctx context.Context, rp *rtl.Program, cfg Config) (*Program, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = machine.Alpha()
 	}
 	if cfg.usesCache() {
-		return compileCached(rp.String(), cfg, func() (*Program, error) {
-			return compileProgram(rp, cfg)
+		return compileCached(ctx, rp.String(), cfg, func(ctx context.Context) (*Program, error) {
+			return compileProgram(ctx, rp, cfg)
 		})
 	}
-	return compileProgram(rp, cfg)
+	return compileProgram(ctx, rp, cfg)
 }
 
-func compileProgram(rp *rtl.Program, cfg Config) (*Program, error) {
+func compileProgram(ctx context.Context, rp *rtl.Program, cfg Config) (*Program, error) {
 	p := newProgram(rp, cfg.Machine)
 	p.Telemetry = cfg.Telemetry
 	for _, f := range rp.Fns {
 		if err := p.optimizeFn(f, cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.Name, err)
 		}
+	}
+	// Link the pipeline's per-pass spans under the request trace: children
+	// of whatever span context rode in on ctx (the singleflight compute
+	// span under a cache, the ingress span without one).
+	if cfg.Tracer != nil && cfg.Telemetry != nil {
+		dtrace.LinkRecorder(cfg.Tracer, dtrace.FromContext(ctx), cfg.Telemetry)
 	}
 	return p, nil
 }
@@ -249,11 +277,11 @@ func costFingerprint(sb *strings.Builder, c *machine.Costs) {
 // it instead of duplicating the work — and stores an immutable copy of the
 // result. Degraded compiles are returned but never stored (and a caller
 // sharing the leader's flight sees the program without its diagnostics).
-func compileCached(keySrc string, cfg Config, cold func() (*Program, error)) (*Program, error) {
+func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(context.Context) (*Program, error)) (*Program, error) {
 	key := ccache.KeyOf(keySrc, cfg.fingerprint(), machineFingerprint(cfg.Machine))
 	var coldProg *Program
-	e, hit, err := cfg.Cache.GetOrCompute(key, func() (ccache.Entry, error) {
-		p, err := cold()
+	e, hit, err := cfg.Cache.GetOrComputeCtx(ctx, key, func(cctx context.Context) (ccache.Entry, error) {
+		p, err := cold(cctx)
 		if err != nil {
 			return ccache.Entry{}, err
 		}
