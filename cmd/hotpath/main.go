@@ -14,7 +14,10 @@
 // compile speedup); raw ns/op numbers are recorded for trend plots but
 // never compared across hosts. The warm-cache speedup additionally has an
 // absolute floor: a memory-tier hit must be at least 5x faster than a cold
-// compile regardless of the baseline. The parallel-scaling gate requires
+// compile regardless of the baseline. Each artifact carries a provenance
+// block (git commit, Go version, OS/arch, CPU count); when the baseline's
+// host identity differs from the current host's, relative gates are
+// skipped and only the absolute floors apply. The parallel-scaling gate requires
 // at least four CPUs on both the current and the baseline host, since a
 // single-core runner cannot demonstrate pool scaling; -check warns loudly
 // when the committed baseline was produced on a single-CPU host, because
@@ -36,8 +39,9 @@ import (
 	"macc/internal/rtl"
 )
 
-// Schema versions the artifact layout. v2 added the compile-cache section.
-const Schema = "macc-hotpath/v2"
+// Schema versions the artifact layout. v2 added the compile-cache
+// section; v3 added the provenance block and host-aware gating.
+const Schema = "macc-hotpath/v3"
 
 // SnapshotEntry is one kernel's per-pass snapshot cost: the old
 // whole-function Clone vs the journal's clean Update, over all of the
@@ -78,14 +82,15 @@ type CacheEntry struct {
 
 // Artifact is the BENCH_hotpath.json layout.
 type Artifact struct {
-	Schema          string          `json:"schema"`
-	CPUs            int             `json:"cpus"`
-	Snapshot        []SnapshotEntry `json:"snapshot"`
-	SnapshotSpeedup float64         `json:"snapshot_speedup"`
-	RunTable        RunTableEntry   `json:"runtable"`
-	Sim             SimEntry        `json:"sim"`
-	Cache           []CacheEntry    `json:"cache"`
-	CacheSpeedup    float64         `json:"cache_speedup"`
+	Schema          string           `json:"schema"`
+	Provenance      bench.Provenance `json:"provenance"`
+	CPUs            int              `json:"cpus"`
+	Snapshot        []SnapshotEntry  `json:"snapshot"`
+	SnapshotSpeedup float64          `json:"snapshot_speedup"`
+	RunTable        RunTableEntry    `json:"runtable"`
+	Sim             SimEntry         `json:"sim"`
+	Cache           []CacheEntry     `json:"cache"`
+	CacheSpeedup    float64          `json:"cache_speedup"`
 }
 
 // cacheSpeedupFloor is the absolute acceptance floor: a warm memory-tier
@@ -136,7 +141,7 @@ func main() {
 }
 
 func measure() (Artifact, error) {
-	a := Artifact{Schema: Schema, CPUs: runtime.NumCPU()}
+	a := Artifact{Schema: Schema, Provenance: bench.NewProvenance(Schema), CPUs: runtime.NumCPU()}
 	m := machine.Alpha()
 
 	fns, err := bench.KernelFns(m)
@@ -336,10 +341,22 @@ func readArtifact(path string) (Artifact, error) {
 }
 
 // check fails when a gated ratio metric regressed by more than 25% against
-// the baseline.
+// the baseline. Relative comparisons are only trusted when both artifacts
+// carry the same host identity (the provenance block): timing ratios from
+// a different machine, Go version, or CPU count are not a regression
+// signal, so a host mismatch downgrades the check to absolute floors only.
 func check(cur, base Artifact) error {
+	sameHost := cur.Provenance.SameHost(base.Provenance)
+	if !sameHost {
+		fmt.Fprintf(os.Stderr,
+			"hotpath: baseline host differs (%s vs %s): relative gates skipped, absolute floors still apply\n",
+			base.Provenance.Host(), cur.Provenance.Host())
+	}
 	var failures []string
 	gate := func(name string, curV, baseV float64) {
+		if !sameHost {
+			return
+		}
 		if baseV > 0 && curV < baseV*0.75 {
 			failures = append(failures,
 				fmt.Sprintf("%s regressed >25%%: %.2f vs baseline %.2f", name, curV, baseV))
@@ -354,11 +371,11 @@ func check(cur, base Artifact) error {
 	}
 	// The parallel-scaling gate adapts to where the artifacts were
 	// produced. A relative comparison only means something when both hosts
-	// could actually scale; with a single-CPU baseline the current run is
-	// instead held to an absolute floor, so the gate stays meaningful
-	// without demanding the baseline be regenerated on bigger hardware.
+	// could actually scale; with a single-CPU or foreign-host baseline the
+	// current run is instead held to an absolute floor, so the gate stays
+	// meaningful without demanding the baseline be regenerated.
 	switch {
-	case cur.CPUs >= 4 && base.CPUs >= 4:
+	case sameHost && cur.CPUs >= 4 && base.CPUs >= 4:
 		gate("runtable parallel speedup", cur.RunTable.Speedup, base.RunTable.Speedup)
 	case cur.CPUs >= 4:
 		if cur.RunTable.Speedup < parallelSpeedupFloor {

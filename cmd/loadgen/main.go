@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"macc"
+	"macc/internal/bench"
 	"macc/internal/core"
 	"macc/internal/farm"
 	"macc/internal/machine"
@@ -170,17 +171,21 @@ func (rs *refStore) get(src string, k kernel) (*reference, error) {
 
 // Artifact is the persisted measurement (BENCH_service.json).
 type Artifact struct {
-	Schema      string   `json:"schema"`
-	Label       string   `json:"label,omitempty"`
-	Targets     []string `json:"targets"`
-	Requests    int      `json:"requests"`
-	Concurrency int      `json:"concurrency"`
-	Tenants     int      `json:"tenants"`
-	Zipf        float64  `json:"zipf"`
-	Seed        int64    `json:"seed"`
-	BatchFrac   float64  `json:"batch_frac"`
-	RunFrac     float64  `json:"run_frac"`
-	Chaos       string   `json:"chaos,omitempty"`
+	Schema string `json:"schema"`
+	// Provenance records where the measurement ran (git commit, Go
+	// version, OS/arch, CPUs); the gate refuses relative throughput
+	// comparisons across differing hosts.
+	Provenance  bench.Provenance `json:"provenance"`
+	Label       string           `json:"label,omitempty"`
+	Targets     []string         `json:"targets"`
+	Requests    int              `json:"requests"`
+	Concurrency int              `json:"concurrency"`
+	Tenants     int              `json:"tenants"`
+	Zipf        float64          `json:"zipf"`
+	Seed        int64            `json:"seed"`
+	BatchFrac   float64          `json:"batch_frac"`
+	RunFrac     float64          `json:"run_frac"`
+	Chaos       string           `json:"chaos,omitempty"`
 
 	DurationNS    int64   `json:"duration_ns"`
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -259,6 +264,7 @@ func main() {
 	label := flag.String("label", "", "free-form label recorded in the artifact")
 	chaos := flag.String("chaos", "", "chaos spec in effect on the targets (recorded, not enforced)")
 	slowest := flag.Int("slowest", 5, "slowest requests to record with trace IDs and span breakdowns (0: off)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics/history over the client registry on this address")
 
 	gate := flag.String("gate", "", "gate mode: path of the artifact to check (skips load generation)")
 	baseline := flag.String("baseline", "", "gate mode: artifact to beat on throughput")
@@ -283,7 +289,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	art, err := run(urls, *requests, *concurrency, *tenants, *zipfS, *seed, *batchFrac, *runFrac, *timeout, *slowest)
+	reg := telemetry.NewRegistry()
+	if *debugAddr != "" {
+		addr, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: debug server on %s\n", addr)
+	}
+
+	art, err := run(urls, reg, *requests, *concurrency, *tenants, *zipfS, *seed, *batchFrac, *runFrac, *timeout, *slowest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -314,15 +330,20 @@ func main() {
 	}
 }
 
-// run drives the closed-loop workers and assembles the artifact.
-func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed int64,
+// run drives the closed-loop workers and assembles the artifact. reg is
+// the client-side metrics registry (nil: a fresh one), shared with the
+// -debug-addr continuous-profiling surface when enabled.
+func run(urls []string, reg *telemetry.Registry, requests, concurrency, tenants int, zipfS float64, seed int64,
 	batchFrac, runFrac float64, timeout time.Duration, slowest int) (*Artifact, error) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	tracer := dtrace.New("loadgen", 0)
 	client := farm.NewClient(farm.ClientOptions{
 		Peers:          urls,
 		AttemptTimeout: timeout,
 		Seed:           seed,
-		Metrics:        telemetry.NewRegistry(),
+		Metrics:        reg,
 		Tracer:         tracer,
 	})
 	defer client.Close()
@@ -441,6 +462,7 @@ func run(urls []string, requests, concurrency, tenants int, zipfS float64, seed 
 	creg := client.Metrics()
 	art := &Artifact{
 		Schema:        Schema,
+		Provenance:    bench.NewProvenance(Schema),
 		Targets:       urls,
 		Requests:      requests,
 		Concurrency:   concurrency,
@@ -576,9 +598,15 @@ func runGate(path, baselinePath string, max5xxFrac float64) int {
 			fmt.Fprintln(os.Stderr, "loadgen gate:", err)
 			return 1
 		}
-		check(cur.ThroughputRPS > base.ThroughputRPS,
-			"farm throughput %.1f req/s does not beat baseline %.1f req/s",
-			cur.ThroughputRPS, base.ThroughputRPS)
+		if cur.Provenance.SameHost(base.Provenance) {
+			check(cur.ThroughputRPS > base.ThroughputRPS,
+				"farm throughput %.1f req/s does not beat baseline %.1f req/s",
+				cur.ThroughputRPS, base.ThroughputRPS)
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"loadgen gate: baseline host differs (%s vs %s): throughput comparison skipped\n",
+				base.Provenance.Host(), cur.Provenance.Host())
+		}
 	}
 	if failed {
 		return 1

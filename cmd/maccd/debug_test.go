@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"macc/internal/telemetry"
+)
+
+// TestDebugSurfaceSplit checks the -debug-addr layout: the service mux
+// keeps the wire protocol (/metrics, /debug/spans, /debug/trace) but
+// drops the operator surface, which the debug mux serves instead —
+// including pprof and the metrics-history ring.
+func TestDebugSurfaceSplit(t *testing.T) {
+	s := NewServer(ServerOptions{Workers: 1})
+	defer s.Close()
+	service := httptest.NewServer(s.ServiceHandler())
+	defer service.Close()
+	debug := httptest.NewServer(s.DebugHandler())
+	defer debug.Close()
+
+	status := func(base, path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Production listener: wire protocol present, operator surface absent.
+	for path, want := range map[string]int{
+		"/metrics":         200,
+		"/healthz":         200,
+		"/debug/trace/zzz": 400, // mounted: bad trace id, not 404
+		"/debug/flight":    404,
+		"/debug/farm":      404,
+		"/metrics/history": 404,
+		"/debug/pprof/":    404,
+	} {
+		if got := status(service.URL, path); got != want {
+			t.Errorf("service %s = %d, want %d", path, got, want)
+		}
+	}
+
+	// Debug listener: operator surface present, including dual-homed
+	// trace assembly and continuous profiling.
+	for path, want := range map[string]int{
+		"/debug/flight":        200,
+		"/debug/farm":          200,
+		"/metrics/history":     200,
+		"/debug/pprof/":        200,
+		"/debug/pprof/cmdline": 200,
+		"/debug/trace/zzz":     400,
+	} {
+		if got := status(debug.URL, path); got != want {
+			t.Errorf("debug %s = %d, want %d", path, got, want)
+		}
+	}
+
+	// The single-listener layout still carries the operator surface.
+	full := httptest.NewServer(s.Handler())
+	defer full.Close()
+	for _, path := range []string{"/debug/flight", "/debug/farm", "/metrics/history"} {
+		if got := status(full.URL, path); got != 200 {
+			t.Errorf("full %s = %d, want 200", path, got)
+		}
+	}
+}
+
+// TestFiveHundredPinsIncident checks the serve() path end to end: a 5xx
+// response pins its ingress trace into the flight recorder's incident
+// ring, so the trace is still there when an operator pulls /debug/flight
+// after the fact.
+func TestFiveHundredPinsIncident(t *testing.T) {
+	s := NewServer(ServerOptions{Workers: 1})
+	defer s.Close()
+	service := httptest.NewServer(s.ServiceHandler())
+	defer service.Close()
+
+	s.StartDrain() // every new compile now sheds with 503
+	resp, err := http.Post(service.URL+"/compile", "application/json",
+		strings.NewReader(`{"source": "int f(void) { return 1; }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining compile = %d, want 503", resp.StatusCode)
+	}
+
+	incidents := 0
+	for _, sum := range s.Tracer().Summaries() {
+		if sum.Incident {
+			incidents++
+		}
+	}
+	if incidents == 0 {
+		t.Fatal("5xx response did not pin an incident trace")
+	}
+}
+
+// TestMetricsHistoryAccumulates runs the sampler at a fast interval and
+// checks that /metrics/history serves the schema with multiple snapshots
+// — the acceptance shape of the continuous-profiling criterion.
+func TestMetricsHistoryAccumulates(t *testing.T) {
+	s := NewServer(ServerOptions{Workers: 1, HistoryInterval: 5 * time.Millisecond, HistoryCap: 8})
+	defer s.Close()
+	debug := httptest.NewServer(s.DebugHandler())
+	defer debug.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(debug.URL + "/metrics/history")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload struct {
+			Schema  string            `json:"schema"`
+			Samples []json.RawMessage `json:"samples"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload.Schema != telemetry.HistorySchema {
+			t.Fatalf("schema = %q, want %q", payload.Schema, telemetry.HistorySchema)
+		}
+		if len(payload.Samples) >= 2 {
+			if len(payload.Samples) > 8 {
+				t.Errorf("ring overflowed its capacity: %d samples", len(payload.Samples))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never reached 2 samples (have %d)", len(payload.Samples))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -19,6 +19,18 @@
 //	GET  /debug/flight      flight-recorder dump (?full=1 includes spans)
 //	GET  /debug/farm        plain-text dashboard: breaker states, hedge
 //	               win rate, cache tier ratios, flight depth
+//	GET  /metrics/history   bounded ring of periodic registry snapshots
+//	               with counter deltas and per-second rates
+//
+// With -debug-addr set, the operator debug surface splits onto its own
+// listener: /debug/flight, /debug/farm, /metrics/history, and the
+// net/http/pprof continuous-profiling endpoints (/debug/pprof/...) are
+// served there instead of on -addr, so they can be firewalled separately
+// from production traffic. /metrics (the scrape target), /debug/spans
+// (client span ingest), and /debug/trace (replicas pull each other's
+// spans over their service URLs) stay on -addr; /debug/trace answers on
+// both. Without -debug-addr everything stays on the single listener as
+// before, minus pprof.
 //
 // Every request carries a distributed trace: the ingress span parents
 // under the caller's traceparent header (or roots a new trace), and the
@@ -71,6 +83,8 @@ func main() {
 	chaos := flag.String("chaos", "", "fault injection spec, e.g. drop=0.1,delay=0.2,corrupt=0.1,maxdelay=50ms,diskfull=0.05,crashwrite=0.05,seed=42")
 	metricsOut := flag.String("metrics-out", "", "file to write the final metrics snapshot to on shutdown (empty: stderr)")
 	flight := flag.Int("flight", 0, "flight-recorder capacity in traces per ring (0: default)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for the operator debug surface (pprof, /metrics/history, /debug/flight, /debug/farm); empty: everything on -addr")
+	metricsInterval := flag.Duration("metrics-interval", 0, "metrics-history snapshot period (0: default 5s)")
 	flag.Parse()
 
 	spec, err := faultinject.ParseServiceSpec(*chaos)
@@ -85,16 +99,17 @@ func main() {
 	}
 
 	srv := NewServer(ServerOptions{
-		CacheDir:   *cacheDir,
-		CacheMem:   *cacheMem,
-		Workers:    *workers,
-		Timeout:    *timeout,
-		MaxBody:    *maxBody,
-		Peers:      peerList,
-		BatchSlots: *batchSlots,
-		Chaos:      spec,
-		Service:    serviceName(*addr),
-		FlightCap:  *flight,
+		CacheDir:        *cacheDir,
+		CacheMem:        *cacheMem,
+		Workers:         *workers,
+		Timeout:         *timeout,
+		MaxBody:         *maxBody,
+		Peers:           peerList,
+		BatchSlots:      *batchSlots,
+		Chaos:           spec,
+		Service:         serviceName(*addr),
+		FlightCap:       *flight,
+		HistoryInterval: *metricsInterval,
 	})
 	defer srv.Close()
 
@@ -110,7 +125,18 @@ func main() {
 		}
 	}()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *debugAddr != "" {
+		handler = srv.ServiceHandler()
+		ds := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			fmt.Printf("maccd debug surface on %s\n", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 

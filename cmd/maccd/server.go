@@ -66,23 +66,31 @@ type ServerOptions struct {
 	// FlightCap bounds the flight recorder's retained traces per ring
 	// (0 = dtrace.DefaultFlightCap).
 	FlightCap int
+	// HistoryInterval is the metrics-history snapshot period
+	// (0 = telemetry.DefaultHistoryInterval).
+	HistoryInterval time.Duration
+	// HistoryCap bounds the metrics-history ring
+	// (0 = telemetry.DefaultHistoryCap).
+	HistoryCap int
 }
 
 // Server holds the service state shared by all handlers.
 type Server struct {
-	cache      *ccache.Cache
-	reg        *telemetry.Registry
-	tracer     *dtrace.Tracer
-	farm       *farm.Client
-	saboteur   *faultinject.ServiceSaboteur
-	sem        chan struct{}
-	batchSem   chan struct{}
-	draining   atomic.Bool
-	service    string
-	timeout    time.Duration
-	maxBody    int64
-	maxSimMem  int
-	maxSimFuel int64
+	cache       *ccache.Cache
+	reg         *telemetry.Registry
+	tracer      *dtrace.Tracer
+	farm        *farm.Client
+	saboteur    *faultinject.ServiceSaboteur
+	sem         chan struct{}
+	batchSem    chan struct{}
+	draining    atomic.Bool
+	service     string
+	timeout     time.Duration
+	maxBody     int64
+	maxSimMem   int
+	maxSimFuel  int64
+	history     *telemetry.History
+	stopHistory func()
 }
 
 // NewServer builds the service: one shared cache, one shared metrics
@@ -144,13 +152,24 @@ func NewServer(opts ServerOptions) *Server {
 		cacheOpts.Fallback = s.farm.FallbackFunc()
 	}
 	s.cache = ccache.New(cacheOpts)
+	// Continuous profiling: a bounded ring of periodic registry snapshots
+	// with counter deltas/rates, so an operator attaching after an incident
+	// still sees the recent shape of traffic. The first sample is taken
+	// synchronously so /metrics/history is never empty.
+	s.history = telemetry.NewHistory(reg, opts.HistoryCap)
+	s.history.Record()
+	s.stopHistory = s.history.Start(opts.HistoryInterval)
 	return s
 }
 
-// Close stops the farm client's background prober (no-op without peers).
+// Close stops the farm client's background prober (no-op without peers)
+// and the metrics-history sampler.
 func (s *Server) Close() {
 	if s.farm != nil {
 		s.farm.Close()
+	}
+	if s.stopHistory != nil {
+		s.stopHistory()
 	}
 }
 
@@ -172,18 +191,36 @@ func (s *Server) Tracer() *dtrace.Tracer { return s.tracer }
 // Service returns the replica's service name (for metrics envelopes).
 func (s *Server) Service() string { return s.service }
 
-// Handler returns the service mux. The peer cache endpoint answers only
+// Handler returns the single-listener mux: the full service surface plus
+// the operator debug surface, the layout used when no -debug-addr is
+// configured. Existing deployments and tests keep working unchanged.
+func (s *Server) Handler() http.Handler { return s.handler(true) }
+
+// ServiceHandler returns the production mux with the operator debug
+// surface split out (the layout used when -debug-addr is set): the
+// flight recorder, farm dashboard, metrics history, and pprof move to
+// DebugHandler. What stays is wire protocol, not debugging convenience —
+// /compile, /run, /healthz, and the peer cache endpoint obviously, but
+// also /metrics (the scrape target), /debug/spans (clients push their
+// spans here), and /debug/trace (replicas pull each other's local spans
+// over their service URLs, so trace assembly must answer here too).
+func (s *Server) ServiceHandler() http.Handler { return s.handler(false) }
+
+// handler builds the service mux. The peer cache endpoint answers only
 // from local tiers (never the farm fallback), so replica lookups cannot
 // recurse; when chaos is configured, the saboteur sits in front of it.
-func (s *Server) Handler() http.Handler {
+func (s *Server) handler(debug bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc(farm.DebugSpansPath, s.handleDebugSpans)
 	mux.HandleFunc(farm.DebugTracePrefix, s.handleDebugTrace)
-	mux.HandleFunc(farm.DebugFlightPath, s.handleDebugFlight)
-	mux.HandleFunc(farm.DebugFarmPath, s.handleDebugFarm)
+	if debug {
+		mux.HandleFunc(farm.DebugFlightPath, s.handleDebugFlight)
+		mux.HandleFunc(farm.DebugFarmPath, s.handleDebugFarm)
+		mux.Handle("/metrics/history", s.history)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -196,6 +233,20 @@ func (s *Server) Handler() http.Handler {
 		peer = s.saboteur.WrapHandler(peer)
 	}
 	mux.Handle(farm.PeerPathPrefix, peer)
+	return mux
+}
+
+// DebugHandler returns the operator debug mux served on -debug-addr:
+// net/http/pprof (continuous profiling), the bounded /metrics/history
+// snapshot ring, the flight recorder, the farm dashboard, and trace
+// assembly (dual-homed with the service listener — see ServiceHandler).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	telemetry.AttachPprof(mux)
+	mux.Handle("/metrics/history", s.history)
+	mux.HandleFunc(farm.DebugTracePrefix, s.handleDebugTrace)
+	mux.HandleFunc(farm.DebugFlightPath, s.handleDebugFlight)
+	mux.HandleFunc(farm.DebugFarmPath, s.handleDebugFarm)
 	return mux
 }
 

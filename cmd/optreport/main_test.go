@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"macc/internal/bench"
+	"macc/internal/machine"
+	"macc/internal/telemetry/report"
+)
+
+func testOptions() options {
+	return options{
+		corpus:   10,
+		seed:     1,
+		machines: []*machine.Machine{machine.Alpha()},
+		workers:  4,
+		workload: bench.SmallWorkload(),
+	}
+}
+
+// TestGenerateReport: kernels + a small corpus produce a report with a
+// nonzero coverage rate, a missed-reason histogram, and every kernel
+// present — the acceptance shape, scaled down for test time.
+func TestGenerateReport(t *testing.T) {
+	rep, err := generate(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage <= 0 {
+		t.Error("coverage rate is zero")
+	}
+	if len(rep.MissedReasons) == 0 {
+		t.Error("missed-reason histogram is empty")
+	}
+	wantUnits := len(allKernels()) + 10
+	if rep.Units != wantUnits {
+		t.Errorf("units = %d, want %d (kernels + corpus)", rep.Units, wantUnits)
+	}
+	units := make(map[string]bool)
+	for _, g := range rep.Groups {
+		units[g.Unit] = true
+	}
+	for _, k := range kernelUnits() {
+		if !units[k] {
+			t.Errorf("kernel %s missing from the report", k)
+		}
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf, false)
+	if buf.Len() == 0 {
+		t.Error("empty coverage table")
+	}
+}
+
+// TestGateTripsWhenCoalescerDegrades is the acceptance criterion end to
+// end: degrading the coalescer (runtime checks disabled — loops that
+// needed them flip Passed→Missed) must trip the -gate diff against a
+// healthy baseline, and an identical re-run must pass it.
+func TestGateTripsWhenCoalescerDegrades(t *testing.T) {
+	o := testOptions()
+	baseline, err := generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical re-run: clean diff, gate passes.
+	again, err := generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := report.DiffReports(baseline, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions)+len(d.Wins)+len(d.Added)+len(d.Removed) != 0 {
+		t.Fatalf("identical re-run diffed dirty: %+v", d)
+	}
+	if err := d.Gate(); err != nil {
+		t.Fatalf("gate failed on identical re-run: %v", err)
+	}
+
+	// Sabotaged run: the coalescer loses its runtime checks.
+	o.sabotage = true
+	degraded, err := generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = report.DiffReports(baseline, degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) == 0 {
+		t.Fatal("disabling runtime checks caused no Passed→Missed regressions; gate demo is vacuous")
+	}
+	if err := d.Gate(); err == nil {
+		t.Fatal("gate passed despite coalescing regressions")
+	}
+	if degraded.Coverage >= baseline.Coverage {
+		t.Errorf("coverage did not drop: %.3f -> %.3f", baseline.Coverage, degraded.Coverage)
+	}
+}

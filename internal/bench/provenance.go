@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Provenance is the shared identity block stamped into every benchmark and
+// report artifact (BENCH_hotpath.json, BENCH_service.json,
+// BENCH_optreport.json). Gates compare artifacts from different builds; the
+// provenance block lets them refuse or downgrade cross-host and cross-schema
+// comparisons loudly instead of silently comparing incomparable numbers.
+type Provenance struct {
+	Schema    string `json:"schema"`
+	GitCommit string `json:"git_commit"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	CreatedAt string `json:"created_at"` // RFC 3339, UTC
+}
+
+// NewProvenance captures the current build and host identity under the
+// given artifact schema. The git commit comes from the binary's embedded
+// VCS stamp when present (release-style builds), falling back to asking git
+// directly (the `go test` / `go run` path, which does not stamp), and
+// finally to "unknown" so artifacts are always well-formed.
+func NewProvenance(schema string) Provenance {
+	return Provenance{
+		Schema:    schema,
+		GitCommit: gitCommit(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
+// Host renders the comparison-relevant host identity (everything except the
+// commit and timestamp) in one line, for mismatch diagnostics.
+func (p Provenance) Host() string {
+	return fmt.Sprintf("%s/%s go=%s cpus=%d", p.GOOS, p.GOARCH, p.GoVersion, p.CPUs)
+}
+
+// SameHost reports whether two artifacts were produced on comparable hosts:
+// same OS, architecture, toolchain, and CPU count. Relative performance
+// gates should refuse (or fall back to absolute floors) when this is false;
+// decision-level gates (remark diffs) may proceed with a warning since
+// compile decisions are host-insensitive.
+func (p Provenance) SameHost(q Provenance) bool {
+	return p.GOOS == q.GOOS && p.GOARCH == q.GOARCH &&
+		p.GoVersion == q.GoVersion && p.CPUs == q.CPUs
+}
+
+// CheckComparable errors when the two artifacts cannot be diffed at all —
+// different schemas mean different layouts and semantics.
+func (p Provenance) CheckComparable(q Provenance) error {
+	if p.Schema != q.Schema {
+		return fmt.Errorf("artifact schema mismatch: %q vs %q", p.Schema, q.Schema)
+	}
+	return nil
+}

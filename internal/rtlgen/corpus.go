@@ -1,0 +1,211 @@
+package rtlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CorpusProgram is one generated mini-C translation unit plus everything
+// needed to run it: the entry point, concrete argument values (array
+// addresses laid out in simulator memory, trip counts), and the memory size
+// to simulate with. The corpus is the first slice of the ROADMAP's
+// corpus-scale scenario engine: hundreds of programs spanning the space the
+// paper cares about — element widths, access orders, alias layouts, trip
+// counts, mixed load/store runs — for the (program × machine × config)
+// matrix with differential checking.
+type CorpusProgram struct {
+	Name     string
+	Src      string
+	Entry    string
+	Args     []int64
+	MemBytes int
+}
+
+// CorpusMemBytes is the simulated memory size corpus programs need.
+const CorpusMemBytes = 1 << 16
+
+// Corpus generates n mini-C programs. Generation is deterministic per
+// (seed, index): the same seed always yields the same corpus, so remark
+// reports over it are diffable run to run, and any single program can be
+// regenerated from its index for debugging.
+func Corpus(seed int64, n int) []CorpusProgram {
+	out := make([]CorpusProgram, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, corpusProgram(seed, i))
+	}
+	return out
+}
+
+// elemType is one array element type the paper's kernels span.
+type elemType struct {
+	c     string // mini-C type name
+	bytes int64
+}
+
+var elemTypes = []elemType{
+	{"unsigned char", 1},
+	{"short", 2},
+	{"unsigned short", 2},
+	{"int", 4},
+}
+
+// binOps are the element-wise combining operators.
+var binOps = []string{"+", "-", "^", "&", "|"}
+
+func corpusProgram(seed int64, index int) CorpusProgram {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(index)))
+	g := corpusGen{rng: rng, index: index}
+	return g.build()
+}
+
+type corpusGen struct {
+	rng   *rand.Rand
+	index int
+}
+
+func (g *corpusGen) build() CorpusProgram {
+	et := elemTypes[g.rng.Intn(len(elemTypes))]
+	entry := fmt.Sprintf("k%d", g.index)
+	name := fmt.Sprintf("corpus-%04d", g.index)
+	// Trip counts deliberately avoid being multiples of the unroll factor
+	// most of the time, so remainder loops are always in play.
+	n := int64(5 + g.rng.Intn(37))
+
+	// Each pointer parameter gets its own 8-aligned region big enough for
+	// strided (i*2+1) and offset (i+8) subscripts; the "overlap" alias
+	// layout instead aims a second pointer into the first's region, so the
+	// runtime alias analysis faces genuinely overlapping streams.
+	region := align8((2*n + 24) * et.bytes)
+	base := int64(4096)
+	addr := func() int64 {
+		a := base
+		base += region
+		return a
+	}
+	overlap := g.rng.Intn(4) == 0 // 25% of programs alias out into a
+
+	kind := g.rng.Intn(10)
+	var src string
+	var args []int64
+	op := binOps[g.rng.Intn(len(binOps))]
+	a, b, dst := addr(), addr(), addr()
+	if overlap {
+		dst = a + et.bytes*int64(1+g.rng.Intn(4))
+	}
+	switch kind {
+	case 0: // element-wise combine: the imageadd/imagexor family
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *b, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		out[i] = a[i] %s b[i];
+}
+`, entry, et.c, et.c, et.c, op)
+		args = []int64{a, b, dst, n}
+	case 1: // reversed source walk: the mirror family
+		src = fmt.Sprintf(`
+void %s(%s *src, %s *dst, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		dst[i] = src[n - 1 - i];
+}
+`, entry, et.c, et.c)
+		args = []int64{a, dst, n}
+	case 2: // strided reads, unit-stride store: adjacent-pair gather
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		out[i] = a[i * 2] %s a[i * 2 + 1];
+}
+`, entry, et.c, et.c, op)
+		args = []int64{a, dst, n}
+	case 3: // strided store run: interleave two sources
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *b, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		out[i * 2] = a[i];
+		out[i * 2 + 1] = b[i];
+	}
+}
+`, entry, et.c, et.c, et.c)
+		args = []int64{a, b, dst, n}
+	case 4: // store stream at a run-time-ish displacement: the translate family
+		off := 1 + g.rng.Intn(8)
+		src = fmt.Sprintf(`
+void %s(%s *src, %s *dst, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		dst[i + %d] = src[i] %s %d;
+}
+`, entry, et.c, et.c, off, op, 1+g.rng.Intn(100))
+		args = []int64{a, dst, n}
+	case 5: // read-modify-write of one stream: mixed load/store run
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		out[i] = out[i] %s a[i];
+}
+`, entry, et.c, et.c, op)
+		args = []int64{a, dst, n}
+	case 6: // reduction: the dot-product family
+		src = fmt.Sprintf(`
+int %s(%s *a, %s *b, int n) {
+	int s, i;
+	s = 0;
+	for (i = 0; i < n; i++)
+		s += a[i] * b[i];
+	return s;
+}
+`, entry, et.c, et.c)
+		args = []int64{a, b, n}
+	case 7: // nested 2-D sweep: the convolution family's shape
+		w := int64(6 + g.rng.Intn(9))
+		h := int64(3 + g.rng.Intn(5))
+		src = fmt.Sprintf(`
+void %s(%s *src, %s *dst, int w, int h) {
+	int r, c;
+	for (r = 0; r < h; r++)
+		for (c = 0; c < w; c++)
+			dst[r * w + c] = src[r * w + c] %s %d;
+}
+`, entry, et.c, et.c, op, 1+g.rng.Intn(50))
+		args = []int64{a, dst, w, h}
+	case 8: // control flow inside the body: the eqntott hazard shape
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *b, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (a[i] > b[i])
+			out[i] = a[i];
+		else
+			out[i] = b[i];
+	}
+}
+`, entry, et.c, et.c, et.c)
+		args = []int64{a, b, dst, n}
+	default: // hand-unrolled adjacent pairs: the coalescer's ideal shape
+		src = fmt.Sprintf(`
+void %s(%s *a, %s *out, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		out[i * 2] = a[i * 2] %s 1;
+		out[i * 2 + 1] = a[i * 2 + 1] %s 1;
+	}
+}
+`, entry, et.c, et.c, op, op)
+		args = []int64{a, dst, n}
+	}
+	return CorpusProgram{
+		Name:     name,
+		Src:      strings.TrimSpace(src) + "\n",
+		Entry:    entry,
+		Args:     args,
+		MemBytes: CorpusMemBytes,
+	}
+}
+
+func align8(x int64) int64 { return (x + 7) &^ 7 }

@@ -373,16 +373,23 @@ func (t *Tracer) evictLocked() {
 }
 
 // MarkIncident pins the trace into the incident ring so it survives
-// recent-ring churn (called on 5xx responses).
+// recent-ring churn (called on 5xx responses). An unknown trace is pinned
+// eagerly: its buffer is created empty so spans that End after the mark
+// still attach — the ingress span of a failing request ends (and files)
+// only after its handler has already marked the incident.
 func (t *Tracer) MarkIncident(traceID string) {
-	if t == nil {
+	if t == nil || traceID == "" {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	buf := t.traces[traceID]
-	if buf == nil || buf.incident {
+	if buf != nil && buf.incident {
 		return
+	}
+	if buf == nil {
+		buf = &traceBuf{touched: time.Now()}
+		t.traces[traceID] = buf
 	}
 	buf.incident = true
 	t.incidents = append(t.incidents, traceID)

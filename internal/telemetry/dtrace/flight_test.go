@@ -1,0 +1,178 @@
+package dtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecentRingWraparound drives the recent ring around many times
+// its capacity: exactly the newest cap traces survive, every older one is
+// gone, and the span buffers go with them (no leak through t.traces).
+func TestFlightRecentRingWraparound(t *testing.T) {
+	const capacity = 8
+	tr := New("svc", capacity)
+	var ids []string
+	for i := 0; i < 5*capacity; i++ {
+		sp := tr.StartRoot(fmt.Sprintf("req%d", i), KindIngress)
+		sp.End()
+		ids = append(ids, sp.TraceID())
+	}
+	sums := tr.Summaries()
+	if len(sums) != capacity {
+		t.Fatalf("recorder retains %d traces after wraparound, want exactly %d", len(sums), capacity)
+	}
+	for _, id := range ids[:len(ids)-capacity] {
+		if got := tr.Spans(id); got != nil {
+			t.Fatalf("evicted trace %s still has %d spans", id, len(got))
+		}
+	}
+	for _, id := range ids[len(ids)-capacity:] {
+		if got := tr.Spans(id); len(got) != 1 {
+			t.Fatalf("retained trace %s has %d spans, want 1", id, len(got))
+		}
+	}
+}
+
+// TestIncidentSurvivesChurnThenAgesOut pins one incident, churns the
+// recent ring far past capacity, and checks the incident both survives
+// (with its spans) and is flagged in the WriteFlight dump. It then fills
+// the incident ring itself, which must also be bounded: enough newer
+// incidents eventually age the original out.
+func TestIncidentSurvivesChurnThenAgesOut(t *testing.T) {
+	const capacity = 4
+	tr := New("svc", capacity)
+	sp := tr.StartRoot("failing-request", KindIngress)
+	sp.SetErr("internal panic")
+	sp.End()
+	incident := sp.TraceID()
+	tr.MarkIncident(incident)
+
+	for i := 0; i < 20*capacity; i++ {
+		s := tr.StartRoot("ok", KindIngress)
+		s.End()
+	}
+	if got := tr.Spans(incident); len(got) != 1 {
+		t.Fatalf("pinned incident lost to recent-ring churn: %d spans", len(got))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteFlight(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range dump.Traces {
+		if s.Trace == incident {
+			found = true
+			if !s.Incident {
+				t.Error("surviving incident not flagged in the dump")
+			}
+			if s.Err == "" {
+				t.Error("incident summary lost its error message")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("incident missing from the flight dump")
+	}
+	if len(dump.Spans[incident]) != 1 {
+		t.Errorf("full dump has %d spans for the incident, want 1", len(dump.Spans[incident]))
+	}
+
+	// The incident ring is itself a FIFO of the same capacity: newer
+	// incidents push the original out, so a 5xx storm cannot grow the
+	// recorder without bound.
+	for i := 0; i < capacity+1; i++ {
+		s := tr.StartRoot("also-failing", KindIngress)
+		s.End()
+		tr.MarkIncident(s.TraceID())
+	}
+	if got := tr.Spans(incident); got != nil {
+		t.Fatalf("incident ring unbounded: original incident still retained after %d newer incidents", capacity+1)
+	}
+	incidents := 0
+	for _, s := range tr.Summaries() {
+		if s.Incident {
+			incidents++
+		}
+	}
+	if incidents > capacity {
+		t.Fatalf("%d incidents retained, cap %d", incidents, capacity)
+	}
+}
+
+// TestMarkIncidentBeforeSpanEnds reproduces the serve() ordering: a
+// handler marks the incident while its ingress span is still open (End
+// runs deferred, after the 5xx is written). The mark must pin the trace
+// eagerly so the span files into it when it finally ends.
+func TestMarkIncidentBeforeSpanEnds(t *testing.T) {
+	tr := New("svc", 4)
+	sp := tr.StartRoot("POST /compile", KindIngress)
+	tr.MarkIncident(sp.TraceID()) // before End, as serve()'s fail() does
+	sp.SetErr("saturated")
+	sp.End()
+
+	if got := tr.Spans(sp.TraceID()); len(got) != 1 {
+		t.Fatalf("span did not attach to the eagerly-pinned trace: %d spans", len(got))
+	}
+	for _, s := range tr.Summaries() {
+		if s.Trace == sp.TraceID() {
+			if !s.Incident {
+				t.Fatal("trace not flagged as incident")
+			}
+			return
+		}
+	}
+	t.Fatal("pinned trace missing from summaries")
+}
+
+// TestConcurrentMarkIncidentWriteFlight hammers span creation, incident
+// marking, and flight dumps from concurrent goroutines — the shape of a
+// replica serving traffic while an operator pulls /debug/flight during a
+// 5xx storm. Run under -race this is the data-race check for the
+// recorder's ring bookkeeping.
+func TestConcurrentMarkIncidentWriteFlight(t *testing.T) {
+	tr := New("svc", 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.StartRoot(fmt.Sprintf("req-%d-%d", g, i), KindIngress)
+				child := tr.StartSpan(sp.Context(), "attempt", KindAttempt)
+				child.End()
+				if i%3 == 0 {
+					sp.SetErr("boom")
+					sp.End()
+					tr.MarkIncident(sp.TraceID())
+				} else {
+					sp.End()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := tr.WriteFlight(io.Discard, i%2 == 0); err != nil {
+					t.Errorf("WriteFlight: %v", err)
+					return
+				}
+				tr.Summaries()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.WriteFlight(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

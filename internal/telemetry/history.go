@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HistorySchema versions the /metrics/history payload.
+const HistorySchema = "macc-metrics-history/v1"
+
+// DefaultHistoryCap bounds the history ring: at the default 5s interval,
+// 120 samples cover the last ten minutes.
+const DefaultHistoryCap = 120
+
+// DefaultHistoryInterval is the snapshot period when the caller does not
+// choose one.
+const DefaultHistoryInterval = 5 * time.Second
+
+// HistorySample is one periodic freeze of a registry, with the counter
+// deltas and per-second rates since the previous sample — the view that
+// turns lifetime totals into rates over time.
+type HistorySample struct {
+	Seq      int      `json:"seq"`
+	At       string   `json:"at"` // RFC 3339 with sub-second precision, UTC
+	UnixNano int64    `json:"unix_nano"`
+	Snapshot Snapshot `json:"snapshot"`
+	// CounterDeltas holds, for each counter that moved since the previous
+	// sample, how far it moved. Empty on the first sample.
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+	// CounterRates is CounterDeltas divided by the elapsed seconds.
+	CounterRates map[string]float64 `json:"counter_rates,omitempty"`
+}
+
+// History is a bounded ring of periodic registry snapshots. Safe for
+// concurrent use; Record may be driven by a ticker goroutine (Start) or
+// called manually (tests, one-shot tools).
+type History struct {
+	mu      sync.Mutex
+	reg     *Registry
+	cap     int
+	samples []HistorySample
+	seq     int
+	prev    Snapshot
+	prevAt  time.Time
+	hasPrev bool
+}
+
+// NewHistory returns an empty history over reg. capacity <= 0 selects
+// DefaultHistoryCap.
+func NewHistory(reg *Registry, capacity int) *History {
+	if capacity <= 0 {
+		capacity = DefaultHistoryCap
+	}
+	return &History{reg: reg, cap: capacity}
+}
+
+// Record takes one snapshot now and appends it to the ring, evicting the
+// oldest sample when full. Deltas are computed against the previous Record
+// call even if that sample has been evicted.
+func (h *History) Record() HistorySample {
+	now := time.Now()
+	snap := h.reg.Snapshot()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	s := HistorySample{
+		Seq:      h.seq,
+		At:       now.UTC().Format(time.RFC3339Nano),
+		UnixNano: now.UnixNano(),
+		Snapshot: snap,
+	}
+	if h.hasPrev {
+		elapsed := now.Sub(h.prevAt).Seconds()
+		for name, v := range snap.Counters {
+			d := v - h.prev.Counters[name]
+			if d == 0 {
+				continue
+			}
+			if s.CounterDeltas == nil {
+				s.CounterDeltas = make(map[string]int64)
+				s.CounterRates = make(map[string]float64)
+			}
+			s.CounterDeltas[name] = d
+			if elapsed > 0 {
+				s.CounterRates[name] = float64(d) / elapsed
+			}
+		}
+	}
+	h.prev, h.prevAt, h.hasPrev = snap, now, true
+	h.samples = append(h.samples, s)
+	if len(h.samples) > h.cap {
+		h.samples = h.samples[len(h.samples)-h.cap:]
+	}
+	return s
+}
+
+// Start records every interval until the returned stop function is called.
+// interval <= 0 selects DefaultHistoryInterval.
+func (h *History) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.Record()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Samples returns the retained samples, oldest first.
+func (h *History) Samples() []HistorySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistorySample, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// historyPayload is the /metrics/history JSON envelope.
+type historyPayload struct {
+	Schema   string          `json:"schema"`
+	Capacity int             `json:"capacity"`
+	Samples  []HistorySample `json:"samples"`
+}
+
+// WriteJSON renders the ring under the macc-metrics-history/v1 envelope.
+func (h *History) WriteJSON(w io.Writer) error {
+	p := historyPayload{Schema: HistorySchema, Capacity: h.cap, Samples: h.Samples()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ServeHTTP serves the ring as JSON (mount at /metrics/history).
+func (h *History) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := h.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

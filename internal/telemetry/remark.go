@@ -60,13 +60,47 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 // "alignment:runtime-check-emitted". Args carries the remark's numeric
 // evidence (cycle counts, reference counts, factors).
 type Remark struct {
-	Kind   Kind             `json:"kind"`
-	Pass   string           `json:"pass"`
+	Kind Kind   `json:"kind"`
+	Pass string `json:"pass"`
+	// Unit names the translation unit the remark came from — the kernel or
+	// source file compiled (macc.Config.Unit). Together with Fn and Loop it
+	// forms the remark's stable identity key, so the same loop keys
+	// identically across runs and configurations and reports are diffable.
+	Unit   string           `json:"unit,omitempty"`
 	Fn     string           `json:"fn"`
 	Loop   string           `json:"loop,omitempty"`
 	Name   string           `json:"name"`
 	Reason string           `json:"reason,omitempty"`
 	Args   map[string]int64 `json:"args,omitempty"`
+}
+
+// Key is the remark's stable loop identity: unit:fn/loop. The loop label
+// comes from minic's uniquely numbered loop-header names ("loop", "loop2",
+// "loop2.unrolled", ...), which are derived from source structure alone, so
+// the same source loop produces the same key in every run and under every
+// configuration; keys from different units never collide as long as Unit is
+// set. An empty Loop keys the function itself.
+func (r Remark) Key() string {
+	k := r.Fn
+	if r.Unit != "" {
+		k = r.Unit + ":" + k
+	}
+	if r.Loop != "" {
+		k += "/" + r.Loop
+	}
+	return k
+}
+
+// ReasonToken reduces Reason to its machine-readable token: everything up
+// to the first space, so "profitability:sched-cycles 14>=14" and
+// "profitability:sched-cycles 9>=9" histogram into one
+// "profitability:sched-cycles" bucket while "hazard:intervening-store"
+// passes through unchanged.
+func (r Remark) ReasonToken() string {
+	if i := strings.IndexByte(r.Reason, ' '); i >= 0 {
+		return r.Reason[:i]
+	}
+	return r.Reason
 }
 
 // String renders the remark one line, text-report style:

@@ -1,0 +1,234 @@
+// Package report is the aggregation layer of the optimization observatory:
+// it folds the remark streams of many compiles — the eight paper kernels,
+// a generated corpus of hundreds of programs, every machine model and
+// coalescing configuration — into one machine-readable artifact
+// (macc-optreport/v1) that answers the paper's statistical question: what
+// fraction of loops coalesce, per machine, across a workload?
+//
+// Because every remark carries a stable identity key (unit:fn/loop, see
+// telemetry.Remark.Key), two reports over the same corpus are diffable
+// loop by loop: DiffReports classifies Passed→Missed flips as regressions
+// and Missed→Passed flips as wins, and Diff.Gate turns any regression into
+// a CI failure — the same committed-baseline pattern cmd/hotpath and
+// cmd/loadgen use for performance numbers, applied to optimizer decisions.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"macc/internal/bench"
+	"macc/internal/telemetry"
+)
+
+// Schema versions the BENCH_optreport.json layout.
+const Schema = "macc-optreport/v1"
+
+// CoalescePass is the pass whose Passed/Missed verdicts define coverage.
+const CoalescePass = "coalesce"
+
+// Verdict is one loop's final coalescing decision under one
+// (machine, configuration) pair — the diffable unit of the report.
+type Verdict struct {
+	// Key is the loop's stable identity: unit:fn/loop (telemetry.Remark.Key).
+	Key     string `json:"key"`
+	Machine string `json:"machine"`
+	Config  string `json:"config"`
+	Passed  bool   `json:"passed"`
+	// Reason is the full machine-readable reason the coalescer gave.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ID is the verdict's diff identity: the same loop under the same machine
+// and configuration has the same ID in every run.
+func (v Verdict) ID() string {
+	return v.Machine + "|" + v.Config + "|" + v.Key
+}
+
+// PassCounts aggregates one pass's remark kinds across all compiles.
+type PassCounts struct {
+	Passed   int `json:"passed"`
+	Missed   int `json:"missed"`
+	Analysis int `json:"analysis"`
+}
+
+// Group is the per-unit × per-machine coalescing breakdown, aggregated
+// over configurations.
+type Group struct {
+	Unit      string  `json:"unit"`
+	Machine   string  `json:"machine"`
+	Loops     int     `json:"loops"`
+	Coalesced int     `json:"coalesced"`
+	Coverage  float64 `json:"coverage"`
+}
+
+// Report is the macc-optreport/v1 artifact.
+type Report struct {
+	Provenance bench.Provenance `json:"provenance"`
+	// Corpus describes what was folded in (e.g. "8 kernels + 200 rtlgen
+	// programs, seed 1"); diffs refuse to compare different corpora.
+	Corpus   string `json:"corpus"`
+	Units    int    `json:"units"`
+	Compiles int    `json:"compiles"`
+	// Passes counts remarks per pass across everything.
+	Passes map[string]PassCounts `json:"passes"`
+	// Coverage is the coalescing coverage rate: Passed verdicts over all
+	// Passed+Missed verdicts.
+	Coverage float64 `json:"coverage"`
+	// MissedReasons histograms the reason tokens of Missed coalesce
+	// verdicts — the ranked list of analysis upgrades to attack next.
+	MissedReasons map[string]int `json:"missed_reasons"`
+	Groups        []Group        `json:"groups"`
+	Loops         []Verdict      `json:"loops"`
+}
+
+// Builder folds remark streams into a Report. Safe for concurrent use: the
+// parallel harness calls Add from many workers.
+type Builder struct {
+	mu       sync.Mutex
+	passes   map[string]*PassCounts
+	missed   map[string]int
+	verdicts map[string]Verdict
+	units    map[string]bool
+	compiles int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		passes:   make(map[string]*PassCounts),
+		missed:   make(map[string]int),
+		verdicts: make(map[string]Verdict),
+		units:    make(map[string]bool),
+	}
+}
+
+// Add folds one compile's remarks in, attributed to the machine model and
+// configuration column it compiled under. Remarks are expected to carry
+// their Unit (set macc.Config.Unit); unitless remarks still aggregate but
+// group under "".
+func (b *Builder) Add(machine, config string, remarks []telemetry.Remark) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.compiles++
+	for _, r := range remarks {
+		pc := b.passes[r.Pass]
+		if pc == nil {
+			pc = &PassCounts{}
+			b.passes[r.Pass] = pc
+		}
+		switch r.Kind {
+		case telemetry.Passed:
+			pc.Passed++
+		case telemetry.Missed:
+			pc.Missed++
+		case telemetry.Analysis:
+			pc.Analysis++
+		}
+		if r.Unit != "" {
+			b.units[r.Unit] = true
+		}
+		if r.Pass != CoalescePass || (r.Kind != telemetry.Passed && r.Kind != telemetry.Missed) {
+			continue
+		}
+		v := Verdict{
+			Key: r.Key(), Machine: machine, Config: config,
+			Passed: r.Kind == telemetry.Passed, Reason: r.Reason,
+		}
+		b.verdicts[v.ID()] = v
+		if !v.Passed {
+			b.missed[r.ReasonToken()]++
+		}
+	}
+}
+
+// Build assembles the report, stamped with fresh provenance. The corpus
+// string identifies the workload so diffs can refuse mismatched ones.
+func (b *Builder) Build(corpus string) *Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rep := &Report{
+		Provenance:    bench.NewProvenance(Schema),
+		Corpus:        corpus,
+		Units:         len(b.units),
+		Compiles:      b.compiles,
+		Passes:        make(map[string]PassCounts, len(b.passes)),
+		MissedReasons: make(map[string]int, len(b.missed)),
+	}
+	for name, pc := range b.passes {
+		rep.Passes[name] = *pc
+	}
+	for tok, n := range b.missed {
+		rep.MissedReasons[tok] = n
+	}
+	ids := make([]string, 0, len(b.verdicts))
+	for id := range b.verdicts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rep.Loops = make([]Verdict, 0, len(ids))
+	passed := 0
+	groups := make(map[string]*Group)
+	for _, id := range ids {
+		v := b.verdicts[id]
+		rep.Loops = append(rep.Loops, v)
+		if v.Passed {
+			passed++
+		}
+		unit := v.Key
+		if i := strings.IndexByte(unit, ':'); i >= 0 {
+			unit = unit[:i]
+		} else {
+			unit = ""
+		}
+		gk := unit + "|" + v.Machine
+		g := groups[gk]
+		if g == nil {
+			g = &Group{Unit: unit, Machine: v.Machine}
+			groups[gk] = g
+		}
+		g.Loops++
+		if v.Passed {
+			g.Coalesced++
+		}
+	}
+	if len(rep.Loops) > 0 {
+		rep.Coverage = float64(passed) / float64(len(rep.Loops))
+	}
+	for _, g := range groups {
+		if g.Loops > 0 {
+			g.Coverage = float64(g.Coalesced) / float64(g.Loops)
+		}
+		rep.Groups = append(rep.Groups, *g)
+	}
+	sort.Slice(rep.Groups, func(i, j int) bool {
+		if rep.Groups[i].Unit != rep.Groups[j].Unit {
+			return rep.Groups[i].Unit < rep.Groups[j].Unit
+		}
+		return rep.Groups[i].Machine < rep.Groups[j].Machine
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report and validates its schema.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Provenance.Schema != Schema {
+		return nil, fmt.Errorf("not a %s artifact (schema %q)", Schema, rep.Provenance.Schema)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,233 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"macc/internal/telemetry"
+	"macc/internal/telemetry/report"
+)
+
+func rem(kind telemetry.Kind, unit, fn, loop, reason string) telemetry.Remark {
+	name := "Coalesced"
+	if kind == telemetry.Missed {
+		name = "NotCoalesced"
+	}
+	return telemetry.Remark{
+		Kind: kind, Pass: "coalesce", Unit: unit, Fn: fn, Loop: loop,
+		Name: name, Reason: reason,
+	}
+}
+
+func sampleReport(t *testing.T, flip bool) *report.Report {
+	t.Helper()
+	b := report.NewBuilder()
+	convLoop := rem(telemetry.Passed, "conv", "conv", "loop", "profitability:sched-cycles 9<14")
+	if flip {
+		convLoop = rem(telemetry.Missed, "conv", "conv", "loop", "hazard:runtime-checks-disabled")
+	}
+	b.Add("Alpha", "loads", []telemetry.Remark{
+		convLoop,
+		rem(telemetry.Missed, "conv", "conv", "loop2", "hazard:intervening-store"),
+		{Kind: telemetry.Analysis, Pass: "coalesce", Unit: "conv", Fn: "conv", Loop: "loop2", Name: "HazardReject", Reason: "hazard:intervening-store"},
+	})
+	b.Add("M88100", "loads", []telemetry.Remark{
+		rem(telemetry.Passed, "xor", "xor", "loop", "profitability:sched-cycles 7<9"),
+		rem(telemetry.Missed, "xor", "xor", "loop2", "shape:refs-span-blocks"),
+	})
+	return b.Build("test-corpus")
+}
+
+func TestBuildAggregates(t *testing.T) {
+	rep := sampleReport(t, false)
+	if rep.Provenance.Schema != report.Schema {
+		t.Fatalf("schema = %q", rep.Provenance.Schema)
+	}
+	if rep.Units != 2 || rep.Compiles != 2 {
+		t.Errorf("units=%d compiles=%d, want 2/2", rep.Units, rep.Compiles)
+	}
+	pc := rep.Passes["coalesce"]
+	if pc.Passed != 2 || pc.Missed != 2 || pc.Analysis != 1 {
+		t.Errorf("coalesce counts = %+v", pc)
+	}
+	if rep.Coverage != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", rep.Coverage)
+	}
+	if rep.MissedReasons["hazard:intervening-store"] != 1 || rep.MissedReasons["shape:refs-span-blocks"] != 1 {
+		t.Errorf("missed-reason histogram = %v", rep.MissedReasons)
+	}
+	if len(rep.Loops) != 4 {
+		t.Fatalf("%d loop verdicts, want 4", len(rep.Loops))
+	}
+	// Groups: conv×Alpha and xor×M88100, each 2 loops 1 coalesced.
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	for _, g := range rep.Groups {
+		if g.Loops != 2 || g.Coalesced != 1 || g.Coverage != 0.5 {
+			t.Errorf("group %+v, want 2 loops 1 coalesced", g)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := sampleReport(t, false), sampleReport(t, false)
+	var wa, wb bytes.Buffer
+	a.Provenance.CreatedAt, b.Provenance.CreatedAt = "", ""
+	if err := a.WriteJSON(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Error("identical inputs produced different artifacts")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := sampleReport(t, false)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := report.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Coverage != rep.Coverage || len(back.Loops) != len(rep.Loops) {
+		t.Error("round trip lost data")
+	}
+	if _, err := report.ReadJSON(strings.NewReader(`{"provenance":{"schema":"macc-bench/v1"}}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+func TestDiffIdenticalIsClean(t *testing.T) {
+	d, err := report.DiffReports(sampleReport(t, false), sampleReport(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions)+len(d.Wins)+len(d.Added)+len(d.Removed) != 0 {
+		t.Errorf("identical reports diffed dirty: %+v", d)
+	}
+	if err := d.Gate(); err != nil {
+		t.Errorf("gate failed on identical reports: %v", err)
+	}
+}
+
+func TestDiffClassifiesAndGates(t *testing.T) {
+	oldRep, newRep := sampleReport(t, false), sampleReport(t, true)
+	d, err := report.DiffReports(oldRep, newRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want 1", d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Key != "conv:conv/loop" || r.Passed || r.OldReason == "" {
+		t.Errorf("regression = %+v", r)
+	}
+	if err := d.Gate(); err == nil {
+		t.Error("gate passed despite a Passed→Missed flip")
+	}
+	// The reverse direction is a win, and wins never gate.
+	d2, err := report.DiffReports(newRep, oldRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Wins) != 1 || len(d2.Regressions) != 0 {
+		t.Errorf("reverse diff: wins=%d regressions=%d", len(d2.Wins), len(d2.Regressions))
+	}
+	if err := d2.Gate(); err != nil {
+		t.Errorf("gate failed on a pure win: %v", err)
+	}
+}
+
+func TestDiffAddedRemovedAndLostPassedGates(t *testing.T) {
+	oldRep := sampleReport(t, false)
+	b := report.NewBuilder()
+	b.Add("Alpha", "loads", []telemetry.Remark{
+		rem(telemetry.Passed, "conv", "conv", "loop", "profitability:sched-cycles 9<14"),
+		rem(telemetry.Missed, "conv", "conv", "loop2", "hazard:intervening-store"),
+		rem(telemetry.Missed, "newkern", "newkern", "loop", "alias:trip-count-unknown"),
+	})
+	newRep := b.Build("test-corpus")
+	d, err := report.DiffReports(oldRep, newRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || d.Added[0].Key != "newkern:newkern/loop" {
+		t.Errorf("added = %+v", d.Added)
+	}
+	// The xor kernel vanished — one of its loops was Passed, which gates.
+	if len(d.Removed) != 2 {
+		t.Errorf("removed = %+v", d.Removed)
+	}
+	if err := d.Gate(); err == nil {
+		t.Error("gate passed despite a vanished Passed loop")
+	}
+}
+
+func TestDiffRefusesMismatchedCorpusAndSchema(t *testing.T) {
+	a := sampleReport(t, false)
+	b := report.NewBuilder().Build("other-corpus")
+	if _, err := report.DiffReports(a, b); err == nil {
+		t.Error("corpus mismatch accepted")
+	}
+	c := sampleReport(t, false)
+	c.Provenance.Schema = "macc-optreport/v0"
+	if _, err := report.DiffReports(a, c); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestDiffWarnsOnHostMismatch(t *testing.T) {
+	a, b := sampleReport(t, false), sampleReport(t, false)
+	b.Provenance.CPUs = a.Provenance.CPUs + 7
+	d, err := report.DiffReports(a, b)
+	if err != nil {
+		t.Fatalf("host mismatch must warn, not error: %v", err)
+	}
+	if len(d.Warnings) == 0 {
+		t.Error("no warning for host mismatch")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	rep := sampleReport(t, false)
+	var txt bytes.Buffer
+	rep.WriteTable(&txt, false)
+	for _, want := range []string{"Alpha", "M88100", "total", "50.0%", "hazard:intervening-store", "shape:refs-span-blocks"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text table missing %q:\n%s", want, txt.String())
+		}
+	}
+	var md bytes.Buffer
+	rep.WriteTable(&md, true)
+	if !strings.Contains(md.String(), "| --- |") {
+		t.Errorf("markdown table missing separator:\n%s", md.String())
+	}
+	if strings.Count(md.String(), "--- | --- | --- | --- | ---") != 1 {
+		t.Errorf("markdown coverage table must have exactly one header separator:\n%s", md.String())
+	}
+	var grp bytes.Buffer
+	rep.WriteGroupTable(&grp, false, "xor")
+	if strings.Contains(grp.String(), "conv") || !strings.Contains(grp.String(), "xor") {
+		t.Errorf("group filter broken:\n%s", grp.String())
+	}
+}
+
+func TestDiffWriteText(t *testing.T) {
+	d, err := report.DiffReports(sampleReport(t, false), sampleReport(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	d.WriteText(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION conv:conv/loop") {
+		t.Errorf("diff text missing regression line:\n%s", buf.String())
+	}
+}

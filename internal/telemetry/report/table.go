@@ -1,0 +1,193 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTable renders the report's coverage summary — one row per
+// machine × configuration, a totals row, then the missed-reason histogram
+// ranked by count. markdown switches from aligned text to GitHub table
+// syntax (the form README and PR comments embed).
+func (r *Report) WriteTable(w io.Writer, markdown bool) {
+	type cell struct{ loops, passed int }
+	rows := make(map[string]*cell)
+	var keys []string
+	for _, v := range r.Loops {
+		k := v.Machine + "|" + v.Config
+		c := rows[k]
+		if c == nil {
+			c = &cell{}
+			rows[k] = c
+			keys = append(keys, k)
+		}
+		c.loops++
+		if v.Passed {
+			c.passed++
+		}
+	}
+	sort.Strings(keys)
+
+	t := newTable(w, markdown)
+	t.row("machine", "config", "loops", "coalesced", "coverage")
+	t.rule()
+	total := cell{}
+	for _, k := range keys {
+		c := rows[k]
+		mc := strings.SplitN(k, "|", 2)
+		t.row(mc[0], mc[1], fmt.Sprint(c.loops), fmt.Sprint(c.passed), pct(c.passed, c.loops))
+		total.loops += c.loops
+		total.passed += c.passed
+	}
+	t.rule()
+	t.row("total", "", fmt.Sprint(total.loops), fmt.Sprint(total.passed), pct(total.passed, total.loops))
+	t.flush()
+
+	if len(r.MissedReasons) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	type bucket struct {
+		tok string
+		n   int
+	}
+	var hist []bucket
+	missedTotal := 0
+	for tok, n := range r.MissedReasons {
+		hist = append(hist, bucket{tok, n})
+		missedTotal += n
+	}
+	sort.Slice(hist, func(i, j int) bool {
+		if hist[i].n != hist[j].n {
+			return hist[i].n > hist[j].n
+		}
+		return hist[i].tok < hist[j].tok
+	})
+	h := newTable(w, markdown)
+	h.row("missed reason", "count", "share")
+	h.rule()
+	for _, b := range hist {
+		h.row(b.tok, fmt.Sprint(b.n), pct(b.n, missedTotal))
+	}
+	h.flush()
+}
+
+// WriteGroupTable renders the per-unit × per-machine breakdown. When units
+// is non-empty only those units are shown, in the given order — cmd/optreport
+// uses this to print the eight paper kernels without drowning them in the
+// generated corpus.
+func (r *Report) WriteGroupTable(w io.Writer, markdown bool, units ...string) {
+	groups := r.Groups
+	if len(units) > 0 {
+		want := make(map[string]int, len(units))
+		for i, u := range units {
+			want[u] = i
+		}
+		var sel []Group
+		for _, g := range groups {
+			if _, ok := want[g.Unit]; ok {
+				sel = append(sel, g)
+			}
+		}
+		sort.Slice(sel, func(i, j int) bool {
+			if sel[i].Unit != sel[j].Unit {
+				return want[sel[i].Unit] < want[sel[j].Unit]
+			}
+			return sel[i].Machine < sel[j].Machine
+		})
+		groups = sel
+	}
+	t := newTable(w, markdown)
+	t.row("kernel", "machine", "loops", "coalesced", "coverage")
+	t.rule()
+	for _, g := range groups {
+		t.row(g.Unit, g.Machine, fmt.Sprint(g.Loops), fmt.Sprint(g.Coalesced), pct(g.Coalesced, g.Loops))
+	}
+	t.flush()
+}
+
+func pct(n, of int) string {
+	if of == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(of))
+}
+
+// table is a minimal column aligner with a markdown mode.
+type table struct {
+	w        io.Writer
+	markdown bool
+	rows     [][]string
+	rules    map[int]bool
+}
+
+func newTable(w io.Writer, markdown bool) *table {
+	return &table{w: w, markdown: markdown, rules: make(map[int]bool)}
+}
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+func (t *table) rule()               { t.rules[len(t.rows)] = true }
+
+func (t *table) flush() {
+	var width []int
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	for i, r := range t.rows {
+		// Markdown only allows the one separator after the header row.
+		if t.rules[i] && (!t.markdown || i == 1) {
+			t.writeRule(width)
+		}
+		var sb strings.Builder
+		if t.markdown {
+			sb.WriteString("|")
+		}
+		for j := 0; j < len(width); j++ {
+			c := ""
+			if j < len(r) {
+				c = r[j]
+			}
+			if t.markdown {
+				fmt.Fprintf(&sb, " %s |", c)
+			} else {
+				if j > 0 {
+					sb.WriteString("  ")
+				}
+				fmt.Fprintf(&sb, "%-*s", width[j], c)
+			}
+		}
+		fmt.Fprintln(t.w, strings.TrimRight(sb.String(), " "))
+	}
+	if t.rules[len(t.rows)] && !t.markdown {
+		t.writeRule(width)
+	}
+}
+
+func (t *table) writeRule(width []int) {
+	if t.markdown {
+		var sb strings.Builder
+		sb.WriteString("|")
+		for range width {
+			sb.WriteString(" --- |")
+		}
+		fmt.Fprintln(t.w, sb.String())
+		return
+	}
+	n := 0
+	for i, wd := range width {
+		if i > 0 {
+			n += 2
+		}
+		n += wd
+	}
+	fmt.Fprintln(t.w, strings.Repeat("-", n))
+}

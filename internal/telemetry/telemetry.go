@@ -19,6 +19,7 @@ package telemetry
 
 import (
 	"io"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -50,13 +51,54 @@ func OrNop(em Emitter) Emitter {
 	return em
 }
 
+// WithUnit wraps em so every remark that does not already carry a unit is
+// stamped with unit (the kernel/source name being compiled). Counters and
+// histogram samples pass through untouched. A nil em or empty unit returns
+// em unchanged (modulo the OrNop guarantee).
+func WithUnit(em Emitter, unit string) Emitter {
+	em = OrNop(em)
+	if unit == "" {
+		return em
+	}
+	return unitEmitter{em: em, unit: unit}
+}
+
+type unitEmitter struct {
+	em   Emitter
+	unit string
+}
+
+func (u unitEmitter) Emit(r Remark) {
+	if r.Unit == "" {
+		r.Unit = u.unit
+	}
+	u.em.Emit(r)
+}
+func (u unitEmitter) Count(name string, n int64)   { u.em.Count(name, n) }
+func (u unitEmitter) Observe(name string, v int64) { u.em.Observe(name, v) }
+
 // stage buffers one active pass's uncommitted output.
 type stage struct {
 	span     Span
 	began    time.Time
+	allocAt  uint64
 	remarks  []Remark
 	counts   map[string]int64
 	observes map[string][]int64
+}
+
+// allocBytes reads the runtime's cumulative heap allocation total. Unlike
+// runtime.ReadMemStats this does not stop the world, so sampling it on
+// every pass boundary is essentially free. The counter is process-wide:
+// per-pass deltas are exact for a serial compile and an upper bound when
+// other goroutines allocate concurrently.
+func allocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
 }
 
 // Recorder accumulates one compilation-plus-run's remarks, spans, and
@@ -144,6 +186,7 @@ func (r *Recorder) BeginPass(pass, fn string, instrs, blocks int) {
 			InstrsBefore: instrs, BlocksBefore: blocks,
 		},
 		began:    now,
+		allocAt:  allocBytes(),
 		counts:   make(map[string]int64),
 		observes: make(map[string][]int64),
 	}
@@ -171,11 +214,29 @@ func (r *Recorder) EndPass(instrs, blocks int, rolledBack bool, errMsg string) {
 	if rolledBack {
 		st.span.Remarks = 0
 		r.spans = append(r.spans, st.span)
+		// The pass's remarks retract but its cost was real: the self-time
+		// and allocation profile still commits.
+		r.selfProfileLocked(st)
 		r.reg.Counter("pipeline.pass_rollbacks").Add(1)
 		r.reg.Counter("pipeline.pass_runs").Add(1)
 		return
 	}
 	r.commitLocked(st, now)
+}
+
+// selfProfileLocked records one finished pass's self time and heap
+// allocation delta as registry counters (pass.<name>.self_ns,
+// pass.<name>.alloc_bytes) plus an overall histogram, so the continuous
+// profiler (/metrics and the /metrics/history ring) shows where compile
+// time and memory go per pass, not just per request. Allocation deltas are
+// process-wide (see allocBytes): exact for serial compiles, an upper bound
+// under concurrency.
+func (r *Recorder) selfProfileLocked(st *stage) {
+	r.reg.Counter("pass."+st.span.Pass+".self_ns").Add(int64(st.span.Dur))
+	if d := int64(allocBytes() - st.allocAt); d > 0 {
+		r.reg.Counter("pass." + st.span.Pass + ".alloc_bytes").Add(d)
+	}
+	r.reg.Histogram("pipeline.pass_self_ns").Observe(int64(st.span.Dur))
 }
 
 // commitLocked flushes one stage's remarks, counters, and samples. r.mu is
@@ -188,6 +249,7 @@ func (r *Recorder) commitLocked(st *stage, now time.Time) {
 	st.span.Remarks = len(st.remarks)
 	r.remarks = append(r.remarks, st.remarks...)
 	r.spans = append(r.spans, st.span)
+	r.selfProfileLocked(st)
 	for name, n := range st.counts {
 		r.reg.Counter(name).Add(n)
 	}

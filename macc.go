@@ -85,6 +85,12 @@ type Config struct {
 	// the same recorder's Registry into sim.AttachMetrics to see static
 	// decisions and dynamic memory traffic side by side.
 	Telemetry *telemetry.Recorder
+	// Unit names the translation unit being compiled — the kernel or source
+	// file — and is stamped onto every optimization remark, completing the
+	// remark's stable identity key (unit:fn/loop) that corpus-wide reports
+	// diff on. Purely observational: it never affects compilation output or
+	// the cache key.
+	Unit string
 	// Cache, when non-nil, memoizes whole compilations content-addressed
 	// by (source text, configuration, machine): byte-identical inputs are
 	// compiled once and every further Compile is served from the cache's
@@ -108,10 +114,11 @@ type Config struct {
 }
 
 // emitter returns the remark sink for the configured recorder (a Nop when
-// telemetry is off), so passes emit unconditionally.
+// telemetry is off), so passes emit unconditionally. Remarks are stamped
+// with the configured Unit on their way through.
 func (cfg Config) emitter() telemetry.Emitter {
 	if cfg.Telemetry != nil {
-		return cfg.Telemetry
+		return telemetry.WithUnit(cfg.Telemetry, cfg.Unit)
 	}
 	return telemetry.Nop{}
 }

@@ -1,0 +1,143 @@
+package macc_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"macc"
+	"macc/internal/bench"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/telemetry"
+)
+
+// coalesceKeys compiles src under cfg with a fresh recorder and returns the
+// sorted identity keys of every Passed/Missed coalesce remark.
+func coalesceKeys(t *testing.T, src string, cfg macc.Config) []string {
+	t.Helper()
+	rec := telemetry.NewRecorder()
+	cfg.Telemetry = rec
+	if _, err := macc.Compile(src, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, r := range rec.Remarks() {
+		if r.Pass != "coalesce" || (r.Kind != telemetry.Passed && r.Kind != telemetry.Missed) {
+			continue
+		}
+		keys = append(keys, r.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestRemarkKeysStableAcrossRunsAndConfigs is the diffability contract the
+// optimization observatory rests on: the same source loop must key
+// identically in every run and under every configuration, so an optreport
+// diff compares decisions about the *same* loop rather than accidental
+// positional matches.
+func TestRemarkKeysStableAcrossRunsAndConfigs(t *testing.T) {
+	for _, b := range bench.Benchmarks() {
+		loads := macc.BaselineConfig(machine.Alpha())
+		loads.Coalesce = core.Options{Loads: true}
+		loads.Unit = b.Name
+		both := loads
+		both.Coalesce = core.Options{Loads: true, Stores: true}
+
+		run1 := coalesceKeys(t, b.Src, loads)
+		run2 := coalesceKeys(t, b.Src, loads)
+		bothKeys := coalesceKeys(t, b.Src, both)
+		if len(run1) == 0 {
+			t.Errorf("%s: no coalesce remarks; identity test is vacuous", b.Name)
+			continue
+		}
+		if !reflect.DeepEqual(run1, run2) {
+			t.Errorf("%s: keys differ across identical runs:\n  %v\n  %v", b.Name, run1, run2)
+		}
+		if !reflect.DeepEqual(run1, bothKeys) {
+			t.Errorf("%s: keys differ across loads/both configs:\n  %v\n  %v", b.Name, run1, bothKeys)
+		}
+		seen := make(map[string]bool, len(run1))
+		for _, k := range run1 {
+			if seen[k] {
+				t.Errorf("%s: duplicate loop key %q — loop labels are not unique", b.Name, k)
+			}
+			seen[k] = true
+			wantPrefix := b.Name + ":"
+			if len(k) < len(wantPrefix) || k[:len(wantPrefix)] != wantPrefix {
+				t.Errorf("%s: key %q not prefixed with the unit name", b.Name, k)
+			}
+		}
+	}
+}
+
+// TestRemarkKeysDistinguishUnits compiles the same source as two different
+// translation units: every key must carry its unit so a corpus-wide report
+// never conflates identically named loops from different programs.
+func TestRemarkKeysDistinguishUnits(t *testing.T) {
+	cfg := macc.DefaultConfig()
+	cfg.Unit = "unitA"
+	a := coalesceKeys(t, bench.ConvolutionSrc, cfg)
+	cfg.Unit = "unitB"
+	b := coalesceKeys(t, bench.ConvolutionSrc, cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("key counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("key %q identical across units; Unit not part of identity", a[i])
+		}
+	}
+}
+
+// TestRemarkJSONRoundTrip checks that a remark survives the JSONL wire
+// format (the form optreport artifacts and /compile responses carry) with
+// its identity key and reason token intact.
+func TestRemarkJSONRoundTrip(t *testing.T) {
+	in := telemetry.Remark{
+		Kind: telemetry.Missed, Pass: "coalesce",
+		Unit: "convolution", Fn: "convolution", Loop: "loop2.unrolled",
+		Name: "NotCoalesced", Reason: "profitability:sched-cycles 14>=14",
+		Args: map[string]int64{"narrowLoads": 8},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out telemetry.Remark
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the remark:\n  in:  %+v\n  out: %+v", in, out)
+	}
+	if got, want := out.Key(), "convolution:convolution/loop2.unrolled"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+	if got, want := out.ReasonToken(), "profitability:sched-cycles"; got != want {
+		t.Errorf("ReasonToken() = %q, want %q", got, want)
+	}
+}
+
+// TestUnitDoesNotAffectCompilation: Unit is observational only — the
+// compiled RTL and the cache fingerprint must be identical with and without
+// it, so setting a unit never forks the content-addressed cache.
+func TestUnitDoesNotAffectCompilation(t *testing.T) {
+	plain := macc.DefaultConfig()
+	unitd := macc.DefaultConfig()
+	unitd.Unit = "dotproduct"
+	p1, err := macc.Compile(dotSrc, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := macc.Compile(dotSrc, unitd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(p1.RTL) != fmt.Sprint(p2.RTL) {
+		t.Error("setting Config.Unit changed the compiled program")
+	}
+}
