@@ -121,11 +121,18 @@ func TestCacheDifferentialKernels(t *testing.T) {
 // TestCacheDifferentialRandomRTL drives CompileRTL's cache path with random
 // generated programs and compares printed RTL plus the pipeline's behaviour
 // fingerprint (return value and final memory over several argument sets).
+// Every warm hit travels the flat path — Flatten on store, a shared
+// FlatProgram snapshot on hit — so the sweep doubles as the corpus-scale
+// differential for the flat IR.
 func TestCacheDifferentialRandomRTL(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 25
+	}
 	m := machine.Alpha()
 	argSets := [][]int64{{0, 0, 0}, {1, 2, 3}, {511, 1023, 7}}
 	cache := ccache.New(ccache.Options{Dir: t.TempDir()})
-	for seed := int64(1); seed <= 25; seed++ {
+	for seed := int64(1); seed <= seeds; seed++ {
 		fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
 		if err != nil {
 			t.Fatalf("seed %d: generate: %v", seed, err)

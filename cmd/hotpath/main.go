@@ -10,11 +10,14 @@
 //	hotpath -out new.json -check BENCH_hotpath.json
 //
 // Only ratio metrics are gated (the journal-vs-clone snapshot speedup, the
-// parallel-vs-serial table speedup, simulated MIPS, and the warm-cache
-// compile speedup); raw ns/op numbers are recorded for trend plots but
-// never compared across hosts. The warm-cache speedup additionally has an
-// absolute floor: a memory-tier hit must be at least 5x faster than a cold
-// compile regardless of the baseline. Each artifact carries a provenance
+// parallel-vs-serial table speedup, simulated MIPS, the warm-cache compile
+// speedups, and the codec decode-vs-reparse speedup); raw ns/op numbers are
+// recorded for trend plots but never compared across hosts. Two metrics
+// additionally have absolute floors: a warm memory-tier hit must be at
+// least 5x faster than a cold compile, and decoding a kernel's binary
+// flat-IR image must be at least 5x faster than reparsing its printed text
+// — the property that justifies the binary disk tier — regardless of the
+// baseline. Each artifact carries a provenance
 // block (git commit, Go version, OS/arch, CPU count); when the baseline's
 // host identity differs from the current host's, relative gates are
 // skipped and only the absolute floors apply. The parallel-scaling gate requires
@@ -37,11 +40,14 @@ import (
 	"macc/internal/ccache"
 	"macc/internal/machine"
 	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
 )
 
 // Schema versions the artifact layout. v2 added the compile-cache
-// section; v3 added the provenance block and host-aware gating.
-const Schema = "macc-hotpath/v3"
+// section; v3 added the provenance block and host-aware gating; v4 split
+// the cache section into warm-mem and warm-disk hits and added the binary
+// codec encode/decode/reparse section.
+const Schema = "macc-hotpath/v4"
 
 // SnapshotEntry is one kernel's per-pass snapshot cost: the old
 // whole-function Clone vs the journal's clean Update, over all of the
@@ -71,8 +77,11 @@ type SimEntry struct {
 }
 
 // CacheEntry is one paper kernel's cold-vs-warm compile cost: a full
-// front-end + pipeline compile vs a memory-tier cache hit on the same
-// source and configuration.
+// front-end + pipeline compile vs a cache hit on the same source and
+// configuration. The Cache section measures memory-tier hits (shared flat
+// image, no decode); the WarmDisk section measures disk-tier hits (file
+// read + checksum + binary decode + materialize) with the memory tier
+// disabled.
 type CacheEntry struct {
 	Kernel      string  `json:"kernel"`
 	ColdNsPerOp float64 `json:"cold_ns_per_op"`
@@ -80,22 +89,45 @@ type CacheEntry struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// CodecEntry is one paper kernel's flat-IR codec cost: encoding the flat
+// image, decoding it back (checksum + structural validation), and — the
+// baseline the binary disk tier replaced — reparsing the same program from
+// printed RTL text.
+type CodecEntry struct {
+	Kernel         string  `json:"kernel"`
+	EncodeNsPerOp  float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp  float64 `json:"decode_ns_per_op"`
+	ReparseNsPerOp float64 `json:"reparse_ns_per_op"`
+	Bytes          int     `json:"bytes"`
+	TextBytes      int     `json:"text_bytes"`
+	DecodeSpeedup  float64 `json:"decode_speedup"`
+}
+
 // Artifact is the BENCH_hotpath.json layout.
 type Artifact struct {
-	Schema          string           `json:"schema"`
-	Provenance      bench.Provenance `json:"provenance"`
-	CPUs            int              `json:"cpus"`
-	Snapshot        []SnapshotEntry  `json:"snapshot"`
-	SnapshotSpeedup float64          `json:"snapshot_speedup"`
-	RunTable        RunTableEntry    `json:"runtable"`
-	Sim             SimEntry         `json:"sim"`
-	Cache           []CacheEntry     `json:"cache"`
-	CacheSpeedup    float64          `json:"cache_speedup"`
+	Schema             string           `json:"schema"`
+	Provenance         bench.Provenance `json:"provenance"`
+	CPUs               int              `json:"cpus"`
+	Snapshot           []SnapshotEntry  `json:"snapshot"`
+	SnapshotSpeedup    float64          `json:"snapshot_speedup"`
+	RunTable           RunTableEntry    `json:"runtable"`
+	Sim                SimEntry         `json:"sim"`
+	Cache              []CacheEntry     `json:"cache"`
+	CacheSpeedup       float64          `json:"cache_speedup"`
+	WarmDisk           []CacheEntry     `json:"warm_disk"`
+	WarmDiskSpeedup    float64          `json:"warm_disk_speedup"`
+	Codec              []CodecEntry     `json:"codec"`
+	CodecDecodeSpeedup float64          `json:"codec_decode_speedup"`
 }
 
 // cacheSpeedupFloor is the absolute acceptance floor: a warm memory-tier
 // compile must beat a cold compile by at least this factor in aggregate.
 const cacheSpeedupFloor = 5.0
+
+// codecDecodeSpeedupFloor is the absolute acceptance floor for the binary
+// disk tier's reason to exist: decoding a kernel's flat-IR image must beat
+// reparsing its printed RTL text by at least this factor in aggregate.
+const codecDecodeSpeedupFloor = 5.0
 
 // parallelSpeedupFloor is the absolute acceptance floor for the parallel
 // run-table benchmark when no multi-core baseline exists: on a host with
@@ -254,6 +286,12 @@ func measure() (Artifact, error) {
 	if err := measureCache(&a, m); err != nil {
 		return a, err
 	}
+	if err := measureWarmDisk(&a, m); err != nil {
+		return a, err
+	}
+	if err := measureCodec(&a, m); err != nil {
+		return a, err
+	}
 	return a, nil
 }
 
@@ -318,6 +356,147 @@ func measureCache(a *Artifact, m *machine.Machine) error {
 	return nil
 }
 
+// measureWarmDisk benchmarks a cold compile against a disk-tier hit for
+// every paper kernel: the memory tier is disabled (negative budget), so
+// every warm compile pays the full file read, checksum verification, binary
+// decode, and pointer-graph materialization.
+func measureWarmDisk(a *Artifact, m *machine.Machine) error {
+	var coldTotal, warmTotal float64
+	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+		dir, err := os.MkdirTemp("", "hotpath-disk-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+
+		cfg := macc.DefaultConfig()
+		cfg.Machine = m
+		var cerr error
+		coldR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := macc.Compile(bm.Src, cfg); err != nil {
+					cerr = err
+					b.FailNow()
+				}
+			}
+		})
+		if cerr != nil {
+			return fmt.Errorf("%s: cold compile: %v", bm.Name, cerr)
+		}
+
+		warm := cfg
+		warm.Cache = ccache.New(ccache.Options{Dir: dir, MemBudget: -1})
+		if _, err := macc.Compile(bm.Src, warm); err != nil {
+			return fmt.Errorf("%s: disk warmup: %v", bm.Name, err)
+		}
+		var werr error
+		warmR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := macc.Compile(bm.Src, warm)
+				if err != nil {
+					werr = err
+					b.FailNow()
+				}
+				if !p.Cached {
+					werr = fmt.Errorf("warm compile missed the disk tier")
+					b.FailNow()
+				}
+			}
+		})
+		if werr != nil {
+			return fmt.Errorf("%s: warm disk compile: %v", bm.Name, werr)
+		}
+
+		e := CacheEntry{
+			Kernel:      bm.Entry,
+			ColdNsPerOp: nsPerOp(coldR),
+			WarmNsPerOp: nsPerOp(warmR),
+		}
+		if e.WarmNsPerOp > 0 {
+			e.Speedup = e.ColdNsPerOp / e.WarmNsPerOp
+		}
+		coldTotal += e.ColdNsPerOp
+		warmTotal += e.WarmNsPerOp
+		a.WarmDisk = append(a.WarmDisk, e)
+	}
+	if warmTotal > 0 {
+		a.WarmDiskSpeedup = coldTotal / warmTotal
+	}
+	return nil
+}
+
+// measureCodec benchmarks the flat-IR codec on every paper kernel's
+// optimized program: encode, decode (checksum + structural validation), and
+// the text-reparse baseline the binary disk tier replaced.
+func measureCodec(a *Artifact, m *machine.Machine) error {
+	var decodeTotal, reparseTotal float64
+	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+		cfg := macc.DefaultConfig()
+		cfg.Machine = m
+		p, err := macc.Compile(bm.Src, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: compile: %v", bm.Name, err)
+		}
+		fp := p.Flat
+		if fp == nil {
+			if fp, err = rtl.Flatten(p.RTL); err != nil {
+				return fmt.Errorf("%s: flatten: %v", bm.Name, err)
+			}
+		}
+		enc := codec.EncodeProgram(fp)
+		text := p.RTL.String()
+
+		encR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				codec.EncodeProgram(fp)
+			}
+		})
+		var derr error
+		decR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.DecodeProgram(enc); err != nil {
+					derr = err
+					b.FailNow()
+				}
+			}
+		})
+		if derr != nil {
+			return fmt.Errorf("%s: decode: %v", bm.Name, derr)
+		}
+		var perr error
+		parR := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rtl.ParseProgram(text); err != nil {
+					perr = err
+					b.FailNow()
+				}
+			}
+		})
+		if perr != nil {
+			return fmt.Errorf("%s: reparse: %v", bm.Name, perr)
+		}
+
+		e := CodecEntry{
+			Kernel:         bm.Entry,
+			EncodeNsPerOp:  nsPerOp(encR),
+			DecodeNsPerOp:  nsPerOp(decR),
+			ReparseNsPerOp: nsPerOp(parR),
+			Bytes:          len(enc),
+			TextBytes:      len(text),
+		}
+		if e.DecodeNsPerOp > 0 {
+			e.DecodeSpeedup = e.ReparseNsPerOp / e.DecodeNsPerOp
+		}
+		decodeTotal += e.DecodeNsPerOp
+		reparseTotal += e.ReparseNsPerOp
+		a.Codec = append(a.Codec, e)
+	}
+	if decodeTotal > 0 {
+		a.CodecDecodeSpeedup = reparseTotal / decodeTotal
+	}
+	return nil
+}
+
 func nsPerOp(r testing.BenchmarkResult) float64 {
 	if r.N <= 0 {
 		return 0
@@ -365,9 +544,16 @@ func check(cur, base Artifact) error {
 	gate("snapshot journal-vs-clone speedup", cur.SnapshotSpeedup, base.SnapshotSpeedup)
 	gate("simulated MIPS", cur.Sim.SimulatedMIPS, base.Sim.SimulatedMIPS)
 	gate("warm-cache compile speedup", cur.CacheSpeedup, base.CacheSpeedup)
+	gate("warm-disk compile speedup", cur.WarmDiskSpeedup, base.WarmDiskSpeedup)
+	gate("codec decode-vs-reparse speedup", cur.CodecDecodeSpeedup, base.CodecDecodeSpeedup)
 	if cur.CacheSpeedup < cacheSpeedupFloor {
 		failures = append(failures, fmt.Sprintf(
 			"warm-cache compile speedup %.2fx below the %.0fx floor", cur.CacheSpeedup, cacheSpeedupFloor))
+	}
+	if cur.CodecDecodeSpeedup < codecDecodeSpeedupFloor {
+		failures = append(failures, fmt.Sprintf(
+			"codec decode-vs-reparse speedup %.2fx below the %.0fx floor",
+			cur.CodecDecodeSpeedup, codecDecodeSpeedupFloor))
 	}
 	// The parallel-scaling gate adapts to where the artifacts were
 	// produced. A relative comparison only means something when both hosts

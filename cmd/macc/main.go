@@ -56,6 +56,15 @@
 //	macc -cache-dir ~/.cache/macc -print prog.c   # second run hits
 //	macc -j 8 -cache-dir /tmp/mc -print a.c a.c   # a.c compiles once
 //
+// Compiled programs round-trip through the binary flat-IR codec (the same
+// format the disk cache stores): -emit=bin writes the encoded program to -o,
+// and -in=bin loads such a file directly — checksum-verified, no pipeline
+// rerun — so -print and -run work on the decoded image:
+//
+//	macc -emit=bin -o prog.bin prog.c
+//	macc -in=bin -print prog.bin        # byte-identical to macc -print prog.c
+//	macc -in=bin -run 'f(4096,100)' prog.bin
+//
 // With -server the compile runs on a maccd farm instead of locally, through
 // the resilient farm client (retries, hedged requests, circuit breakers);
 // -priority batch marks the request sheddable under saturation:
@@ -81,6 +90,7 @@ import (
 	"macc/internal/faultinject"
 	"macc/internal/machine"
 	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
 	"macc/internal/sim"
 	"macc/internal/telemetry"
 )
@@ -130,6 +140,9 @@ func main() {
 	strict := flag.Bool("strict", false, "fail fast on the first pass failure instead of degrading")
 	inject := flag.String("inject", "", "sabotage a pass: 'pass:kind[:seed]' (kinds: panic, clobber-reg, drop-terminator, retarget-branch, flip-op)")
 	bisect := flag.Bool("bisect", false, "with -run: binary-search the pass list for the first pass that breaks the call")
+	emit := flag.String("emit", "", "emit the compiled program in this format: bin (binary flat-IR codec)")
+	output := flag.String("o", "", "with -emit: output path ('-' or empty for stdout)")
+	inFmt := flag.String("in", "", "input format: bin (a binary flat-IR codec file, skips the pipeline)")
 	jobs := flag.Int("j", 0, "with multiple input files: compile them on this many workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "enable the on-disk compile cache tier rooted at this directory")
 	cacheMem := flag.Int64("cache-mem", ccache.DefaultMemBudget, "in-memory compile cache budget in bytes")
@@ -140,14 +153,27 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl ...")
+		fmt.Fprintln(os.Stderr, "usage: macc [flags] file.c|file.rtl|file.bin ...")
 		flag.Usage()
 		os.Exit(2)
+	}
+	switch *emit {
+	case "", "bin":
+	default:
+		fatal(fmt.Errorf("unknown -emit format %q (want bin)", *emit))
+	}
+	switch *inFmt {
+	case "", "bin":
+	default:
+		fatal(fmt.Errorf("unknown -in format %q (want bin)", *inFmt))
 	}
 
 	if *server != "" {
 		if flag.NArg() > 1 {
 			fatal(errors.New("-server compiles a single input file"))
+		}
+		if *emit != "" || *inFmt != "" {
+			fatal(errors.New("-emit and -in are local-compile flags"))
 		}
 		if *dump || *dotFn != "" || *traceOut != "" || *metricsOut != "" || *bisect ||
 			*profile > 0 || *inject != "" || remarks.mode != "" || *cacheDir != "" ||
@@ -224,8 +250,8 @@ func main() {
 		cfg.WrapPass = inj.Hook()
 	}
 	if flag.NArg() > 1 {
-		if *run != "" || *dotFn != "" || *dump || *traceOut != "" || *metricsOut != "" || *bisect || *profile > 0 || *inject != "" {
-			fatal(fmt.Errorf("-run, -dot, -dump, -trace, -metrics, -bisect, -profile, and -inject require a single input file"))
+		if *run != "" || *dotFn != "" || *dump || *traceOut != "" || *metricsOut != "" || *bisect || *profile > 0 || *inject != "" || *emit != "" || *inFmt != "" {
+			fatal(fmt.Errorf("-run, -dot, -dump, -trace, -metrics, -bisect, -profile, -inject, -emit, and -in require a single input file"))
 		}
 		// The pool shares one cache so duplicate inputs compile once
 		// (singleflight). Without -cache-dir a remarks run opts out:
@@ -255,6 +281,9 @@ func main() {
 	}
 
 	if *bisect {
+		if *inFmt == "bin" {
+			fatal(errors.New("-bisect needs a source input, not -in=bin"))
+		}
 		if err := runBisect(string(src), isRTL, cfg, *run, *mem); err != nil {
 			fatal(err)
 		}
@@ -262,7 +291,16 @@ func main() {
 	}
 
 	var prog *macc.Program
-	if isRTL {
+	if *inFmt == "bin" {
+		// A binary flat-IR file is an already-compiled program: decode it
+		// (checksum + structural validation) and load it directly, no
+		// pipeline run.
+		fp, derr := codec.DecodeProgram(src)
+		if derr != nil {
+			fatal(derr)
+		}
+		prog, err = macc.FromFlat(fp, m)
+	} else if isRTL {
 		rp, perr := rtl.ParseProgram(string(src))
 		if perr != nil {
 			fatal(perr)
@@ -276,6 +314,23 @@ func main() {
 	}
 	if prog.Diagnostics.Degraded() {
 		fmt.Fprint(os.Stderr, "macc: compilation completed in degraded mode:\n"+prog.Diagnostics.String())
+	}
+
+	if *emit == "bin" {
+		flat := prog.Flat
+		if flat == nil {
+			if flat, err = rtl.Flatten(prog.RTL); err != nil {
+				fatal(err)
+			}
+		}
+		data := codec.EncodeProgram(flat)
+		if *output == "" || *output == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatal(err)
+			}
+		} else if err := os.WriteFile(*output, data, 0o666); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *reports {

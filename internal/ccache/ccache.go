@@ -5,17 +5,22 @@
 // fingerprint, machine fingerprint, cache schema version) is done at most
 // once, then served from memory or disk.
 //
-// The memory tier is an LRU over compiled *rtl.Program values with a byte
-// budget (entries are costed by their printed RTL size). The optional disk
-// tier serializes the optimized RTL through the existing textual printer
-// and revalidates on every hit by reparsing: a truncated, corrupt, stale,
-// or mismatched entry is a miss, never an error. The repo's property-tested
-// printer↔parser fixpoint makes this serialization provably lossless.
+// The cached payload is the flat IR (rtl.FlatProgram): an immutable,
+// index-based image of the optimized program. The memory tier is an LRU over
+// these images with a byte budget costed by the actual encoded entry size;
+// hits hand out the shared image directly (no clone-on-hit copies — callers
+// materialize a private pointer graph with Entry.Materialize only when they
+// need one). The optional disk tier stores the binary codec envelope
+// (rtl/codec framed with a JSON metadata header and an FNV-64a trailer) and
+// revalidates on every hit by checksum + structural decode — no text
+// reparse. A truncated, corrupt, stale, or mismatched entry is a miss, never
+// an error; entries written by an older schema are garbage-collected at
+// startup (see migrate).
 //
 // Concurrent identical compiles are deduplicated singleflight-style:
 // GetOrCompute runs the compute function once per key, and every concurrent
 // caller shares the result. Callers must treat a returned Entry as
-// immutable; Entry.CloneProgram hands out a private deep copy.
+// immutable.
 package ccache
 
 import (
@@ -23,10 +28,12 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -35,15 +42,19 @@ import (
 
 	"macc/internal/core"
 	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
 	"macc/internal/telemetry"
 	"macc/internal/telemetry/dtrace"
 )
 
 // SchemaVersion names the cache layout. Bumping it invalidates every
-// existing entry twice over: it is hashed into the key (so new lookups miss
-// old files) and checked against the disk envelope (so a file from another
-// schema is rejected even on a key collision).
-const SchemaVersion = "macc-ccache/v1"
+// existing entry three times over: it is hashed into the key (so new lookups
+// miss old files), checked against the disk envelope (so a file from another
+// schema is rejected even on a key collision), and compared with the
+// directory's schema marker at startup (so stale files are GC'd rather than
+// left to rot). v2 switched the disk payload from printed text to the binary
+// flat-IR codec.
+const SchemaVersion = "macc-ccache/v2"
 
 // Key is the 32-byte content address of one compilation.
 type Key [sha256.Size]byte
@@ -78,15 +89,13 @@ func KeyOf(source, configFP, machineFP string) Key {
 	return k
 }
 
-// Entry is one cached compilation: the optimized program plus the side
-// records a *macc.Program carries. Entries stored in the cache are shared
-// and must not be mutated; use CloneProgram / CloneReports / CloneUnrolled.
+// Entry is one cached compilation: the optimized program in flat form plus
+// the side records a *macc.Program carries. Entries stored in the cache are
+// shared and must not be mutated; Materialize hands out a private pointer
+// graph, CloneReports / CloneUnrolled private copies of the side records.
 type Entry struct {
-	// Program is the optimized RTL (immutable once cached).
-	Program *rtl.Program
-	// Text is the printed form of Program: the disk payload and the byte
-	// cost accounted against the memory budget. Put fills it when empty.
-	Text string
+	// Flat is the optimized program's flat image (immutable once cached).
+	Flat *rtl.FlatProgram
 	// Machine is the target name, recorded in the disk envelope.
 	Machine string
 	// Reports are the coalescer's per-loop reports.
@@ -96,17 +105,21 @@ type Entry struct {
 	// Uncacheable marks a result that must be returned to concurrent
 	// callers but never stored (e.g. a compile that degraded).
 	Uncacheable bool
+
+	// enc caches the encoded envelope (the exact bytes on disk and on the
+	// peer wire). Put and the decode paths fill it; it is the entry's true
+	// byte cost against the memory budget.
+	enc []byte
 }
 
-// CloneProgram returns a private deep copy of the cached program.
-func (e Entry) CloneProgram() *rtl.Program {
-	fns := make([]*rtl.Fn, len(e.Program.Fns))
-	for i, f := range e.Program.Fns {
-		fns[i] = f.Clone()
+// Materialize builds a private pointer-graph program from the cached flat
+// image. The result shares no mutable state with the entry, so the caller
+// may optimize or mutate it freely.
+func (e Entry) Materialize() (*rtl.Program, error) {
+	if e.Flat == nil {
+		return nil, errors.New("ccache: entry has no program")
 	}
-	np := rtl.NewProgram(fns...)
-	np.Globals = append([]*rtl.Global(nil), e.Program.Globals...)
-	return np
+	return e.Flat.Unflatten()
 }
 
 // CloneReports returns a private copy of the report slice.
@@ -126,14 +139,44 @@ func (e Entry) CloneUnrolled() map[string]int {
 	return m
 }
 
-// size is the byte cost charged against the memory budget.
+// entryOverhead approximates the in-memory bookkeeping cost (LRU element,
+// map slot, struct headers) charged on top of the encoded payload.
+const entryOverhead = 256
+
+// size is the byte cost charged against the memory budget: the actual
+// encoded entry size plus fixed overhead. Entries that have not been
+// encoded yet (never stored) fall back to an estimate from the flat image.
 func (e Entry) size() int64 {
-	return int64(len(e.Text)) + 512 // fixed overhead for structs and maps
+	if e.enc != nil {
+		return int64(len(e.enc)) + entryOverhead
+	}
+	return e.estimateSize() + entryOverhead
+}
+
+// estimateSize approximates the encoded size of an entry that has no cached
+// encoding (only reachable when Put was bypassed, e.g. in tests poking
+// insertMem directly).
+func (e Entry) estimateSize() int64 {
+	if e.Flat == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range e.Flat.Syms {
+		n += int64(len(s)) + 2
+	}
+	for gi := range e.Flat.Globals {
+		n += int64(len(e.Flat.Globals[gi].Init)) + 16
+	}
+	for fi := range e.Flat.Fns {
+		f := &e.Flat.Fns[fi]
+		n += 32 + int64(12*len(f.Blocks)+14*f.NumInstrs()+8*len(f.Args))
+	}
+	return n
 }
 
 // Options configures a Cache.
 type Options struct {
-	// MemBudget bounds the memory tier in bytes (of printed-RTL cost).
+	// MemBudget bounds the memory tier in bytes (of encoded-entry cost).
 	// Zero selects DefaultMemBudget; negative disables the memory tier.
 	MemBudget int64
 	// Dir, when non-empty, enables the disk tier rooted there. The
@@ -150,7 +193,7 @@ type Options struct {
 	// trace's span context so the peer lookup's spans join the trace.
 	Fallback func(context.Context, Key) (Entry, bool)
 	// Tracer, when non-nil, records one tier-decision span per ctx-aware
-	// lookup (mem hit, disk hit + reparse revalidation, peer fallback,
+	// lookup (mem hit, disk hit + decode revalidation, peer fallback,
 	// miss), a wait span per singleflight waiter, and a compute span
 	// around each singleflight leader's compile.
 	Tracer *dtrace.Tracer
@@ -227,6 +270,7 @@ func New(opts Options) *Cache {
 		flights:  make(map[Key]*flight),
 	}
 	if c.dir != "" {
+		c.migrate()
 		c.recover()
 	}
 	return c
@@ -235,7 +279,8 @@ func New(opts Options) *Cache {
 // Metrics returns the registry the cache publishes into: counters
 // ccache.mem_hits, ccache.disk_hits, ccache.misses, ccache.evictions,
 // ccache.dedup_waiters, ccache.stores, ccache.disk_invalid,
-// ccache.disk_errors, and gauges ccache.entries, ccache.bytes.
+// ccache.disk_errors, ccache.schema_evicted, and gauges ccache.entries,
+// ccache.bytes.
 func (c *Cache) Metrics() *telemetry.Registry { return c.reg }
 
 // Len returns the number of memory-tier entries.
@@ -271,11 +316,8 @@ func (c *Cache) GetCtx(ctx context.Context, key Key) (Entry, bool) {
 		if sp.Context().Valid() {
 			fctx = dtrace.ContextWith(ctx, sp.Context())
 		}
-		if fe, fok := c.fallback(fctx, key); fok && fe.Program != nil {
+		if fe, fok := c.fallback(fctx, key); fok && fe.Flat != nil {
 			c.reg.Counter("ccache.peer_hits").Add(1)
-			if fe.Text == "" {
-				fe.Text = fe.Program.String()
-			}
 			c.insertMem(key, fe)
 			if c.dir != "" {
 				if err := c.storeDisk(key, fe); err != nil {
@@ -307,7 +349,7 @@ func (c *Cache) GetLocal(key Key) (Entry, bool) {
 
 // getLocal is GetLocal plus the answering tier's name: "mem" for a memory
 // hit, "disk" for a disk hit (which implies a successful checksum +
-// reparse revalidation), "" on a miss.
+// structural decode revalidation), "" on a miss.
 func (c *Cache) getLocal(key Key) (Entry, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -333,11 +375,15 @@ func (c *Cache) getLocal(key Key) (Entry, string, bool) {
 // property: callers must not mutate it afterwards. Uncacheable entries are
 // ignored.
 func (c *Cache) Put(key Key, e Entry) {
-	if e.Uncacheable || e.Program == nil {
+	if e.Uncacheable || e.Flat == nil {
 		return
 	}
-	if e.Text == "" {
-		e.Text = e.Program.String()
+	if e.enc == nil {
+		data, err := EncodeEntry(key, e)
+		if err != nil {
+			return
+		}
+		e.enc = data
 	}
 	c.reg.Counter("ccache.stores").Add(1)
 	c.insertMem(key, e)
@@ -443,74 +489,140 @@ func (c *Cache) insertMem(key Key, e Entry) {
 	}
 }
 
-// diskEntry is the on-disk JSON envelope.
-type diskEntry struct {
+// checkAccounting verifies the LRU byte-accounting invariant: c.bytes must
+// equal the sum of the live entries' sizes. Test hook.
+func (c *Cache) checkAccounting() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		sum += el.Value.(*lruEntry).e.size()
+	}
+	if sum != c.bytes {
+		return fmt.Errorf("accounting drift: entries sum to %d, c.bytes is %d", sum, c.bytes)
+	}
+	if c.lru.Len() != len(c.byKey) {
+		return fmt.Errorf("index drift: lru has %d elements, byKey has %d", c.lru.Len(), len(c.byKey))
+	}
+	return nil
+}
+
+// entryMeta is the JSON metadata header inside the binary envelope: the
+// side records that ride along with the codec-encoded program.
+type entryMeta struct {
 	Schema   string            `json:"schema"`
 	Key      string            `json:"key"`
 	Machine  string            `json:"machine,omitempty"`
 	Unrolled map[string]int    `json:"unrolled,omitempty"`
 	Reports  []core.LoopReport `json:"reports,omitempty"`
-	// Sum is the SHA-256 of RTL, catching truncation that still parses.
-	Sum string `json:"sum"`
-	RTL string `json:"rtl"`
 }
+
+// envelopeMagic opens every disk/peer entry: "Macc Cache Entry v2".
+var envelopeMagic = [4]byte{'M', 'C', 'E', '2'}
 
 // path shards entries by the first key byte to keep directories small.
 func (c *Cache) path(key Key) string {
 	hexKey := key.String()
-	return filepath.Join(c.dir, hexKey[:2], hexKey+".json")
+	return filepath.Join(c.dir, hexKey[:2], hexKey+".bin")
 }
 
-// EncodeEntry renders the entry as the disk-format JSON envelope for key.
-// The same bytes are written to the disk tier and served to farm peers, so
-// every consumer revalidates the one format with DecodeEntry.
+// EncodeEntry renders the entry as the binary disk/wire envelope for key:
+// magic, length-prefixed JSON metadata, length-prefixed codec program
+// bytes, FNV-64a trailer. The same bytes are written to the disk tier and
+// served to farm peers, so every consumer revalidates the one format with
+// DecodeEntry. If the entry already carries its encoding (it came from Put
+// or a decode), those exact bytes are returned.
 func EncodeEntry(key Key, e Entry) ([]byte, error) {
-	if e.Text == "" && e.Program != nil {
-		e.Text = e.Program.String()
+	if e.enc != nil {
+		return e.enc, nil
 	}
-	sum := sha256.Sum256([]byte(e.Text))
-	return json.Marshal(diskEntry{
+	if e.Flat == nil {
+		return nil, errors.New("ccache: entry has no program")
+	}
+	meta, err := json.Marshal(entryMeta{
 		Schema:   SchemaVersion,
 		Key:      key.String(),
 		Machine:  e.Machine,
 		Unrolled: e.Unrolled,
 		Reports:  e.Reports,
-		Sum:      hex.EncodeToString(sum[:]),
-		RTL:      e.Text,
 	})
+	if err != nil {
+		return nil, err
+	}
+	prog := codec.EncodeProgram(e.Flat)
+	buf := make([]byte, 0, len(envelopeMagic)+len(meta)+len(prog)+24)
+	buf = append(buf, envelopeMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.AppendUvarint(buf, uint64(len(prog)))
+	buf = append(buf, prog...)
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64()), nil
 }
 
-// DecodeEntry parses and revalidates one disk-format envelope against the
-// key it was requested under: schema and key must match, the checksum must
-// cover the RTL, and the RTL must reparse. Any violation is an error — the
+// DecodeEntry parses and revalidates one envelope against the key it was
+// requested under: the trailer checksum must cover the bytes, schema and
+// key must match, and the program must pass the codec's structural decode
+// and the flat IR's index validation. Any violation is an error — the
 // caller treats it as a miss. This is the verification gate that makes a
-// corrupt or stale peer answer harmless.
+// corrupt or stale peer answer harmless. No text reparse happens here: a
+// disk or peer hit decodes straight into the flat form.
 func DecodeEntry(key Key, data []byte) (Entry, error) {
-	var de diskEntry
-	if err := json.Unmarshal(data, &de); err != nil {
-		return Entry{}, fmt.Errorf("envelope: %w", err)
+	if len(data) < len(envelopeMagic)+2+8 {
+		return Entry{}, fmt.Errorf("envelope: short buffer (%d bytes)", len(data))
 	}
-	if de.Schema != SchemaVersion {
-		return Entry{}, fmt.Errorf("schema %q, want %q", de.Schema, SchemaVersion)
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(trailer); got != want {
+		return Entry{}, errors.New("envelope: checksum mismatch")
 	}
-	if de.Key != key.String() {
-		return Entry{}, fmt.Errorf("key mismatch: envelope %s", de.Key)
+	if string(body[:4]) != string(envelopeMagic[:]) {
+		return Entry{}, fmt.Errorf("envelope: bad magic %q", body[:4])
 	}
-	sum := sha256.Sum256([]byte(de.RTL))
-	if de.Sum != hex.EncodeToString(sum[:]) {
-		return Entry{}, errors.New("checksum mismatch")
-	}
-	prog, err := rtl.ParseProgram(de.RTL)
+	rest := body[4:]
+	metaBytes, rest, err := lengthPrefixed(rest, "metadata")
 	if err != nil {
-		return Entry{}, fmt.Errorf("reparse: %w", err)
+		return Entry{}, err
+	}
+	var meta entryMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return Entry{}, fmt.Errorf("envelope metadata: %w", err)
+	}
+	if meta.Schema != SchemaVersion {
+		return Entry{}, fmt.Errorf("schema %q, want %q", meta.Schema, SchemaVersion)
+	}
+	if meta.Key != key.String() {
+		return Entry{}, fmt.Errorf("key mismatch: envelope %s", meta.Key)
+	}
+	progBytes, rest, err := lengthPrefixed(rest, "program")
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(rest) != 0 {
+		return Entry{}, fmt.Errorf("envelope: %d trailing bytes", len(rest))
+	}
+	fp, err := codec.DecodeProgram(progBytes)
+	if err != nil {
+		return Entry{}, fmt.Errorf("program: %w", err)
 	}
 	return Entry{
-		Program:  prog,
-		Text:     de.RTL,
-		Machine:  de.Machine,
-		Unrolled: de.Unrolled,
-		Reports:  de.Reports,
+		Flat:     fp,
+		Machine:  meta.Machine,
+		Unrolled: meta.Unrolled,
+		Reports:  meta.Reports,
+		enc:      data,
 	}, nil
+}
+
+// lengthPrefixed splits one uvarint-length-prefixed field off buf.
+func lengthPrefixed(buf []byte, what string) (field, rest []byte, err error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || l > uint64(len(buf)-n) {
+		return nil, nil, fmt.Errorf("envelope: truncated %s field", what)
+	}
+	return buf[n : n+int(l)], buf[n+int(l):], nil
 }
 
 // EncodeLocal encodes the locally cached entry for key (for the farm peer
@@ -610,6 +722,45 @@ func (c *Cache) journalIntent(tmpPath string) {
 }
 
 func (c *Cache) journalPath() string { return filepath.Join(c.dir, "journal") }
+func (c *Cache) markerPath() string  { return filepath.Join(c.dir, "schema") }
+
+// migrate reconciles the disk directory with the current schema at startup.
+// The directory carries a schema marker file; when it is absent (a v1-era
+// directory, which predates markers) or names another schema, every entry
+// file is stale — new keys hash the schema so they could never hit, and
+// leaving them would leak disk forever. They are GC'd (counted as
+// ccache.schema_evicted) and the marker is rewritten. The journal and the
+// marker itself survive; recover still runs afterwards for torn writes.
+func (c *Cache) migrate() {
+	current, err := os.ReadFile(c.markerPath())
+	if err == nil && strings.TrimSpace(string(current)) == SchemaVersion {
+		return
+	}
+	var evicted int64
+	filepath.WalkDir(c.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if p == c.journalPath() || p == c.markerPath() {
+			return nil
+		}
+		// Torn temp files are crash-recovery's to collect (and count), not
+		// the schema GC's.
+		if strings.Contains(d.Name(), ".tmp") {
+			return nil
+		}
+		if os.Remove(p) == nil {
+			evicted++
+		}
+		return nil
+	})
+	if evicted > 0 {
+		c.reg.Counter("ccache.schema_evicted").Add(evicted)
+	}
+	if os.MkdirAll(c.dir, 0o777) == nil {
+		os.WriteFile(c.markerPath(), []byte(SchemaVersion+"\n"), 0o666)
+	}
+}
 
 // recover runs the startup crash-recovery scan: every temp file named by a
 // journal intent that still exists is a torn write from a killed writer and
@@ -660,9 +811,9 @@ func (c *Cache) recover() {
 }
 
 // loadDisk reads and revalidates one disk entry. Every failure mode —
-// unreadable file, malformed JSON, schema or key or checksum mismatch, RTL
-// that no longer parses or verifies — is a miss; invalid files are counted
-// and removed so they are not re-tried forever.
+// unreadable file, bad checksum, malformed envelope, schema or key
+// mismatch, a program that fails structural decode — is a miss; invalid
+// files are counted and removed so they are not re-tried forever.
 func (c *Cache) loadDisk(key Key) (Entry, bool) {
 	p := c.path(key)
 	data, err := os.ReadFile(p)

@@ -1,7 +1,10 @@
 package ccache
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +13,7 @@ import (
 
 	"macc/internal/core"
 	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
 )
 
 // prog builds a tiny valid program whose printed size scales with pad.
@@ -28,14 +32,32 @@ func prog(t *testing.T, name string, pad int) *rtl.Program {
 	return p
 }
 
+func flatOf(t *testing.T, p *rtl.Program) *rtl.FlatProgram {
+	t.Helper()
+	fp, err := rtl.Flatten(p)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	return fp
+}
+
 func entryFor(t *testing.T, name string, pad int) Entry {
-	p := prog(t, name, pad)
 	return Entry{
-		Program:  p,
+		Flat:     flatOf(t, prog(t, name, pad)),
 		Machine:  "alpha",
 		Reports:  []core.LoopReport{{Header: "loop", Fn: name, Applied: true, Reason: "test"}},
 		Unrolled: map[string]int{name: 4},
 	}
+}
+
+// mustPrint materializes the entry and prints it.
+func mustPrint(t *testing.T, e Entry) string {
+	t.Helper()
+	p, err := e.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return p.String()
 }
 
 func TestKeyOfDistinctAndStable(t *testing.T) {
@@ -57,7 +79,7 @@ func TestKeyOfDistinctAndStable(t *testing.T) {
 	}
 }
 
-func TestMemHitReturnsSharedEntryAndCloneIsolates(t *testing.T) {
+func TestMemHitReturnsSharedFlatAndMaterializeIsolates(t *testing.T) {
 	c := New(Options{})
 	key := KeyOf("a", "b", "c")
 	c.Put(key, entryFor(t, "f", 2))
@@ -69,18 +91,29 @@ func TestMemHitReturnsSharedEntryAndCloneIsolates(t *testing.T) {
 	if got := c.Metrics().CounterValue("ccache.mem_hits"); got != 1 {
 		t.Fatalf("mem_hits = %d", got)
 	}
-	clone := e.CloneProgram()
-	if clone == e.Program || clone.Fns[0] == e.Program.Fns[0] {
-		t.Fatal("CloneProgram returned shared structure")
-	}
-	if clone.String() != e.Program.String() {
-		t.Fatal("clone prints differently")
-	}
-	// Mutating the clone must not poison the cached copy.
-	clone.Fns[0].Blocks[0].Instrs[0].Disp = 999
+	// A hit hands out the shared flat image — no clone-on-hit copies.
 	e2, _ := c.Get(key)
-	if e2.Program.String() != e.Text && e2.Program.String() != e.Program.String() {
-		t.Fatal("cached program was mutated through a clone")
+	if e2.Flat != e.Flat {
+		t.Fatal("mem hit did not share the flat image")
+	}
+	// Materialize builds a private pointer graph each time.
+	m1, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 || m1.Fns[0] == m2.Fns[0] {
+		t.Fatal("Materialize returned shared structure")
+	}
+	want := m2.String()
+	// Mutating one materialization must not poison the cached image.
+	m1.Fns[0].Blocks[0].Instrs[0].Disp = 999
+	e3, _ := c.Get(key)
+	if got := mustPrint(t, e3); got != want {
+		t.Fatal("cached image was mutated through a materialization")
 	}
 	if r := e.CloneReports(); &r[0] == &e.Reports[0] {
 		t.Fatal("CloneReports shares backing array")
@@ -117,12 +150,62 @@ func TestLRUEvictionUnderTinyBudget(t *testing.T) {
 	if c.Bytes() > 2048 && c.Len() > 1 {
 		t.Fatalf("budget not enforced: %d bytes in %d entries", c.Bytes(), c.Len())
 	}
+	if err := c.checkAccounting(); err != nil {
+		t.Fatal(err)
+	}
 	// A single entry larger than the budget stays resident (the cache
 	// always keeps the most recent compile).
 	big := New(Options{MemBudget: 10})
 	big.Put(k1, entryFor(t, "f", 50))
 	if _, ok := big.Get(k1); !ok {
 		t.Fatal("most recent entry must survive even over budget")
+	}
+}
+
+// TestAccountingChargesEncodedSize pins the LRU cost model: an entry's
+// charge is the actual encoded envelope size plus fixed overhead, and the
+// cache-wide byte counter stays equal to the sum of live entry charges
+// through puts, refreshing overwrites of different sizes, and evictions.
+func TestAccountingChargesEncodedSize(t *testing.T) {
+	c := New(Options{})
+	key := KeyOf("acct", "", "")
+	e := entryFor(t, "f", 8)
+	data, err := EncodeEntry(key, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, e)
+	if got, want := c.Bytes(), int64(len(data))+entryOverhead; got != want {
+		t.Fatalf("charged %d bytes, want encoded %d + overhead %d", got, len(data), entryOverhead)
+	}
+	// Overwriting the key with a smaller entry must re-charge, not leak the
+	// old size.
+	small := entryFor(t, "f", 1)
+	smallData, err := EncodeEntry(key, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smallData) >= len(data) {
+		t.Fatalf("fixture broken: %d >= %d", len(smallData), len(data))
+	}
+	c.Put(key, small)
+	if got, want := c.Bytes(), int64(len(smallData))+entryOverhead; got != want {
+		t.Fatalf("after overwrite charged %d, want %d", got, want)
+	}
+	if err := c.checkAccounting(); err != nil {
+		t.Fatal(err)
+	}
+	// Churn a tiny-budget cache and re-verify the invariant after the dust
+	// settles: evictions must subtract exactly what insertion added.
+	tiny := New(Options{MemBudget: 1500})
+	for i := 0; i < 40; i++ {
+		tiny.Put(KeyOf(fmt.Sprintf("k%d", i), "", ""), entryFor(t, fmt.Sprintf("f%d", i), i%7))
+		if err := tiny.checkAccounting(); err != nil {
+			t.Fatalf("after put %d: %v", i, err)
+		}
+	}
+	if tiny.Metrics().CounterValue("ccache.evictions") == 0 {
+		t.Fatal("churn produced no evictions")
 	}
 }
 
@@ -140,8 +223,8 @@ func TestDiskTierRoundTripAcrossProcesses(t *testing.T) {
 	if !ok {
 		t.Fatal("expected disk hit")
 	}
-	if got.Program.String() != want.Program.String() {
-		t.Fatalf("disk round trip not lossless:\n%s\nvs\n%s", got.Program, want.Program)
+	if mustPrint(t, got) != mustPrint(t, want) {
+		t.Fatalf("disk round trip not lossless:\n%s\nvs\n%s", mustPrint(t, got), mustPrint(t, want))
 	}
 	if len(got.Reports) != 1 || got.Reports[0].Reason != "test" || got.Unrolled["f"] != 4 {
 		t.Fatalf("side records lost: %+v %+v", got.Reports, got.Unrolled)
@@ -155,8 +238,33 @@ func TestDiskTierRoundTripAcrossProcesses(t *testing.T) {
 	}
 }
 
+// reseal recomputes the envelope's FNV-64a trailer over body and appends it,
+// letting tests craft envelopes that pass the checksum but fail a deeper
+// validation layer.
+func reseal(body []byte) []byte {
+	h := fnv.New64a()
+	h.Write(body)
+	return binary.LittleEndian.AppendUint64(body, h.Sum64())
+}
+
+// forgeEnvelope builds a checksum-valid envelope with the given metadata and
+// program payload bytes.
+func forgeEnvelope(t *testing.T, meta entryMeta, progBytes []byte) []byte {
+	t.Helper()
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), envelopeMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(mb)))
+	buf = append(buf, mb...)
+	buf = binary.AppendUvarint(buf, uint64(len(progBytes)))
+	buf = append(buf, progBytes...)
+	return reseal(buf)
+}
+
 func TestDiskCorruptTruncatedAndStaleAreMisses(t *testing.T) {
-	corrupt := func(name string, f func(path string, data []byte) []byte) {
+	corrupt := func(name string, f func(t *testing.T, key Key, data []byte) []byte) {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
 			key := KeyOf("src"+name, "cfg", "alpha")
@@ -167,7 +275,7 @@ func TestDiskCorruptTruncatedAndStaleAreMisses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if out := f(path, data); out != nil {
+			if out := f(t, key, data); out != nil {
 				if err := os.WriteFile(path, out, 0o666); err != nil {
 					t.Fatal(err)
 				}
@@ -187,38 +295,94 @@ func TestDiskCorruptTruncatedAndStaleAreMisses(t *testing.T) {
 			}
 		})
 	}
-	corrupt("truncated", func(_ string, data []byte) []byte { return data[:len(data)/2] })
-	corrupt("garbage", func(_ string, _ []byte) []byte { return []byte("{not json") })
-	corrupt("schema-bump", func(_ string, data []byte) []byte {
-		// A file written under an older (or newer) schema version must be
-		// rejected, so bumping SchemaVersion invalidates stale entries.
-		return []byte(strings.Replace(string(data), SchemaVersion, "macc-ccache/v0", 1))
+	corrupt("truncated", func(_ *testing.T, _ Key, data []byte) []byte { return data[:len(data)/2] })
+	corrupt("garbage", func(_ *testing.T, _ Key, _ []byte) []byte { return []byte("{not an envelope") })
+	corrupt("checksum", func(_ *testing.T, _ Key, data []byte) []byte {
+		data[len(data)/2] ^= 0x01
+		return data
 	})
-	corrupt("checksum", func(_ string, data []byte) []byte {
-		return []byte(strings.Replace(string(data), "ret r0", "ret r1", 1))
+	corrupt("schema-bump", func(t *testing.T, key Key, _ []byte) []byte {
+		// A checksum-valid envelope written under another schema version
+		// must be rejected, so bumping SchemaVersion invalidates stale
+		// entries even on a key collision.
+		fp := flatOf(t, prog(t, "f", 3))
+		return forgeEnvelope(t, entryMeta{
+			Schema: "macc-ccache/v0",
+			Key:    key.String(),
+		}, codec.EncodeProgram(fp))
+	})
+	corrupt("key-mismatch", func(t *testing.T, _ Key, _ []byte) []byte {
+		fp := flatOf(t, prog(t, "f", 3))
+		return forgeEnvelope(t, entryMeta{
+			Schema: SchemaVersion,
+			Key:    KeyOf("someone-else", "cfg", "alpha").String(),
+		}, codec.EncodeProgram(fp))
+	})
+	corrupt("bad-program", func(t *testing.T, key Key, _ []byte) []byte {
+		// Envelope intact (valid JSON, matching outer checksum) but the
+		// program bytes fail the codec's structural decode: the
+		// revalidation gate must turn it into a miss.
+		return forgeEnvelope(t, entryMeta{
+			Schema: SchemaVersion,
+			Key:    key.String(),
+		}, []byte("MFP1 junk that is not a flat program"))
 	})
 }
 
-// TestDiskUnparsableRTLIsMiss covers the case where the envelope is intact
-// (valid JSON, matching checksum) but the RTL text no longer parses: the
-// reparse revalidation must turn it into a miss.
-func TestDiskUnparsableRTLIsMiss(t *testing.T) {
+// TestDiskSchemaMigrationGC seeds a cache directory with old-schema files —
+// a v1-era layout with no schema marker — and verifies that a new cache GC's
+// them at startup, counts them, writes the marker, and serves consistent
+// misses afterwards.
+func TestDiskSchemaMigrationGC(t *testing.T) {
 	dir := t.TempDir()
-	key := KeyOf("src", "cfg", "alpha")
-	a := New(Options{Dir: dir})
-	// Put trusts a non-empty Text, so an envelope with a correct checksum
-	// over junk RTL lands on disk.
-	e := entryFor(t, "f", 1)
-	e.Text = "junk f(r0) {\nentry:\n\tret r0\n}\n"
-	if err := a.storeDisk(key, e); err != nil {
+	// Simulate a v1 directory: sharded JSON text entries, no marker file.
+	old := []string{
+		filepath.Join(dir, "ab", "abcd0123.json"),
+		filepath.Join(dir, "ab", "abcd4567.json"),
+		filepath.Join(dir, "cd", "cdef0123.json"),
+	}
+	for _, p := range old {
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(`{"schema":"macc-ccache/v1","rtl":"func f() {}"}`), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal := filepath.Join(dir, "journal")
+	if err := os.WriteFile(journal, []byte("intent ab/.x.tmp1\n"), 0o666); err != nil {
 		t.Fatal(err)
 	}
-	b := New(Options{Dir: dir})
-	if _, ok := b.Get(key); ok {
-		t.Fatal("unparsable RTL served as a hit")
+
+	c := New(Options{Dir: dir})
+	if got := c.Metrics().CounterValue("ccache.schema_evicted"); got != int64(len(old)) {
+		t.Fatalf("schema_evicted = %d, want %d", got, len(old))
 	}
-	if b.Metrics().CounterValue("ccache.disk_invalid") != 1 {
-		t.Fatal("disk_invalid counter did not move")
+	for _, p := range old {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("stale entry survived migration: %s", p)
+		}
+	}
+	marker, err := os.ReadFile(filepath.Join(dir, "schema"))
+	if err != nil || strings.TrimSpace(string(marker)) != SchemaVersion {
+		t.Fatalf("schema marker not written: %q err=%v", marker, err)
+	}
+	// Old keys are misses (and counted as such), never errors.
+	if _, ok := c.Get(KeyOf("anything", "cfg", "alpha")); ok {
+		t.Fatal("migrated cache produced a hit from nowhere")
+	}
+	if c.Metrics().CounterValue("ccache.misses") != 1 {
+		t.Fatal("miss not counted after migration")
+	}
+	// The cache still works end to end after migration.
+	key := KeyOf("fresh", "cfg", "alpha")
+	c.Put(key, entryFor(t, "f", 2))
+	d := New(Options{Dir: dir})
+	if d.Metrics().CounterValue("ccache.schema_evicted") != 0 {
+		t.Fatal("second startup re-evicted a current-schema directory")
+	}
+	if _, ok := d.Get(key); !ok {
+		t.Fatal("current-schema entry lost across restart")
 	}
 }
 
@@ -283,8 +447,8 @@ func TestSingleflightDedupIsShared(t *testing.T) {
 		t.Fatalf("dedup_waiters = %d, want %d", got, waiters)
 	}
 	for i := 1; i < len(results); i++ {
-		if results[i].Program != results[0].Program {
-			t.Fatalf("waiter %d got a different program", i)
+		if results[i].Flat != results[0].Flat {
+			t.Fatalf("waiter %d got a different flat image", i)
 		}
 	}
 }
@@ -308,13 +472,13 @@ func TestUncacheableReturnedButNotStored(t *testing.T) {
 	e := entryFor(t, "f", 1)
 	e.Uncacheable = true
 	got, hit, err := c.GetOrCompute(key, func() (Entry, error) { return e, nil })
-	if err != nil || hit || got.Program == nil {
+	if err != nil || hit || got.Flat == nil {
 		t.Fatalf("hit=%v err=%v", hit, err)
 	}
 	if _, ok := c.Get(key); ok {
 		t.Fatal("uncacheable entry was stored")
 	}
-	if entries, _ := filepath.Glob(filepath.Join(c.dir, "*", "*.json")); len(entries) != 0 {
+	if entries, _ := filepath.Glob(filepath.Join(c.dir, "*", "*.bin")); len(entries) != 0 {
 		t.Fatalf("uncacheable entry written to disk: %v", entries)
 	}
 }
@@ -324,12 +488,12 @@ func TestUncacheableReturnedButNotStored(t *testing.T) {
 func TestConcurrentHitMissEvict(t *testing.T) {
 	c := New(Options{MemBudget: 4096, Dir: t.TempDir()})
 	keys := make([]Key, 8)
-	progs := make([]*rtl.Program, len(keys))
-	small := make([]*rtl.Program, len(keys))
+	progs := make([]*rtl.FlatProgram, len(keys))
+	small := make([]*rtl.FlatProgram, len(keys))
 	for i := range keys {
 		keys[i] = KeyOf(fmt.Sprintf("src%d", i), "cfg", "alpha")
-		progs[i] = prog(t, fmt.Sprintf("f%d", i), 10+i)
-		small[i] = prog(t, fmt.Sprintf("f%d", i), 5)
+		progs[i] = flatOf(t, prog(t, fmt.Sprintf("f%d", i), 10+i))
+		small[i] = flatOf(t, prog(t, fmt.Sprintf("f%d", i), 5))
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -344,18 +508,24 @@ func TestConcurrentHitMissEvict(t *testing.T) {
 					c.Get(k)
 				case 1:
 					e, _, err := c.GetOrCompute(k, func() (Entry, error) {
-						return Entry{Program: progs[ki]}, nil
+						return Entry{Flat: progs[ki]}, nil
 					})
-					if err != nil || e.Program == nil {
+					if err != nil || e.Flat == nil {
 						t.Errorf("GetOrCompute: %v", err)
 						return
 					}
-					_ = e.CloneProgram()
+					if _, err := e.Materialize(); err != nil {
+						t.Errorf("Materialize: %v", err)
+						return
+					}
 				case 2:
-					c.Put(k, Entry{Program: small[ki]})
+					c.Put(k, Entry{Flat: small[ki]})
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
+	if err := c.checkAccounting(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -19,8 +19,8 @@ import (
 	"macc/internal/telemetry/dtrace"
 )
 
-// testEntry builds a small valid cache entry (its RTL reparses, so it
-// survives DecodeEntry's revalidation).
+// testEntry builds a small valid cache entry (its flat image decodes and
+// validates, so it survives DecodeEntry's revalidation).
 func testEntry(t *testing.T, name string) ccache.Entry {
 	t.Helper()
 	src := fmt.Sprintf("func %s(r0) {\nentry:\n\tr1 = r0 + 1\n\tret r1\n}\n", name)
@@ -28,7 +28,21 @@ func testEntry(t *testing.T, name string) ccache.Entry {
 	if err != nil {
 		t.Fatalf("testEntry: %v", err)
 	}
-	return ccache.Entry{Program: p, Machine: "alpha"}
+	fp, err := rtl.Flatten(p)
+	if err != nil {
+		t.Fatalf("testEntry: %v", err)
+	}
+	return ccache.Entry{Flat: fp, Machine: "alpha"}
+}
+
+// entryRTL materializes and prints an entry for comparisons.
+func entryRTL(t *testing.T, e ccache.Entry) string {
+	t.Helper()
+	p, err := e.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return p.String()
 }
 
 // fastClient builds a client with small timeouts and no health prober
@@ -76,8 +90,8 @@ func TestPeerLookupHitAndMiss(t *testing.T) {
 	if !ok {
 		t.Fatal("Lookup miss for a key the peer has")
 	}
-	if e.Text != want.Program.String() {
-		t.Fatalf("Lookup returned different RTL:\n got %q\nwant %q", e.Text, want.Program.String())
+	if got, wantRTL := entryRTL(t, e), entryRTL(t, want); got != wantRTL {
+		t.Fatalf("Lookup returned different RTL:\n got %q\nwant %q", got, wantRTL)
 	}
 	if got := reg.CounterValue("farm.peer_serves"); got != 1 {
 		t.Errorf("peer_serves = %d, want 1", got)
@@ -102,7 +116,10 @@ func TestLookupRejectsCorruptAnswer(t *testing.T) {
 		t.Fatal("EncodeLocal miss")
 	}
 
-	corrupt := bytes.Replace(data, []byte("r0 + 1"), []byte("r0 + 9"), 1)
+	// Flip one byte mid-envelope: the checksum/structural-decode gate must
+	// catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x01
 	if bytes.Equal(corrupt, data) {
 		t.Fatal("corruption did not apply")
 	}

@@ -1,0 +1,80 @@
+package codec_test
+
+// FuzzFlatRoundTrip pins the two safety properties the compile cache's
+// binary disk tier depends on:
+//
+//  1. Losslessness: for any rtlgen-generated program, Flatten → encode →
+//     decode → Unflatten → print is byte-identical to printing the
+//     original, and re-encoding the decoded image reproduces the exact
+//     bytes.
+//  2. Robustness: DecodeProgram on corrupted, truncated, or arbitrary
+//     buffers returns an error (or, for full-checksum-valid mutations, a
+//     validated program) — it never panics and never produces an image
+//     Unflatten rejects.
+
+import (
+	"bytes"
+	"testing"
+
+	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
+	"macc/internal/rtlgen"
+)
+
+func FuzzFlatRoundTrip(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed, []byte{})
+	}
+	f.Add(int64(3), []byte{0x00, 0x13, 0x37})
+	f.Add(int64(-9), []byte("MFP1 but not really"))
+	f.Fuzz(func(t *testing.T, seed int64, corrupt []byte) {
+		fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Skip("generator rejected seed")
+		}
+		p := rtl.NewProgram(fn)
+		want := p.String()
+
+		fp, err := rtl.Flatten(p)
+		if err != nil {
+			t.Fatalf("flatten: %v", err)
+		}
+		enc := codec.EncodeProgram(fp)
+		dec, err := codec.DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding: %v", err)
+		}
+		back, err := dec.Unflatten()
+		if err != nil {
+			t.Fatalf("unflatten of valid decode: %v", err)
+		}
+		if got := back.String(); got != want {
+			t.Fatalf("round trip not byte-identical:\n--- got ---\n%s--- want ---\n%s", got, want)
+		}
+		if re := codec.EncodeProgram(dec); !bytes.Equal(re, enc) {
+			t.Fatal("re-encode differs from original encoding")
+		}
+
+		// Truncations of a valid encoding must error, never panic.
+		if len(corrupt) > 0 {
+			cut := int(corrupt[0]) % len(enc)
+			if _, err := codec.DecodeProgram(enc[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes decoded successfully", cut, len(enc))
+			}
+		}
+
+		// Arbitrary mutations and raw junk: decode must not panic, and
+		// anything it does accept must be safe to materialize.
+		mut := append([]byte(nil), enc...)
+		for i, b := range corrupt {
+			mut[i%len(mut)] ^= b
+		}
+		for _, buf := range [][]byte{mut, corrupt} {
+			if got, err := codec.DecodeProgram(buf); err == nil {
+				if _, err := got.Unflatten(); err != nil {
+					t.Fatalf("decode accepted an image Unflatten rejects: %v", err)
+				}
+			}
+		}
+	})
+}

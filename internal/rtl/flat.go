@@ -1,0 +1,526 @@
+package rtl
+
+// Flat IR: an arena-backed, index-based (struct-of-arrays) image of a
+// Program. Where the pointer graph spends a heap object per instruction and
+// per block, the flat form packs every function into a handful of parallel
+// slices indexed by a dense instruction number: one slice per field (opcode,
+// destination, operand slots, width, displacement, ...), block tables that
+// address instructions by [start,end) index ranges, successor/predecessor
+// edge tables as index ranges into shared edge arrays, and an interned
+// symbol table shared by function names, block labels, global names and call
+// targets.
+//
+// The flat form is the canonical at-rest representation: the compile cache
+// stores it (see internal/ccache and rtl/codec), the simulator predecodes
+// from it directly (sim.NewFlat), and Unflatten materializes a private
+// pointer graph on demand — it allocates each function's instructions in a
+// single slab, which is what makes cache hits cheaper than the deep
+// clone-on-hit copies it replaces.
+//
+// Flatten/Unflatten are lossless with respect to the printer: for any
+// verifier-clean program, p.String() == must-equal
+// Flatten(p).Unflatten().String(), and the simulator observes identical
+// behaviour. Both directions validate indices and return errors — never
+// panic — so codec-decoded (possibly hostile) images are safe to
+// materialize.
+
+import "fmt"
+
+// Sym is an index into FlatProgram.Syms, the interned string table.
+type Sym int32
+
+// FlatProgram is the struct-of-arrays image of a Program.
+type FlatProgram struct {
+	Syms    []string
+	Globals []FlatGlobal
+	Fns     []FlatFn
+}
+
+// FlatGlobal mirrors Global with an interned name.
+type FlatGlobal struct {
+	Name Sym
+	Addr int64
+	Size int64
+	Init []byte
+}
+
+// FlatBlock addresses one basic block's instructions and CFG edges as index
+// ranges into the owning FlatFn's arrays.
+type FlatBlock struct {
+	ID         int32
+	Name       Sym
+	InstrStart int32 // [InstrStart, InstrEnd) into the instruction arrays
+	InstrEnd   int32
+	SuccStart  int32 // [SuccStart, SuccEnd) into FlatFn.Succs
+	SuccEnd    int32
+	PredStart  int32 // [PredStart, PredEnd) into FlatFn.Preds
+	PredEnd    int32
+}
+
+// FlatCall is the variable-length tail of a Call instruction: the callee
+// symbol and the argument operand range into FlatFn.Args.
+type FlatCall struct {
+	Callee   Sym
+	ArgStart int32 // [ArgStart, ArgEnd) into FlatFn.Args
+	ArgEnd   int32
+}
+
+// FlatFn is one function in struct-of-arrays form. All per-instruction
+// slices (Op, Dst, A, B, C, Width, Signed, Disp, Target, Else, CallIdx)
+// share the same length and are indexed by the dense instruction number
+// assigned in block order.
+type FlatFn struct {
+	Name       Sym
+	Params     []Reg
+	FrameBytes int64
+	FrameReg   Reg
+	NextReg    Reg   // register counter, preserved so NewReg stays correct
+	NextBlk    int32 // block-id counter, preserved so NewBlock stays correct
+
+	Blocks []FlatBlock
+	Succs  []int32 // successor block indices, addressed by FlatBlock ranges
+	Preds  []int32 // predecessor block indices, addressed by FlatBlock ranges
+
+	Op      []Op
+	Dst     []Reg
+	A, B, C []Operand
+	Width   []Width
+	Signed  []bool
+	Disp    []int64
+	Target  []int32 // taken-target block index, -1 if none
+	Else    []int32 // fall-through block index, -1 if none
+	CallIdx []int32 // index into Calls, -1 for non-call instructions
+
+	Calls []FlatCall
+	Args  []Operand // call argument operands, addressed by FlatCall ranges
+}
+
+// NumInstrs returns the function's dense instruction count.
+func (f *FlatFn) NumInstrs() int { return len(f.Op) }
+
+// SymName returns the interned string for s, or "" when out of range.
+func (fp *FlatProgram) SymName(s Sym) string {
+	if s < 0 || int(s) >= len(fp.Syms) {
+		return ""
+	}
+	return fp.Syms[s]
+}
+
+// canonOperand normalizes an operand so unused fields are zero: the codec
+// only transports the meaningful field, and normalizing here keeps direct
+// Flatten output byte-comparable with a decode round trip.
+func canonOperand(o Operand) Operand {
+	switch o.Kind {
+	case KindReg:
+		return Operand{Kind: KindReg, Reg: o.Reg}
+	case KindConst:
+		return Operand{Kind: KindConst, Const: o.Const}
+	default:
+		return Operand{}
+	}
+}
+
+type interner struct {
+	syms []string
+	idx  map[string]Sym
+}
+
+func (it *interner) intern(s string) Sym {
+	if i, ok := it.idx[s]; ok {
+		return i
+	}
+	i := Sym(len(it.syms))
+	it.syms = append(it.syms, s)
+	it.idx[s] = i
+	return i
+}
+
+// Flatten converts a pointer-graph program into its flat image. It is
+// strict: a Jump/Branch whose target block is not a member of the owning
+// function is an error (the verifier enforces the same invariant), as is a
+// function with more instructions or blocks than the 32-bit index space.
+func Flatten(p *Program) (*FlatProgram, error) {
+	it := &interner{idx: make(map[string]Sym)}
+	fp := &FlatProgram{}
+	for _, g := range p.Globals {
+		init := append([]byte(nil), g.Init...)
+		fp.Globals = append(fp.Globals, FlatGlobal{
+			Name: it.intern(g.Name), Addr: g.Addr, Size: g.Size, Init: init,
+		})
+	}
+	fp.Fns = make([]FlatFn, 0, len(p.Fns))
+	for _, f := range p.Fns {
+		ff, err := flattenFn(f, it)
+		if err != nil {
+			return nil, fmt.Errorf("flatten %s: %w", f.Name, err)
+		}
+		fp.Fns = append(fp.Fns, ff)
+	}
+	fp.Syms = it.syms
+	return fp, nil
+}
+
+func flattenFn(f *Fn, it *interner) (FlatFn, error) {
+	ff := FlatFn{
+		Name:       it.intern(f.Name),
+		Params:     append([]Reg(nil), f.Params...),
+		FrameBytes: int64(f.FrameBytes),
+		FrameReg:   f.FrameReg,
+		NextReg:    f.nextReg,
+		NextBlk:    int32(f.nextBlk),
+	}
+	nblk := len(f.Blocks)
+	if nblk > 1<<30 {
+		return ff, fmt.Errorf("%d blocks exceed flat index space", nblk)
+	}
+	blockIdx := make(map[*Block]int32, nblk)
+	total := 0
+	for i, b := range f.Blocks {
+		blockIdx[b] = int32(i)
+		total += len(b.Instrs)
+	}
+	if total > 1<<30 {
+		return ff, fmt.Errorf("%d instructions exceed flat index space", total)
+	}
+
+	ff.Blocks = make([]FlatBlock, 0, nblk)
+	ff.Op = make([]Op, 0, total)
+	ff.Dst = make([]Reg, 0, total)
+	ff.A = make([]Operand, 0, total)
+	ff.B = make([]Operand, 0, total)
+	ff.C = make([]Operand, 0, total)
+	ff.Width = make([]Width, 0, total)
+	ff.Signed = make([]bool, 0, total)
+	ff.Disp = make([]int64, 0, total)
+	ff.Target = make([]int32, 0, total)
+	ff.Else = make([]int32, 0, total)
+	ff.CallIdx = make([]int32, 0, total)
+
+	resolve := func(b *Block) (int32, error) {
+		if b == nil {
+			return -1, nil
+		}
+		i, ok := blockIdx[b]
+		if !ok {
+			return -1, fmt.Errorf("dangling edge to block %s", b)
+		}
+		return i, nil
+	}
+
+	for _, b := range f.Blocks {
+		fb := FlatBlock{
+			ID:         int32(b.ID),
+			Name:       it.intern(b.Name),
+			InstrStart: int32(len(ff.Op)),
+		}
+		for _, in := range b.Instrs {
+			tgt, err := resolve(in.Target)
+			if err != nil {
+				return ff, fmt.Errorf("block %s: %s: %w", b, in, err)
+			}
+			els, err := resolve(in.Else)
+			if err != nil {
+				return ff, fmt.Errorf("block %s: %s: %w", b, in, err)
+			}
+			ci := int32(-1)
+			if in.Op == Call {
+				ci = int32(len(ff.Calls))
+				start := int32(len(ff.Args))
+				for _, a := range in.Args {
+					ff.Args = append(ff.Args, canonOperand(a))
+				}
+				ff.Calls = append(ff.Calls, FlatCall{
+					Callee: it.intern(in.Callee), ArgStart: start, ArgEnd: int32(len(ff.Args)),
+				})
+			}
+			ff.Op = append(ff.Op, in.Op)
+			ff.Dst = append(ff.Dst, in.Dst)
+			ff.A = append(ff.A, canonOperand(in.A))
+			ff.B = append(ff.B, canonOperand(in.B))
+			ff.C = append(ff.C, canonOperand(in.C))
+			ff.Width = append(ff.Width, in.Width)
+			ff.Signed = append(ff.Signed, in.Signed)
+			ff.Disp = append(ff.Disp, in.Disp)
+			ff.Target = append(ff.Target, tgt)
+			ff.Else = append(ff.Else, els)
+			ff.CallIdx = append(ff.CallIdx, ci)
+		}
+		fb.InstrEnd = int32(len(ff.Op))
+		ff.Blocks = append(ff.Blocks, fb)
+	}
+	ff.ComputeEdges()
+	return ff, nil
+}
+
+// ComputeEdges (re)derives the successor/predecessor tables from each
+// block's terminator. The edge tables are derived state: the codec does not
+// transport them, it recomputes them after decode.
+func (f *FlatFn) ComputeEdges() {
+	nedge := 0
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		if i, op, ok := f.termOf(b); ok {
+			switch op {
+			case Jump:
+				if f.Target[i] >= 0 {
+					nedge++
+				}
+			case Branch:
+				if f.Target[i] >= 0 {
+					nedge++
+				}
+				if f.Else[i] >= 0 {
+					nedge++
+				}
+			}
+		}
+	}
+	f.Succs = make([]int32, 0, nedge)
+	f.Preds = make([]int32, 0, nedge)
+	npred := make([]int32, len(f.Blocks))
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		b.SuccStart = int32(len(f.Succs))
+		if i, op, ok := f.termOf(b); ok {
+			add := func(t int32) {
+				if t >= 0 && int(t) < len(f.Blocks) {
+					f.Succs = append(f.Succs, t)
+					npred[t]++
+				}
+			}
+			switch op {
+			case Jump:
+				add(f.Target[i])
+			case Branch:
+				add(f.Target[i])
+				add(f.Else[i])
+			}
+		}
+		b.SuccEnd = int32(len(f.Succs))
+	}
+	// Bucket predecessors by prefix-summed counts.
+	off := int32(0)
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		b.PredStart = off
+		off += npred[bi]
+		b.PredEnd = b.PredStart
+	}
+	f.Preds = make([]int32, off)
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		for _, s := range f.Succs[b.SuccStart:b.SuccEnd] {
+			sb := &f.Blocks[s]
+			f.Preds[sb.PredEnd] = int32(bi)
+			sb.PredEnd++
+		}
+	}
+}
+
+// termOf returns the index and opcode of b's terminator instruction.
+func (f *FlatFn) termOf(b *FlatBlock) (int32, Op, bool) {
+	if b.InstrEnd <= b.InstrStart {
+		return 0, Nop, false
+	}
+	i := b.InstrEnd - 1
+	op := f.Op[i]
+	if !op.IsTerminator() {
+		return 0, Nop, false
+	}
+	return i, op, true
+}
+
+// BlockSuccs returns block bi's successor indices (aliasing internal state).
+func (f *FlatFn) BlockSuccs(bi int) []int32 {
+	b := &f.Blocks[bi]
+	return f.Succs[b.SuccStart:b.SuccEnd]
+}
+
+// BlockPreds returns block bi's predecessor indices (aliasing internal state).
+func (f *FlatFn) BlockPreds(bi int) []int32 {
+	b := &f.Blocks[bi]
+	return f.Preds[b.PredStart:b.PredEnd]
+}
+
+// Validate checks every index in the image — symbols, instruction ranges,
+// edge targets, call and argument ranges — so that consumers (Unflatten,
+// sim.NewFlat) can index without bounds panics even on a hostile image.
+func (fp *FlatProgram) Validate() error {
+	checkSym := func(s Sym, what string) error {
+		if s < 0 || int(s) >= len(fp.Syms) {
+			return fmt.Errorf("%s: symbol %d out of range (have %d)", what, s, len(fp.Syms))
+		}
+		return nil
+	}
+	for gi := range fp.Globals {
+		if err := checkSym(fp.Globals[gi].Name, "global"); err != nil {
+			return err
+		}
+	}
+	for fi := range fp.Fns {
+		f := &fp.Fns[fi]
+		if err := checkSym(f.Name, "fn"); err != nil {
+			return err
+		}
+		n := len(f.Op)
+		for _, l := range []struct {
+			name string
+			got  int
+		}{
+			{"dst", len(f.Dst)}, {"a", len(f.A)}, {"b", len(f.B)}, {"c", len(f.C)},
+			{"width", len(f.Width)}, {"signed", len(f.Signed)}, {"disp", len(f.Disp)},
+			{"target", len(f.Target)}, {"else", len(f.Else)}, {"callidx", len(f.CallIdx)},
+		} {
+			if l.got != n {
+				return fmt.Errorf("fn %d: %s array length %d != %d instructions", fi, l.name, l.got, n)
+			}
+		}
+		for _, p := range f.Params {
+			if p < 0 {
+				return fmt.Errorf("fn %d: negative parameter register %d", fi, p)
+			}
+		}
+		prevEnd := int32(0)
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			if err := checkSym(b.Name, "block"); err != nil {
+				return err
+			}
+			if b.InstrStart != prevEnd || b.InstrEnd < b.InstrStart || int(b.InstrEnd) > n {
+				return fmt.Errorf("fn %d block %d: bad instruction range [%d,%d) (prev end %d, total %d)",
+					fi, bi, b.InstrStart, b.InstrEnd, prevEnd, n)
+			}
+			prevEnd = b.InstrEnd
+		}
+		if len(f.Blocks) > 0 && int(prevEnd) != n {
+			return fmt.Errorf("fn %d: blocks cover %d of %d instructions", fi, prevEnd, n)
+		}
+		if len(f.Blocks) == 0 && n != 0 {
+			return fmt.Errorf("fn %d: %d instructions but no blocks", fi, n)
+		}
+		for i := 0; i < n; i++ {
+			if f.Op[i] >= numOps {
+				return fmt.Errorf("fn %d instr %d: bad opcode %d", fi, i, f.Op[i])
+			}
+			if f.Dst[i] < NoReg {
+				return fmt.Errorf("fn %d instr %d: bad dst register %d", fi, i, f.Dst[i])
+			}
+			for _, o := range [3]Operand{f.A[i], f.B[i], f.C[i]} {
+				if o.Kind > KindConst {
+					return fmt.Errorf("fn %d instr %d: bad operand kind %d", fi, i, o.Kind)
+				}
+				if o.Kind == KindReg && o.Reg < 0 {
+					return fmt.Errorf("fn %d instr %d: bad operand register %d", fi, i, o.Reg)
+				}
+			}
+			for _, t := range [2]int32{f.Target[i], f.Else[i]} {
+				if t < -1 || int(t) >= len(f.Blocks) {
+					return fmt.Errorf("fn %d instr %d: edge target %d out of range", fi, i, t)
+				}
+			}
+			ci := f.CallIdx[i]
+			if ci < -1 || int(ci) >= len(f.Calls) {
+				return fmt.Errorf("fn %d instr %d: call index %d out of range", fi, i, ci)
+			}
+			if (f.Op[i] == Call) != (ci >= 0) {
+				return fmt.Errorf("fn %d instr %d: op %s with call index %d", fi, i, f.Op[i], ci)
+			}
+		}
+		for ci := range f.Calls {
+			c := &f.Calls[ci]
+			if err := checkSym(c.Callee, "callee"); err != nil {
+				return err
+			}
+			if c.ArgStart < 0 || c.ArgEnd < c.ArgStart || int(c.ArgEnd) > len(f.Args) {
+				return fmt.Errorf("fn %d call %d: bad argument range [%d,%d) of %d",
+					fi, ci, c.ArgStart, c.ArgEnd, len(f.Args))
+			}
+		}
+		for ai := range f.Args {
+			o := f.Args[ai]
+			if o.Kind > KindConst {
+				return fmt.Errorf("fn %d arg %d: bad operand kind %d", fi, ai, o.Kind)
+			}
+			if o.Kind == KindReg && o.Reg < 0 {
+				return fmt.Errorf("fn %d arg %d: bad argument register %d", fi, ai, o.Reg)
+			}
+		}
+	}
+	return nil
+}
+
+// Unflatten materializes a private pointer-graph Program from the flat
+// image. Each function's instructions live in one slab allocation, its
+// blocks in another; the result shares no mutable state with the image
+// (operand slices and global initializers are copied), so callers may
+// optimize it in place while the flat image stays cached.
+func (fp *FlatProgram) Unflatten() (*Program, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, fmt.Errorf("unflatten: %w", err)
+	}
+	p := NewProgram()
+	for gi := range fp.Globals {
+		g := &fp.Globals[gi]
+		p.Globals = append(p.Globals, &Global{
+			Name: fp.Syms[g.Name],
+			Addr: g.Addr,
+			Size: g.Size,
+			Init: append([]byte(nil), g.Init...),
+		})
+	}
+	for fi := range fp.Fns {
+		ff := &fp.Fns[fi]
+		f := &Fn{
+			Name:       fp.Syms[ff.Name],
+			Params:     append([]Reg(nil), ff.Params...),
+			FrameBytes: int(ff.FrameBytes),
+			FrameReg:   ff.FrameReg,
+			nextReg:    ff.NextReg,
+			nextBlk:    int(ff.NextBlk),
+		}
+		n := ff.NumInstrs()
+		islab := make([]Instr, n) // arena: every instruction in one allocation
+		bslab := make([]Block, len(ff.Blocks))
+		blocks := make([]*Block, len(ff.Blocks))
+		for bi := range ff.Blocks {
+			blocks[bi] = &bslab[bi]
+		}
+		for bi := range ff.Blocks {
+			fb := &ff.Blocks[bi]
+			b := blocks[bi]
+			b.ID = int(fb.ID)
+			b.Name = fp.Syms[fb.Name]
+			nb := int(fb.InstrEnd - fb.InstrStart)
+			b.Instrs = make([]*Instr, nb)
+			for j := 0; j < nb; j++ {
+				i := int(fb.InstrStart) + j
+				in := &islab[i]
+				in.Op = ff.Op[i]
+				in.Dst = ff.Dst[i]
+				in.A = ff.A[i]
+				in.B = ff.B[i]
+				in.C = ff.C[i]
+				in.Width = ff.Width[i]
+				in.Signed = ff.Signed[i]
+				in.Disp = ff.Disp[i]
+				if t := ff.Target[i]; t >= 0 {
+					in.Target = blocks[t]
+				}
+				if e := ff.Else[i]; e >= 0 {
+					in.Else = blocks[e]
+				}
+				if ci := ff.CallIdx[i]; ci >= 0 {
+					c := &ff.Calls[ci]
+					in.Callee = fp.Syms[c.Callee]
+					if c.ArgEnd > c.ArgStart {
+						in.Args = append([]Operand(nil), ff.Args[c.ArgStart:c.ArgEnd]...)
+					}
+				}
+				b.Instrs[j] = in
+			}
+		}
+		f.Blocks = blocks
+		p.Add(f)
+	}
+	return p, nil
+}

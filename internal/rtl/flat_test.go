@@ -1,0 +1,193 @@
+package rtl_test
+
+// Flatten/Unflatten losslessness and strictness. The printer is the
+// correctness anchor: a round trip through the flat form must print
+// byte-identically, preserve the register/block counters, and derive the
+// same CFG edges the pointer graph reports.
+
+import (
+	"strings"
+	"testing"
+
+	"macc/internal/rtl"
+	"macc/internal/rtlgen"
+)
+
+const flatFixture = `global tab @4096 size 16 init deadbeef
+global bss @8192 size 64
+func f(r0, r1) frame 24 @r7 {
+entry:
+	r2 = M.4u[r0+8]
+	r3 = r2 + 17
+	if r3 goto body else exit
+body:
+	M.4[r1-4] = r3
+	r4 = extract.2s r2 @1
+	r5 = insert.1 r2 <- r3 @2
+	r6 = g(r4, 3)
+	jump exit
+exit:
+	ret r3
+}
+func g(r0, r1) {
+entry:
+	r2 = r0 * r1
+	ret r2
+}
+`
+
+func mustParse(t *testing.T, src string) *rtl.Program {
+	t.Helper()
+	p, err := rtl.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func roundTrip(t *testing.T, p *rtl.Program) *rtl.Program {
+	t.Helper()
+	fp, err := rtl.Flatten(p)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	back, err := fp.Unflatten()
+	if err != nil {
+		t.Fatalf("unflatten: %v", err)
+	}
+	return back
+}
+
+func TestFlatRoundTripFixture(t *testing.T) {
+	p := mustParse(t, flatFixture)
+	want := p.String()
+	back := roundTrip(t, p)
+	if got := back.String(); got != want {
+		t.Fatalf("round trip not lossless:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The materialized program must be fully private: mutating it must not
+	// disturb a second materialization from the same image.
+	fp, err := rtl.Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := fp.Unflatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Fns[0].Blocks[0].Instrs[0].Disp = 999
+	one.Globals[0].Init[0] = 0xFF
+	if f, ok := one.Lookup("g"); ok {
+		f.Blocks[0].Instrs[0].Op = rtl.Add
+	}
+	two, err := fp.Unflatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := two.String(); got != want {
+		t.Fatalf("images share state: second unflatten differs:\n%s", got)
+	}
+}
+
+func TestFlatPreservesCounters(t *testing.T) {
+	p := mustParse(t, flatFixture)
+	f := p.Fns[0]
+	wantReg := f.NewReg() // consume one so the counter is past max-used
+	wantBlk := f.NewBlock("extra")
+	wantBlk.Instrs = append(wantBlk.Instrs, &rtl.Instr{Op: rtl.Ret})
+	back := roundTrip(t, p)
+	bf, ok := back.Lookup("f")
+	if !ok {
+		t.Fatal("f missing after round trip")
+	}
+	if got := bf.NewReg(); got != wantReg+1 {
+		t.Fatalf("register counter lost: got r%d want r%d", got, wantReg+1)
+	}
+	nb := bf.NewBlock("post")
+	if nb.ID != wantBlk.ID+1 {
+		t.Fatalf("block counter lost: got id %d want %d", nb.ID, wantBlk.ID+1)
+	}
+}
+
+func TestFlatEdges(t *testing.T) {
+	p := mustParse(t, flatFixture)
+	fp, err := rtl.Flatten(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &fp.Fns[0] // f: entry -> {body, exit}, body -> {exit}
+	name := func(bi int32) string { return fp.SymName(ff.Blocks[bi].Name) }
+	var succs []string
+	for _, s := range ff.BlockSuccs(0) {
+		succs = append(succs, name(s))
+	}
+	if strings.Join(succs, ",") != "body,exit" {
+		t.Fatalf("entry succs = %v", succs)
+	}
+	var preds []string
+	for _, pr := range ff.BlockPreds(2) {
+		preds = append(preds, name(pr))
+	}
+	if strings.Join(preds, ",") != "entry,body" {
+		t.Fatalf("exit preds = %v", preds)
+	}
+	if got := len(ff.BlockPreds(0)); got != 0 {
+		t.Fatalf("entry has %d preds", got)
+	}
+}
+
+func TestFlattenRejectsDanglingEdge(t *testing.T) {
+	f := rtl.NewFn("f", 0)
+	stray := &rtl.Block{ID: 99, Name: "stray"}
+	f.Entry().Instrs = append(f.Entry().Instrs, &rtl.Instr{Op: rtl.Jump, Target: stray})
+	if _, err := rtl.Flatten(rtl.NewProgram(f)); err == nil {
+		t.Fatal("Flatten accepted a jump to a block outside the function")
+	}
+}
+
+func TestUnflattenRejectsCorruptImage(t *testing.T) {
+	base := func(t *testing.T) *rtl.FlatProgram {
+		fp, err := rtl.Flatten(mustParse(t, flatFixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	cases := map[string]func(*rtl.FlatProgram){
+		"sym-out-of-range":    func(fp *rtl.FlatProgram) { fp.Fns[0].Name = rtl.Sym(len(fp.Syms)) },
+		"edge-out-of-range":   func(fp *rtl.FlatProgram) { fp.Fns[0].Target[2] = 99 },
+		"bad-opcode":          func(fp *rtl.FlatProgram) { fp.Fns[0].Op[0] = 250 },
+		"ragged-arrays":       func(fp *rtl.FlatProgram) { fp.Fns[0].Dst = fp.Fns[0].Dst[:1] },
+		"bad-call-args":       func(fp *rtl.FlatProgram) { fp.Fns[0].Calls[0].ArgEnd = 99 },
+		"bad-operand-kind":    func(fp *rtl.FlatProgram) { fp.Fns[0].A[0].Kind = 7 },
+		"blocks-do-not-tile":  func(fp *rtl.FlatProgram) { fp.Fns[0].Blocks[1].InstrStart++ },
+		"call-idx-mismatched": func(fp *rtl.FlatProgram) { fp.Fns[0].CallIdx[0] = 0 },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			fp := base(t)
+			corrupt(fp)
+			if _, err := fp.Unflatten(); err == nil {
+				t.Fatal("Unflatten accepted a corrupt image")
+			}
+		})
+	}
+}
+
+func TestFlatRoundTripRTLGenCorpus(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := rtl.NewProgram(fn)
+		want := p.String()
+		back := roundTrip(t, p)
+		if got := back.String(); got != want {
+			t.Fatalf("seed %d: round trip not lossless:\n%s\nvs\n%s", seed, got, want)
+		}
+	}
+}

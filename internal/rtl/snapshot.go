@@ -2,11 +2,11 @@ package rtl
 
 // Snapshot is the pass pipeline's copy-on-write rollback journal. It shadows
 // a function with per-block images — flat value copies of the instructions,
-// one arena per block — and keeps them in sync incrementally: after a
-// successful pass, Update recaptures only the blocks the pass actually
-// touched, and a pass that changed nothing costs a structural comparison
-// with zero allocations instead of the full deep Clone the pipeline used to
-// pay before (and after) every pass.
+// carved out of one shared arena slab per snapshot — and keeps them in sync
+// incrementally: after a successful pass, Update recaptures only the blocks
+// the pass actually touched, and a pass that changed nothing costs a
+// structural comparison with zero allocations instead of the full deep Clone
+// the pipeline used to pay before (and after) every pass.
 //
 // Rollback correctness deliberately does not depend on passes announcing
 // their mutations: dirtiness is detected by exact structural diff against
@@ -22,13 +22,15 @@ type Snapshot struct {
 	nextBlk    int
 	blocks     []blockImage
 	index      map[*Block]int // live block -> position in blocks
+	arena      []Instr        // shared slab the block images subslice
 }
 
 // blockImage is the journal entry for one live block: its identity plus a
-// flat value copy of its instructions. Target/Else pointers inside the
-// copied instructions refer to live *Block objects; those objects stay
-// reachable through the journal even when a pass unlinks them, so Restore
-// can rewire edges without a remapping table.
+// flat value copy of its instructions, held in a capacity-clamped subslice
+// of the snapshot's arena. Target/Else pointers inside the copied
+// instructions refer to live *Block objects; those objects stay reachable
+// through the journal even when a pass unlinks them, so Restore can rewire
+// edges without a remapping table.
 type blockImage struct {
 	live   *Block
 	id     int
@@ -36,16 +38,42 @@ type blockImage struct {
 	instrs []Instr
 }
 
-// NewSnapshot journals the current state of f.
+// NewSnapshot journals the current state of f. All block images are captured
+// into one exactly-sized arena slab: the whole journal is a single
+// allocation (plus Call argument copies), not one per block.
 func NewSnapshot(f *Fn) *Snapshot {
 	s := &Snapshot{fn: f, index: make(map[*Block]int, len(f.Blocks))}
 	s.captureHeader()
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Instrs)
+	}
+	s.arena = make([]Instr, 0, total)
 	s.blocks = make([]blockImage, len(f.Blocks))
 	for i, b := range f.Blocks {
-		captureBlock(&s.blocks[i], b)
+		s.captureBlock(&s.blocks[i], b)
 		s.index[b] = i
 	}
 	return s
+}
+
+// alloc carves an n-instruction image out of the arena, starting a fresh
+// slab when the current one is full. The returned slice's capacity is
+// clamped to n so a later in-place recapture of one image can never spill
+// into its neighbour's region.
+func (s *Snapshot) alloc(n int) []Instr {
+	if len(s.arena)+n > cap(s.arena) {
+		size := 2 * n
+		if size < 64 {
+			size = 64
+		}
+		// Old images keep the retired slab alive until they are recaptured;
+		// the waste is bounded by one generation of the journal.
+		s.arena = make([]Instr, 0, size)
+	}
+	off := len(s.arena)
+	s.arena = s.arena[:off+n]
+	return s.arena[off : off+n : off+n]
 }
 
 func (s *Snapshot) captureHeader() {
@@ -57,15 +85,16 @@ func (s *Snapshot) captureHeader() {
 	s.nextBlk = f.nextBlk
 }
 
-// captureBlock (re)images one block. Instruction values are copied into one
-// flat arena; Call argument slices are the only per-instruction allocation,
-// and only when present.
-func captureBlock(img *blockImage, b *Block) {
+// captureBlock (re)images one block. Instruction values are copied into the
+// block's existing arena region when they still fit, or a fresh arena
+// carve-out when the block grew; Call argument slices are the only
+// per-instruction allocation, and only when present.
+func (s *Snapshot) captureBlock(img *blockImage, b *Block) {
 	img.live = b
 	img.id = b.ID
 	img.name = b.Name
 	if cap(img.instrs) < len(b.Instrs) {
-		img.instrs = make([]Instr, len(b.Instrs))
+		img.instrs = s.alloc(len(b.Instrs))
 	} else {
 		img.instrs = img.instrs[:len(b.Instrs)]
 	}
@@ -129,7 +158,7 @@ func (s *Snapshot) Update() (dirty int) {
 	if !structural {
 		for i, b := range f.Blocks {
 			if !blockClean(&s.blocks[i], b) {
-				captureBlock(&s.blocks[i], b)
+				s.captureBlock(&s.blocks[i], b)
 				dirty++
 			}
 		}
@@ -143,7 +172,7 @@ func (s *Snapshot) Update() (dirty int) {
 		if j, ok := s.index[b]; ok && blockClean(&s.blocks[j], b) {
 			blocks[i] = s.blocks[j]
 		} else {
-			captureBlock(&blocks[i], b)
+			s.captureBlock(&blocks[i], b)
 			dirty++
 		}
 	}

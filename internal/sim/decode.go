@@ -57,23 +57,26 @@ type dInstr struct {
 	args       []dOp
 }
 
-// dBlock ties a decoded block to its code range and its source block (for
-// the profiler).
+// dBlock ties a decoded block to its code range, plus the name and length
+// the profiler reports. The decoded image carries everything the profiler
+// needs, so profiling works identically whether the Sim was built from the
+// pointer graph (New) or from a flat image (NewFlat).
 type dBlock struct {
-	src   *rtl.Block
-	start int32 // index of the block's first instruction in dFn.code
+	name   string
+	start  int32 // index of the block's first instruction in dFn.code
+	ninstr int32 // source instructions in the block (sentinels excluded)
 }
 
 // dFn is one predecoded function.
 type dFn struct {
-	src        *rtl.Fn
 	name       string
 	params     []int32
 	nregs      int
 	frameBytes int64
 	frameReg   int32
 	code       []dInstr
-	blocks     []dBlock
+	blocks     []dBlock // real blocks followed by one phantom entry
+	execs      []int64  // per-block execution counts; nil unless profiling
 }
 
 // image is a fully decoded program.
@@ -97,11 +100,10 @@ func decodeOperand(o rtl.Operand) dOp {
 // instruction addresses are assigned in the same function-by-function,
 // block-by-block order the interpreter used (sentinels get no address), so
 // instruction-cache behaviour is bit-identical with the previous core.
-func (s *Sim) decode() *image {
-	img := &image{byName: make(map[string]*dFn, len(s.prog.Fns))}
-	for _, f := range s.prog.Fns {
+func (s *Sim) decode(prog *rtl.Program) *image {
+	img := &image{byName: make(map[string]*dFn, len(prog.Fns))}
+	for _, f := range prog.Fns {
 		df := &dFn{
-			src:        f,
 			name:       f.Name,
 			nregs:      f.NumRegs(),
 			frameBytes: int64(f.FrameBytes),
@@ -116,12 +118,12 @@ func (s *Sim) decode() *image {
 	costs := &s.mach.Exec
 	nsets := int64(len(s.icache))
 	addr := int64(0)
-	for fi, f := range s.prog.Fns {
+	for fi, f := range prog.Fns {
 		df := img.fns[fi]
 		blockIdx := make(map[*rtl.Block]int32, len(f.Blocks))
 		for bi, b := range f.Blocks {
 			blockIdx[b] = int32(bi)
-			df.blocks = append(df.blocks, dBlock{src: b})
+			df.blocks = append(df.blocks, dBlock{name: b.Name, ninstr: int32(len(b.Instrs))})
 		}
 		// Index len(f.Blocks) is the phantom block: an edge that leaves the
 		// function (a malformed program) lands here and traps on the next
@@ -184,6 +186,106 @@ func (s *Sim) decode() *image {
 	return img
 }
 
+// decodeFlat compiles a flat program image directly against the machine
+// model, without materializing the pointer graph. Static addresses are
+// assigned in the same function-by-function, block-by-block, instruction-by-
+// instruction order as decode (sentinels get no address), and flat blocks
+// tile the instruction arrays in exactly that order, so the decoded image —
+// including instruction-cache geometry — is bit-identical to decoding the
+// unflattened program. Flatten rejects edges that leave the function, so
+// only the phantom slot appended per function mirrors decode's layout; no
+// flat edge can reach it.
+func (s *Sim) decodeFlat(fp *rtl.FlatProgram) *image {
+	img := &image{byName: make(map[string]*dFn, len(fp.Fns))}
+	for i := range fp.Fns {
+		f := &fp.Fns[i]
+		df := &dFn{
+			name:       fp.SymName(f.Name),
+			nregs:      int(f.NextReg),
+			frameBytes: f.FrameBytes,
+			frameReg:   int32(f.FrameReg),
+		}
+		for _, p := range f.Params {
+			df.params = append(df.params, int32(p))
+		}
+		img.fns = append(img.fns, df)
+		img.byName[df.name] = df
+	}
+	costs := &s.mach.Exec
+	nsets := int64(len(s.icache))
+	addr := int64(0)
+	for fi := range fp.Fns {
+		f := &fp.Fns[fi]
+		df := img.fns[fi]
+		for bi := range f.Blocks {
+			fb := &f.Blocks[bi]
+			df.blocks = append(df.blocks, dBlock{
+				name:   fp.SymName(fb.Name),
+				start:  int32(len(df.code)),
+				ninstr: fb.InstrEnd - fb.InstrStart,
+			})
+			for i := fb.InstrStart; i < fb.InstrEnd; i++ {
+				// Reconstruct one instruction record so the machine's cost
+				// table and the operand-source rules are shared verbatim
+				// with the graph decoder.
+				in := &rtl.Instr{
+					Op:     f.Op[i],
+					Dst:    f.Dst[i],
+					A:      f.A[i],
+					B:      f.B[i],
+					C:      f.C[i],
+					Width:  f.Width[i],
+					Signed: f.Signed[i],
+					Disp:   f.Disp[i],
+				}
+				line := addr / icacheLineBytes
+				d := dInstr{
+					op:     in.Op,
+					width:  in.Width,
+					signed: in.Signed,
+					dst:    int32(in.Dst),
+					a:      decodeOperand(in.A),
+					b:      decodeOperand(in.B),
+					c:      decodeOperand(in.C),
+					disp:   in.Disp,
+					lat:    int64(costs.Of(in)),
+					occ:    int64(costs.OccOf(in)),
+					iline:  line,
+					iset:   int32(line % nsets),
+				}
+				addr += int64(s.mach.BytesPerInstr)
+				if in.Op != rtl.Call {
+					for _, o := range in.SrcOperands() {
+						if r, ok := o.IsReg(); ok {
+							d.srcs[d.nsrc] = int32(r)
+							d.nsrc++
+						}
+					}
+				}
+				if t := f.Target[i]; t >= 0 {
+					d.target = t
+				}
+				if e := f.Else[i]; e >= 0 {
+					d.els = e
+				}
+				if ci := f.CallIdx[i]; ci >= 0 {
+					c := &f.Calls[ci]
+					d.calleeName = fp.SymName(c.Callee)
+					d.callee = img.byName[d.calleeName] // nil traps at execution
+					for _, a := range f.Args[c.ArgStart:c.ArgEnd] {
+						d.args = append(d.args, decodeOperand(a))
+					}
+				}
+				df.code = append(df.code, d)
+			}
+			df.code = append(df.code, dInstr{op: opBadBlock})
+		}
+		df.blocks = append(df.blocks, dBlock{start: int32(len(df.code))})
+		df.code = append(df.code, dInstr{op: opBadBlock})
+	}
+	return img
+}
+
 // exec is the hot loop: it interprets one decoded function, mirroring the
 // cycle accounting of the object-graph interpreter exactly (issue when
 // operands are ready, occupancy vs latency on pipelined machines, cache
@@ -223,8 +325,8 @@ func (s *Sim) exec(df *dFn, args []int64, depth int) (ret int64, cycles int64, e
 	clock := int64(0)
 	code := df.code
 	pc := df.blocks[0].start
-	if s.blockExecs != nil {
-		s.blockExecs[df.blocks[0].src]++
+	if s.profiling {
+		df.execs[0]++
 	}
 	for {
 		d := &code[pc]
@@ -306,10 +408,9 @@ func (s *Sim) exec(df *dFn, args []int64, depth int) (ret int64, cycles int64, e
 			ready[d.dst] = done
 		case rtl.Jump:
 			s.stats.Branches++
-			blk := &df.blocks[d.target]
-			pc = blk.start
-			if s.blockExecs != nil && blk.src != nil {
-				s.blockExecs[blk.src]++
+			pc = df.blocks[d.target].start
+			if s.profiling {
+				df.execs[d.target]++
 			}
 			continue
 		case rtl.Branch:
@@ -318,10 +419,9 @@ func (s *Sim) exec(df *dFn, args []int64, depth int) (ret int64, cycles int64, e
 			if val(d.a) != 0 {
 				bi = d.target
 			}
-			blk := &df.blocks[bi]
-			pc = blk.start
-			if s.blockExecs != nil && blk.src != nil {
-				s.blockExecs[blk.src]++
+			pc = df.blocks[bi].start
+			if s.profiling {
+				df.execs[bi]++
 			}
 			continue
 		case rtl.Ret:

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"macc/internal/rtl"
 )
 
 // BlockProfile reports how often one basic block executed during Run.
@@ -17,29 +15,36 @@ type BlockProfile struct {
 }
 
 // EnableProfile turns on per-block execution counting for subsequent Run
-// calls (small overhead; off by default).
+// calls (small overhead; off by default). Counters live in the decoded
+// image, indexed by block number, so profiling works the same whether the
+// Sim was built from the pointer graph or from a flat image. Calling
+// EnableProfile again resets the counters.
 func (s *Sim) EnableProfile() {
-	if s.blockFn == nil {
-		s.blockFn = make(map[*rtl.Block]string)
-		for _, f := range s.prog.Fns {
-			for _, b := range f.Blocks {
-				s.blockFn[b] = f.Name
-			}
-		}
+	s.profiling = true
+	for _, df := range s.img.fns {
+		df.execs = make([]int64, len(df.blocks))
 	}
-	s.blockExecs = make(map[*rtl.Block]int64)
 }
 
-// Profile returns the blocks executed by the last Run, hottest first.
+// Profile returns the blocks executed since EnableProfile, hottest first.
 func (s *Sim) Profile() []BlockProfile {
 	var out []BlockProfile
-	for b, n := range s.blockExecs {
-		out = append(out, BlockProfile{
-			Fn:     s.blockFn[b],
-			Block:  b.Name,
-			Execs:  n,
-			Instrs: n * int64(len(b.Instrs)),
-		})
+	for _, df := range s.img.fns {
+		// The last entry is the phantom block (see decode); it is never
+		// reported.
+		for bi := 0; bi < len(df.execs)-1; bi++ {
+			n := df.execs[bi]
+			if n == 0 {
+				continue
+			}
+			b := &df.blocks[bi]
+			out = append(out, BlockProfile{
+				Fn:     df.name,
+				Block:  b.name,
+				Execs:  n,
+				Instrs: n * int64(b.ninstr),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Instrs != out[j].Instrs {

@@ -126,7 +126,6 @@ const (
 // Sim is a loaded program plus machine state. Memory persists across Run
 // calls so harnesses can initialize arrays, run, and inspect results.
 type Sim struct {
-	prog *rtl.Program
 	mach *machine.Machine
 	// Mem is the simulated RAM. Reads are free-form, but writes should go
 	// through WriteBytes/WriteInts (or simulated stores): the dirty-range
@@ -138,8 +137,9 @@ type Sim struct {
 	// against miscompiled infinite loops in tests). Zero means default.
 	Fuel int64
 
-	img      *image  // predecoded program, built once in New
-	icache   []int64 // per-set tag, -1 invalid
+	img      *image        // predecoded program, built once in New/NewFlat
+	globals  []*rtl.Global // static data materialized at the start of each Run
+	icache   []int64       // per-set tag, -1 invalid
 	dcache   []int64 // per-set tag, -1 invalid; nil when disabled
 	fuel     int64
 	stats    *Stats
@@ -155,9 +155,10 @@ type Sim struct {
 	loadsW  [int(rtl.W8) + 1]int64
 	storesW [int(rtl.W8) + 1]int64
 
-	// Profiling state (see profile.go); nil unless EnableProfile was called.
-	blockFn    map[*rtl.Block]string
-	blockExecs map[*rtl.Block]int64
+	// Profiling state (see profile.go): when set, per-block execution
+	// counters live in each dFn's execs array, indexed by block number, so
+	// profiling needs no pointer back to the source graph.
+	profiling bool
 
 	// metrics, when non-nil, receives each Run's dynamic memory-traffic
 	// counters (see AttachMetrics).
@@ -225,11 +226,10 @@ func arenaGet(n int) []byte {
 	return make([]byte, n)
 }
 
-// New builds a simulator for prog on mach with memBytes of RAM. The program
-// is predecoded here, once; Reset and repeated Runs reuse the decoded image.
-func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
+// newSim allocates the machine state (memory arena, cache tag arrays)
+// shared by both constructors.
+func newSim(mach *machine.Machine, memBytes int) *Sim {
 	s := &Sim{
-		prog:    prog,
 		mach:    mach,
 		Mem:     arenaGet(memBytes),
 		dirtyLo: int64(memBytes),
@@ -246,7 +246,36 @@ func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
 		}
 		s.dcache = make([]int64, dsets)
 	}
-	s.img = s.decode()
+	return s
+}
+
+// New builds a simulator for prog on mach with memBytes of RAM. The program
+// is predecoded here, once; Reset and repeated Runs reuse the decoded image.
+func New(prog *rtl.Program, mach *machine.Machine, memBytes int) *Sim {
+	s := newSim(mach, memBytes)
+	s.globals = prog.Globals
+	s.img = s.decode(prog)
+	return s
+}
+
+// NewFlat builds a simulator directly from a flat program image, skipping
+// the pointer-graph walk entirely: the predecoder reads the SoA instruction
+// arrays in place, so a cache hit that decoded into flat form never has to
+// materialize *rtl.Program to be executed. The decoded image — addresses,
+// icache geometry, costs, operand slots — is bit-identical to
+// New(fp.Unflatten(), ...).
+func NewFlat(fp *rtl.FlatProgram, mach *machine.Machine, memBytes int) *Sim {
+	s := newSim(mach, memBytes)
+	for i := range fp.Globals {
+		g := &fp.Globals[i]
+		s.globals = append(s.globals, &rtl.Global{
+			Name: fp.SymName(g.Name),
+			Addr: g.Addr,
+			Size: g.Size,
+			Init: g.Init,
+		})
+	}
+	s.img = s.decodeFlat(fp)
 	return s
 }
 
@@ -348,7 +377,7 @@ func (s *Sim) foldWidths(st *Stats) {
 // loadGlobals materializes the program's static data. It runs at the start
 // of every Run so a prior run's stores cannot leak into the next.
 func (s *Sim) loadGlobals() {
-	for _, g := range s.prog.Globals {
+	for _, g := range s.globals {
 		if g.Addr < 0 || g.Addr+g.Size > int64(len(s.Mem)) {
 			continue // impossible layout; execution will trap on access
 		}

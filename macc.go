@@ -151,6 +151,13 @@ func NativeConfig(m *machine.Machine) Config {
 type Program struct {
 	RTL     *rtl.Program
 	Machine *machine.Machine
+	// Flat is the program's flat (struct-of-arrays) image when one is
+	// available — every cache-served program carries one, as does the cold
+	// compile that populated the cache. When set, NewSim predecodes from it
+	// directly (sim.NewFlat), skipping the pointer-graph walk; RTL is then
+	// a private materialized view of the same program. Nil for uncached
+	// compiles, whose RTL is the pipeline's live graph.
+	Flat *rtl.FlatProgram
 	// Reports holds one entry per loop the coalescer examined.
 	Reports []core.LoopReport
 	// Unrolled maps function names to the factors applied.
@@ -279,11 +286,13 @@ func costFingerprint(sb *strings.Builder, c *machine.Costs) {
 }
 
 // compileCached serves the compile from cfg.Cache: a hit (memory, disk, or
-// a shared in-flight compile) materializes a private copy of the cached
-// program; a miss runs cold once — concurrent identical compiles wait for
-// it instead of duplicating the work — and stores an immutable copy of the
-// result. Degraded compiles are returned but never stored (and a caller
-// sharing the leader's flight sees the program without its diagnostics).
+// a shared in-flight compile) materializes a private program from the
+// cached flat image — the image itself is shared, so a hit copies nothing
+// but the Unflatten slab; a miss runs cold once — concurrent identical
+// compiles wait for it instead of duplicating the work — and stores the
+// flat snapshot of the result. Degraded compiles are returned but never
+// stored (and a caller sharing the leader's flight sees the program without
+// its diagnostics).
 func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(context.Context) (*Program, error)) (*Program, error) {
 	key := ccache.KeyOf(keySrc, cfg.fingerprint(), machineFingerprint(cfg.Machine))
 	var coldProg *Program
@@ -294,7 +303,6 @@ func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(con
 		}
 		coldProg = p
 		snap := ccache.Entry{
-			Program:     p.RTL,
 			Machine:     cfg.Machine.Name,
 			Reports:     append([]core.LoopReport(nil), p.Reports...),
 			Unrolled:    make(map[string]int, len(p.Unrolled)),
@@ -303,9 +311,16 @@ func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(con
 		for k, v := range p.Unrolled {
 			snap.Unrolled[k] = v
 		}
-		// The cache owns its entry outright: snapshot the program so no
-		// later mutation through the caller's pointer can poison it.
-		snap.Program = snap.CloneProgram()
+		// The cache owns its entry outright: the flat image is a snapshot,
+		// so no later mutation through the caller's pointer can poison it.
+		// A program the flattener rejects (it should not exist past the
+		// verifier) is simply not cached.
+		if flat, ferr := rtl.Flatten(p.RTL); ferr == nil {
+			snap.Flat = flat
+			p.Flat = flat
+		} else {
+			snap.Uncacheable = true
+		}
 		return snap, nil
 	})
 	if err != nil {
@@ -314,18 +329,42 @@ func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(con
 	if !hit {
 		return coldProg, nil
 	}
+	rp, err := e.Materialize()
+	if err != nil {
+		// A shared flight whose leader could not flatten (degenerate):
+		// fall back to compiling locally.
+		return cold(ctx)
+	}
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Count("ccache.compile_hits", 1)
 	}
 	return &Program{
-		RTL:         e.CloneProgram(),
+		RTL:         rp,
 		Machine:     cfg.Machine,
+		Flat:        e.Flat,
 		Reports:     e.CloneReports(),
 		Unrolled:    e.CloneUnrolled(),
 		Diagnostics: &pipeline.Diagnostics{},
 		Telemetry:   cfg.Telemetry,
 		Cached:      true,
 	}, nil
+}
+
+// FromFlat wraps an already-compiled flat program image (e.g. decoded from
+// a .bin file emitted by cmd/macc -emit=bin) as a runnable Program without
+// re-running the pipeline. The image is validated and materialized; the
+// simulator predecodes from the flat form directly.
+func FromFlat(fp *rtl.FlatProgram, m *machine.Machine) (*Program, error) {
+	if m == nil {
+		m = machine.Alpha()
+	}
+	rp, err := fp.Unflatten()
+	if err != nil {
+		return nil, err
+	}
+	p := newProgram(rp, m)
+	p.Flat = fp
+	return p, nil
 }
 
 func newProgram(rp *rtl.Program, m *machine.Machine) *Program {
@@ -602,10 +641,18 @@ func ensurePreheaders(f *rtl.Fn) {
 func cfg2(f *rtl.Fn) *cfg.Graph { return cfg.New(f) }
 
 // NewSim builds a simulator for the compiled program with memBytes of RAM.
-// When the program was compiled with a telemetry recorder, the simulator
-// publishes its dynamic counters into the same metrics registry.
+// Programs carrying a flat image (cache hits, FromFlat) predecode from it
+// directly — no pointer-graph walk; the decode is bit-identical to the
+// graph path, including instruction-cache geometry. When the program was
+// compiled with a telemetry recorder, the simulator publishes its dynamic
+// counters into the same metrics registry.
 func (p *Program) NewSim(memBytes int) *sim.Sim {
-	s := sim.New(p.RTL, p.Machine, memBytes)
+	var s *sim.Sim
+	if p.Flat != nil {
+		s = sim.NewFlat(p.Flat, p.Machine, memBytes)
+	} else {
+		s = sim.New(p.RTL, p.Machine, memBytes)
+	}
 	if p.Telemetry != nil {
 		s.AttachMetrics(p.Telemetry.Metrics())
 	}
