@@ -11,12 +11,15 @@
 //
 // Only ratio metrics are gated (the journal-vs-clone snapshot speedup, the
 // parallel-vs-serial table speedup, simulated MIPS, the warm-cache compile
-// speedups, and the codec decode-vs-reparse speedup); raw ns/op numbers are
-// recorded for trend plots but never compared across hosts. Two metrics
-// additionally have absolute floors: a warm memory-tier hit must be at
-// least 5x faster than a cold compile, and decoding a kernel's binary
-// flat-IR image must be at least 5x faster than reparsing its printed text
-// — the property that justifies the binary disk tier — regardless of the
+// speedups, the codec decode-vs-reparse speedup, and the flat-vs-graph cold
+// compile speedup); raw ns/op numbers are recorded for trend plots but never
+// compared across hosts. Three metrics additionally have absolute floors: a
+// warm memory-tier hit must be at least 5x faster than a cold compile,
+// decoding a kernel's binary flat-IR image must be at least 5x faster than
+// reparsing its printed text — the property that justifies the binary disk
+// tier — and a flat-pipeline cold compile must be at least 1.5x faster than
+// a graph-pipeline one (with lower allocs/op) — the property that justifies
+// running the optimizer on the struct-of-arrays form — regardless of the
 // baseline. Each artifact carries a provenance
 // block (git commit, Go version, OS/arch, CPU count); when the baseline's
 // host identity differs from the current host's, relative gates are
@@ -46,8 +49,10 @@ import (
 // Schema versions the artifact layout. v2 added the compile-cache
 // section; v3 added the provenance block and host-aware gating; v4 split
 // the cache section into warm-mem and warm-disk hits and added the binary
-// codec encode/decode/reparse section.
-const Schema = "macc-hotpath/v4"
+// codec encode/decode/reparse section; v5 added the cold_flat section
+// (graph-pipeline vs flat-pipeline cold compiles) and allocs/op on every
+// cold-compile row.
+const Schema = "macc-hotpath/v5"
 
 // SnapshotEntry is one kernel's per-pass snapshot cost: the old
 // whole-function Clone vs the journal's clean Update, over all of the
@@ -83,10 +88,26 @@ type SimEntry struct {
 // read + checksum + binary decode + materialize) with the memory tier
 // disabled.
 type CacheEntry struct {
-	Kernel      string  `json:"kernel"`
-	ColdNsPerOp float64 `json:"cold_ns_per_op"`
-	WarmNsPerOp float64 `json:"warm_ns_per_op"`
-	Speedup     float64 `json:"speedup"`
+	Kernel          string  `json:"kernel"`
+	ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+	ColdAllocsPerOp float64 `json:"cold_allocs_per_op"`
+	WarmNsPerOp     float64 `json:"warm_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// ColdFlatEntry is one paper kernel's cold compile through the two pass
+// pipelines: the pointer-graph pipeline forced via Config.GraphPipeline vs
+// the default flat-native pipeline (flatten once, run the passes on the
+// struct-of-arrays form, bridge the unported stages per function). Both
+// compile the same source under the same optimizing configuration; the
+// speedup is the ratio the flat port is expected to defend.
+type ColdFlatEntry struct {
+	Kernel           string  `json:"kernel"`
+	GraphNsPerOp     float64 `json:"graph_ns_per_op"`
+	GraphAllocsPerOp float64 `json:"graph_allocs_per_op"`
+	FlatNsPerOp      float64 `json:"flat_ns_per_op"`
+	FlatAllocsPerOp  float64 `json:"flat_allocs_per_op"`
+	Speedup          float64 `json:"speedup"`
 }
 
 // CodecEntry is one paper kernel's flat-IR codec cost: encoding the flat
@@ -118,6 +139,9 @@ type Artifact struct {
 	WarmDiskSpeedup    float64          `json:"warm_disk_speedup"`
 	Codec              []CodecEntry     `json:"codec"`
 	CodecDecodeSpeedup float64          `json:"codec_decode_speedup"`
+	ColdFlat           []ColdFlatEntry  `json:"cold_flat"`
+	ColdFlatSpeedup    float64          `json:"cold_flat_speedup"`
+	ColdFlatAllocRatio float64          `json:"cold_flat_alloc_ratio"`
 }
 
 // cacheSpeedupFloor is the absolute acceptance floor: a warm memory-tier
@@ -128,6 +152,12 @@ const cacheSpeedupFloor = 5.0
 // disk tier's reason to exist: decoding a kernel's flat-IR image must beat
 // reparsing its printed RTL text by at least this factor in aggregate.
 const codecDecodeSpeedupFloor = 5.0
+
+// coldFlatSpeedupFloor is the absolute acceptance floor for the flat pass
+// pipeline's reason to exist: a cold compile through the flat-native
+// pipeline must beat the graph pipeline by at least this factor in
+// aggregate, and allocate less per op (ColdFlatAllocRatio > 1).
+const coldFlatSpeedupFloor = 1.5
 
 // parallelSpeedupFloor is the absolute acceptance floor for the parallel
 // run-table benchmark when no multi-core baseline exists: on a host with
@@ -292,7 +322,72 @@ func measure() (Artifact, error) {
 	if err := measureCodec(&a, m); err != nil {
 		return a, err
 	}
+	if err := measureColdFlat(&a, m); err != nil {
+		return a, err
+	}
 	return a, nil
+}
+
+// benchCompile measures one cold compile configuration with allocation
+// tracking.
+func benchCompile(src string, cfg macc.Config) (testing.BenchmarkResult, error) {
+	var cerr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := macc.Compile(src, cfg); err != nil {
+				cerr = err
+				b.FailNow()
+			}
+		}
+	})
+	return r, cerr
+}
+
+// measureColdFlat benchmarks a cold compile through the pointer-graph
+// pipeline against one through the flat-native pipeline for every paper
+// kernel under the default optimizing configuration.
+func measureColdFlat(a *Artifact, m *machine.Machine) error {
+	var graphNs, flatNs, graphAllocs, flatAllocs float64
+	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+		graphCfg := macc.DefaultConfig()
+		graphCfg.Machine = m
+		graphCfg.GraphPipeline = true
+		graphR, err := benchCompile(bm.Src, graphCfg)
+		if err != nil {
+			return fmt.Errorf("%s: graph-pipeline compile: %v", bm.Name, err)
+		}
+
+		flatCfg := macc.DefaultConfig()
+		flatCfg.Machine = m
+		flatR, err := benchCompile(bm.Src, flatCfg)
+		if err != nil {
+			return fmt.Errorf("%s: flat-pipeline compile: %v", bm.Name, err)
+		}
+
+		e := ColdFlatEntry{
+			Kernel:           bm.Entry,
+			GraphNsPerOp:     nsPerOp(graphR),
+			GraphAllocsPerOp: float64(graphR.AllocsPerOp()),
+			FlatNsPerOp:      nsPerOp(flatR),
+			FlatAllocsPerOp:  float64(flatR.AllocsPerOp()),
+		}
+		if e.FlatNsPerOp > 0 {
+			e.Speedup = e.GraphNsPerOp / e.FlatNsPerOp
+		}
+		graphNs += e.GraphNsPerOp
+		flatNs += e.FlatNsPerOp
+		graphAllocs += e.GraphAllocsPerOp
+		flatAllocs += e.FlatAllocsPerOp
+		a.ColdFlat = append(a.ColdFlat, e)
+	}
+	if flatNs > 0 {
+		a.ColdFlatSpeedup = graphNs / flatNs
+	}
+	if flatAllocs > 0 {
+		a.ColdFlatAllocRatio = graphAllocs / flatAllocs
+	}
+	return nil
 }
 
 // measureCache benchmarks a cold compile against a warm memory-tier hit
@@ -302,15 +397,7 @@ func measureCache(a *Artifact, m *machine.Machine) error {
 	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
 		cold := macc.DefaultConfig()
 		cold.Machine = m
-		var cerr error
-		coldR := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := macc.Compile(bm.Src, cold); err != nil {
-					cerr = err
-					b.FailNow()
-				}
-			}
-		})
+		coldR, cerr := benchCompile(bm.Src, cold)
 		if cerr != nil {
 			return fmt.Errorf("%s: cold compile: %v", bm.Name, cerr)
 		}
@@ -339,9 +426,10 @@ func measureCache(a *Artifact, m *machine.Machine) error {
 		}
 
 		e := CacheEntry{
-			Kernel:      bm.Entry,
-			ColdNsPerOp: nsPerOp(coldR),
-			WarmNsPerOp: nsPerOp(warmR),
+			Kernel:          bm.Entry,
+			ColdNsPerOp:     nsPerOp(coldR),
+			ColdAllocsPerOp: float64(coldR.AllocsPerOp()),
+			WarmNsPerOp:     nsPerOp(warmR),
 		}
 		if e.WarmNsPerOp > 0 {
 			e.Speedup = e.ColdNsPerOp / e.WarmNsPerOp
@@ -371,15 +459,7 @@ func measureWarmDisk(a *Artifact, m *machine.Machine) error {
 
 		cfg := macc.DefaultConfig()
 		cfg.Machine = m
-		var cerr error
-		coldR := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := macc.Compile(bm.Src, cfg); err != nil {
-					cerr = err
-					b.FailNow()
-				}
-			}
-		})
+		coldR, cerr := benchCompile(bm.Src, cfg)
 		if cerr != nil {
 			return fmt.Errorf("%s: cold compile: %v", bm.Name, cerr)
 		}
@@ -408,9 +488,10 @@ func measureWarmDisk(a *Artifact, m *machine.Machine) error {
 		}
 
 		e := CacheEntry{
-			Kernel:      bm.Entry,
-			ColdNsPerOp: nsPerOp(coldR),
-			WarmNsPerOp: nsPerOp(warmR),
+			Kernel:          bm.Entry,
+			ColdNsPerOp:     nsPerOp(coldR),
+			ColdAllocsPerOp: float64(coldR.AllocsPerOp()),
+			WarmNsPerOp:     nsPerOp(warmR),
 		}
 		if e.WarmNsPerOp > 0 {
 			e.Speedup = e.ColdNsPerOp / e.WarmNsPerOp
@@ -546,6 +627,17 @@ func check(cur, base Artifact) error {
 	gate("warm-cache compile speedup", cur.CacheSpeedup, base.CacheSpeedup)
 	gate("warm-disk compile speedup", cur.WarmDiskSpeedup, base.WarmDiskSpeedup)
 	gate("codec decode-vs-reparse speedup", cur.CodecDecodeSpeedup, base.CodecDecodeSpeedup)
+	gate("cold-compile flat-vs-graph speedup", cur.ColdFlatSpeedup, base.ColdFlatSpeedup)
+	if cur.ColdFlatSpeedup < coldFlatSpeedupFloor {
+		failures = append(failures, fmt.Sprintf(
+			"cold-compile flat-vs-graph speedup %.2fx below the %.1fx floor",
+			cur.ColdFlatSpeedup, coldFlatSpeedupFloor))
+	}
+	if cur.ColdFlatAllocRatio <= 1.0 {
+		failures = append(failures, fmt.Sprintf(
+			"flat pipeline allocates more than the graph pipeline (graph/flat allocs ratio %.2f, need > 1)",
+			cur.ColdFlatAllocRatio))
+	}
 	if cur.CacheSpeedup < cacheSpeedupFloor {
 		failures = append(failures, fmt.Sprintf(
 			"warm-cache compile speedup %.2fx below the %.0fx floor", cur.CacheSpeedup, cacheSpeedupFloor))

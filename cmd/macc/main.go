@@ -65,6 +65,13 @@
 //	macc -in=bin -print prog.bin        # byte-identical to macc -print prog.c
 //	macc -in=bin -run 'f(4096,100)' prog.bin
 //
+// -in=bin -reopt re-runs the optimization pipeline over the decoded image.
+// The passes execute natively on the flat form (stages not yet ported bridge
+// one function at a time), so the image is never materialized back to the
+// pointer graph as a whole:
+//
+//	macc -in=bin -reopt -print prog.bin
+//
 // With -server the compile runs on a maccd farm instead of locally, through
 // the resilient farm client (retries, hedged requests, circuit breakers);
 // -priority batch marks the request sheddable under saturation:
@@ -143,6 +150,7 @@ func main() {
 	emit := flag.String("emit", "", "emit the compiled program in this format: bin (binary flat-IR codec)")
 	output := flag.String("o", "", "with -emit: output path ('-' or empty for stdout)")
 	inFmt := flag.String("in", "", "input format: bin (a binary flat-IR codec file, skips the pipeline)")
+	reopt := flag.Bool("reopt", false, "with -in=bin: re-run the optimization pipeline over the decoded image on the flat form")
 	jobs := flag.Int("j", 0, "with multiple input files: compile them on this many workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "enable the on-disk compile cache tier rooted at this directory")
 	cacheMem := flag.Int64("cache-mem", ccache.DefaultMemBudget, "in-memory compile cache budget in bytes")
@@ -166,6 +174,9 @@ func main() {
 	case "", "bin":
 	default:
 		fatal(fmt.Errorf("unknown -in format %q (want bin)", *inFmt))
+	}
+	if *reopt && *inFmt != "bin" {
+		fatal(errors.New("-reopt requires -in=bin"))
 	}
 
 	if *server != "" {
@@ -293,13 +304,18 @@ func main() {
 	var prog *macc.Program
 	if *inFmt == "bin" {
 		// A binary flat-IR file is an already-compiled program: decode it
-		// (checksum + structural validation) and load it directly, no
-		// pipeline run.
+		// (checksum + structural validation) and load it directly — no
+		// pipeline run unless -reopt asks for one, in which case the passes
+		// execute on the flat image itself.
 		fp, derr := codec.DecodeProgram(src)
 		if derr != nil {
 			fatal(derr)
 		}
-		prog, err = macc.FromFlat(fp, m)
+		if *reopt {
+			prog, err = macc.OptimizeFlat(fp, cfg)
+		} else {
+			prog, err = macc.FromFlat(fp, m)
+		}
 	} else if isRTL {
 		rp, perr := rtl.ParseProgram(string(src))
 		if perr != nil {

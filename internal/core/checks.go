@@ -4,14 +4,49 @@ import (
 	"math/bits"
 	"sort"
 
-	"macc/internal/cfg"
 	"macc/internal/dataflow"
-	"macc/internal/iv"
 	"macc/internal/machine"
 	"macc/internal/rtl"
 )
 
 func dataflowDefUse(f *rtl.Fn) *dataflow.DefUse { return dataflow.ComputeDefUse(f) }
+
+// checkBuilder abstracts where run-time check instructions land and how
+// fresh registers are named, so emitChecks serves the graph preheader
+// (Block.Append) and the flat preheader (AppendInstr) identically — the
+// emission and register-allocation order is the shared code's, so both
+// forms produce byte-identical check sequences.
+type checkBuilder interface {
+	NewReg() rtl.Reg
+	Emit(in *rtl.Instr)
+}
+
+// graphChecks emits into a pointer-graph preheader.
+type graphChecks struct {
+	f  *rtl.Fn
+	ph *rtl.Block
+}
+
+func (b graphChecks) NewReg() rtl.Reg   { return b.f.NewReg() }
+func (b graphChecks) Emit(in *rtl.Instr) { b.ph.Append(in) }
+
+// flatChecks emits into a flat preheader. Check instructions are pure ALU
+// ops (no control flow, no calls), so only the value fields transfer.
+type flatChecks struct {
+	f  *rtl.FlatFn
+	bi int32
+}
+
+func (b flatChecks) NewReg() rtl.Reg { return b.f.NewReg() }
+
+func (b flatChecks) Emit(in *rtl.Instr) {
+	fi := rtl.MkInstr(in.Op)
+	fi.Dst = in.Dst
+	fi.A = in.A
+	fi.B = in.B
+	fi.Signed = in.Signed
+	b.f.AppendInstr(b.bi, fi)
+}
 
 // baseRange summarizes the memory region one partition touches over the
 // whole loop: its pointer's entry value, per-iteration step, and the
@@ -37,12 +72,11 @@ type baseRange struct {
 // [pX+minD, pX+T*sX+maxD+w+|sX|) for forward motion (mirrored for
 // backward). Two ranges are safe when one ends before the other begins.
 // The over-approximation only ever sends execution to the safe loop.
-func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
-	chunks []*chunk, info *iv.Info) (okCond rtl.Operand, nInstrs, nPairs, nAligns int, ok bool) {
+func emitChecks(cb checkBuilder, body []*rtl.Instr, m *machine.Machine,
+	chunks []*chunk, info ivSource) (okCond rtl.Operand, nInstrs, nPairs, nAligns int, ok bool) {
 
-	ph := l.Preheader
 	emit := func(in *rtl.Instr) {
-		ph.Append(in)
+		cb.Emit(in)
 		nInstrs++
 	}
 
@@ -52,7 +86,7 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 			acc = cond
 			return
 		}
-		r := f.NewReg()
+		r := cb.NewReg()
 		emit(rtl.BinI(rtl.And, r, acc, cond))
 		acc = rtl.R(r)
 	}
@@ -74,13 +108,13 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 			seen[k] = true
 			addr := rtl.R(c.part.base)
 			if c.minDisp != 0 {
-				t := f.NewReg()
+				t := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, t, addr, rtl.C(c.minDisp)))
 				addr = rtl.R(t)
 			}
-			masked := f.NewReg()
+			masked := cb.NewReg()
 			emit(rtl.BinI(rtl.And, masked, addr, rtl.C(int64(c.wide)-1)))
-			okA := f.NewReg()
+			okA := cb.NewReg()
 			emit(rtl.BinI(rtl.SetEQ, okA, rtl.R(masked), rtl.C(0)))
 			combine(rtl.R(okA))
 			nAligns++
@@ -100,27 +134,27 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 		}
 	}
 	if len(pairs) > 0 {
-		ctl := info.Control
-		if ctl == nil {
+		ctlIV, bound, haveCtl := info.ControlInfo()
+		if !haveCtl {
 			return rtl.Operand{}, nInstrs, 0, nAligns, false
 		}
-		civ := info.BasicIVs[ctl.IV]
-		if civ == nil {
+		ctlStep, isIV := info.IVStep(ctlIV)
+		if !isIV {
 			return rtl.Operand{}, nInstrs, 0, nAligns, false
 		}
 		// T = (bound - iv) / |step|  (signed; a non-positive result means
 		// the loop will not run, and the guard prevents entry anyway).
-		diff := f.NewReg()
-		if civ.Step > 0 {
-			emit(rtl.BinI(rtl.Sub, diff, ctl.Bound, rtl.R(ctl.IV)))
+		diff := cb.NewReg()
+		if ctlStep > 0 {
+			emit(rtl.BinI(rtl.Sub, diff, bound, rtl.R(ctlIV)))
 		} else {
-			emit(rtl.BinI(rtl.Sub, diff, rtl.R(ctl.IV), ctl.Bound))
+			emit(rtl.BinI(rtl.Sub, diff, rtl.R(ctlIV), bound))
 		}
-		abs := civ.Step
+		abs := ctlStep
 		if abs < 0 {
 			abs = -abs
 		}
-		trips := f.NewReg()
+		trips := cb.NewReg()
 		if abs&(abs-1) == 0 {
 			emit(rtl.SBinI(rtl.Shr, trips, rtl.R(diff), rtl.C(int64(bits.TrailingZeros64(uint64(abs))))))
 		} else {
@@ -136,7 +170,7 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 			// delta = T * step
 			var delta rtl.Operand
 			if r.step != 0 {
-				d := f.NewReg()
+				d := cb.NewReg()
 				emit(rtl.BinI(rtl.Mul, d, rtl.R(trips), rtl.C(r.step)))
 				delta = rtl.R(d)
 			} else {
@@ -149,32 +183,32 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 			// paper's own check is the exact "b + n <= a" form).
 			switch {
 			case r.step > 0:
-				lo := f.NewReg()
+				lo := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, lo, rtl.R(base), rtl.C(r.minDisp)))
 				extra := r.maxDisp + r.maxWidth - r.step
 				if extra < 0 {
 					extra = 0
 				}
-				h1 := f.NewReg()
+				h1 := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, h1, rtl.R(base), delta))
 				hi := h1
 				if extra != 0 {
-					hi = f.NewReg()
+					hi = cb.NewReg()
 					emit(rtl.BinI(rtl.Add, hi, rtl.R(h1), rtl.C(extra)))
 				}
 				r.lo, r.hi = rtl.R(lo), rtl.R(hi)
 			case r.step < 0:
-				l1 := f.NewReg()
+				l1 := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, l1, rtl.R(base), delta))
-				lo := f.NewReg()
+				lo := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, lo, rtl.R(l1), rtl.C(r.minDisp)))
-				hi := f.NewReg()
+				hi := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, hi, rtl.R(base), rtl.C(r.maxDisp+r.maxWidth)))
 				r.lo, r.hi = rtl.R(lo), rtl.R(hi)
 			default:
-				lo := f.NewReg()
+				lo := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, lo, rtl.R(base), rtl.C(r.minDisp)))
-				hi := f.NewReg()
+				hi := cb.NewReg()
 				emit(rtl.BinI(rtl.Add, hi, rtl.R(base), rtl.C(r.maxDisp+r.maxWidth)))
 				r.lo, r.hi = rtl.R(lo), rtl.R(hi)
 			}
@@ -194,11 +228,11 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 		})
 		for _, k := range keys {
 			ra, rb := boundsOf(k.a), boundsOf(k.b)
-			c1 := f.NewReg()
+			c1 := cb.NewReg()
 			emit(rtl.SBinI(rtl.SetLE, c1, ra.hi, rb.lo))
-			c2 := f.NewReg()
+			c2 := cb.NewReg()
 			emit(rtl.SBinI(rtl.SetLE, c2, rb.hi, ra.lo))
-			okp := f.NewReg()
+			okp := cb.NewReg()
 			emit(rtl.BinI(rtl.Or, okp, rtl.R(c1), rtl.R(c2)))
 			combine(rtl.R(okp))
 			nPairs++
@@ -209,13 +243,13 @@ func emitChecks(f *rtl.Fn, l *cfg.Loop, body *rtl.Block, m *machine.Machine,
 
 // rangeForBase computes the displacement envelope of every reference off
 // base inside the body, and its per-iteration step.
-func rangeForBase(base rtl.Reg, body *rtl.Block, info *iv.Info) *baseRange {
+func rangeForBase(base rtl.Reg, body []*rtl.Instr, info ivSource) *baseRange {
 	r := &baseRange{base: base}
-	if biv := info.BasicIVs[base]; biv != nil {
-		r.step = biv.Step
+	if step, isIV := info.IVStep(base); isIV {
+		r.step = step
 	}
 	first := true
-	for _, in := range body.Instrs {
+	for _, in := range body {
 		if !in.IsMem() {
 			continue
 		}

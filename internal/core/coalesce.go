@@ -66,6 +66,38 @@ type LoopReport struct {
 	AlignmentChecks int
 }
 
+// ivSource abstracts the induction-variable facts the coalescer reads —
+// invariance, basic-IV steps, and the loop-control test — so the
+// classification, hazard, and check-generation code below serves the
+// pointer-graph and flat forms from one implementation.
+type ivSource interface {
+	Invariant(r rtl.Reg) bool
+	// IVStep returns the per-iteration step of basic induction variable r.
+	IVStep(r rtl.Reg) (int64, bool)
+	// ControlInfo returns the loop-control IV register and its invariant
+	// bound; ok is false when no control test was recognized.
+	ControlInfo() (ctl rtl.Reg, bound rtl.Operand, ok bool)
+}
+
+// graphIV adapts iv.Info to ivSource.
+type graphIV struct{ info *iv.Info }
+
+func (s graphIV) Invariant(r rtl.Reg) bool { return s.info.Invariant(r) }
+
+func (s graphIV) IVStep(r rtl.Reg) (int64, bool) {
+	if biv := s.info.BasicIVs[r]; biv != nil {
+		return biv.Step, true
+	}
+	return 0, false
+}
+
+func (s graphIV) ControlInfo() (rtl.Reg, rtl.Operand, bool) {
+	if c := s.info.Control; c != nil {
+		return c.IV, c.Bound, true
+	}
+	return rtl.NoReg, rtl.Operand{}, false
+}
+
 // ref is one narrow memory reference inside the loop body.
 type ref struct {
 	in    *rtl.Instr
@@ -211,8 +243,9 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 	}
 	du := dataflow.ComputeDefUse(f)
 	info := iv.Analyze(g, l, du)
+	src := graphIV{info}
 
-	parts := classifyPartitions(body, l, info)
+	parts := classifyPartitions(body.Instrs, src)
 	if len(parts) == 0 {
 		rep.Reason = "partition:no-analyzable-bases"
 		return rep
@@ -222,15 +255,31 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		rep.Reason = "partition:no-consecutive-runs"
 		return rep
 	}
+	safe := filterChunks(body.Instrs, chunks, parts, src, m, opts, em, rep)
+	if len(safe) == 0 {
+		return rep
+	}
 
-	// Safety: hazard analysis per chunk; chunks that fail are dropped,
-	// chunks that need run-time disambiguation record their alias pairs.
-	// Each verdict is surfaced as an Analysis remark and a rejection
-	// counter, so Table-IV-style "why not" questions have answers.
+	EnsureDedicatedPreheader(f, g, l)
+	rep.Applied = doProfitabilityAnalysisAndModify(f, g, l, body, m, opts, safe, rep)
+	finishReport(em, rep, opts)
+	return rep
+}
+
+// filterChunks is the safety half of the Figure 2 driver: hazard analysis
+// per chunk — chunks that fail are dropped, chunks that need run-time
+// disambiguation record their alias pairs — followed by the trip-count
+// restriction on alias checking. Each rejection is surfaced as an Analysis
+// remark and a counter, so Table-IV-style "why not" questions have answers.
+// On an empty result rep.Reason carries the first rejection.
+func filterChunks(body []*rtl.Instr, chunks []*chunk, parts map[rtl.Reg]*partition,
+	src ivSource, m *machine.Machine, opts Options, em telemetry.Emitter,
+	rep *LoopReport) []*chunk {
+
 	var safe []*chunk
 	firstReject := ""
 	for _, c := range chunks {
-		hz, verdict := IsHazard(body, c, parts, info)
+		hz, verdict := IsHazard(body, c, parts, src)
 		reason := "hazard:" + verdict
 		switch {
 		case hz == hazardUnsafe:
@@ -248,19 +297,18 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		}
 		em.Count("coalesce.hazard_rejects", 1)
 		em.Emit(telemetry.Remark{
-			Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
-			Loop: l.Header.Name, Name: "HazardReject", Reason: reason,
+			Kind: telemetry.Analysis, Pass: "coalesce", Fn: rep.Fn,
+			Loop: rep.Header, Name: "HazardReject", Reason: reason,
 			Args: map[string]int64{"refs": int64(len(c.refs))},
 		})
 	}
 	if len(safe) == 0 {
 		rep.Reason = firstReject
-		return rep
+		return nil
 	}
 	// Run-time alias ranges need the loop trip count; without a recognized
 	// control test, keep only chunks that need no alias checks.
-	haveTrips := info.Control != nil
-	if !haveTrips {
+	if _, _, haveTrips := src.ControlInfo(); !haveTrips {
 		var kept []*chunk
 		for _, c := range safe {
 			if len(c.needsAliasCheck) == 0 {
@@ -270,14 +318,16 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		safe = kept
 		if len(safe) == 0 {
 			rep.Reason = "alias:trip-count-unknown"
-			return rep
+			return nil
 		}
 	}
+	return safe
+}
 
-	EnsureDedicatedPreheader(f, g, l)
-	applied := doProfitabilityAnalysisAndModify(f, g, l, body, m, opts, safe, rep)
-	rep.Applied = applied
-	if applied {
+// finishReport fills the profitability reason once the transform decision is
+// made, and emits the RuntimeChecks analysis remark for applied loops.
+func finishReport(em telemetry.Emitter, rep *LoopReport, opts Options) {
+	if rep.Applied {
 		if opts.Force && rep.CyclesCoalesced >= rep.CyclesOriginal {
 			rep.Reason = fmt.Sprintf("profitability:forced sched-cycles %d>=%d",
 				rep.CyclesCoalesced, rep.CyclesOriginal)
@@ -287,8 +337,8 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		}
 		if rep.AlignmentChecks > 0 {
 			em.Emit(telemetry.Remark{
-				Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
-				Loop: l.Header.Name, Name: "RuntimeChecks",
+				Kind: telemetry.Analysis, Pass: "coalesce", Fn: rep.Fn,
+				Loop: rep.Header, Name: "RuntimeChecks",
 				Reason: "alignment:runtime-check-emitted",
 				Args: map[string]int64{
 					"alignment_checks": int64(rep.AlignmentChecks),
@@ -298,8 +348,8 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 			})
 		} else if rep.AliasCheckPairs > 0 {
 			em.Emit(telemetry.Remark{
-				Kind: telemetry.Analysis, Pass: "coalesce", Fn: f.Name,
-				Loop: l.Header.Name, Name: "RuntimeChecks",
+				Kind: telemetry.Analysis, Pass: "coalesce", Fn: rep.Fn,
+				Loop: rep.Header, Name: "RuntimeChecks",
 				Reason: "alias:runtime-check-emitted",
 				Args: map[string]int64{
 					"alias_pairs":  int64(rep.AliasCheckPairs),
@@ -311,7 +361,6 @@ func coalesceLoop(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop, m *machine.Machine, opts
 		rep.Reason = fmt.Sprintf("profitability:sched-cycles %d>=%d",
 			rep.CyclesCoalesced, rep.CyclesOriginal)
 	}
-	return rep
 }
 
 // EnsureDedicatedPreheader guarantees l.Preheader exists and is used only
@@ -326,9 +375,9 @@ func EnsureDedicatedPreheader(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop) {
 // Only bases that are loop invariant or basic induction variables qualify;
 // anything else cannot be described relative to the induction variable and
 // is unsafe to coalesce (CalculateRelativeOffsets failing in the paper).
-func classifyPartitions(body *rtl.Block, l *cfg.Loop, info *iv.Info) map[rtl.Reg]*partition {
+func classifyPartitions(body []*rtl.Instr, info ivSource) map[rtl.Reg]*partition {
 	parts := make(map[rtl.Reg]*partition)
-	for i, in := range body.Instrs {
+	for i, in := range body {
 		if !in.IsMem() {
 			continue
 		}
@@ -336,10 +385,8 @@ func classifyPartitions(body *rtl.Block, l *cfg.Loop, info *iv.Info) map[rtl.Reg
 		if !ok {
 			continue
 		}
-		var step int64
-		if biv := info.BasicIVs[base]; biv != nil {
-			step = biv.Step
-		} else if !info.Invariant(base) {
+		step, isIV := info.IVStep(base)
+		if !isIV && !info.Invariant(base) {
 			continue
 		}
 		p := parts[base]

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"sort"
+
+	"macc/internal/cfg"
+	"macc/internal/iv"
+	"macc/internal/machine"
+	"macc/internal/rtl"
+	"macc/internal/sched"
+	"macc/internal/telemetry"
+)
+
+// Flat driver for memory access coalescing: the Figure 2/3/4/5 pipeline run
+// natively on rtl.FlatProgram. The classification, hazard, and check
+// generation stages are the exact shared code the pointer-graph driver uses
+// (over a decoded view of the body block), and the surgery stages — loop
+// replication, wide-reference insertion, preheader check emission, and
+// terminator retargeting — mirror their graph twins operation for operation,
+// including the NewReg/NewBlock allocation order, so both drivers produce
+// byte-identical functions, reports, remarks, and counters.
+
+// flatIV adapts iv.FlatInfo to ivSource.
+type flatIV struct{ info *iv.FlatInfo }
+
+func (s flatIV) Invariant(r rtl.Reg) bool { return s.info.Invariant(r) }
+
+func (s flatIV) IVStep(r rtl.Reg) (int64, bool) {
+	if biv := s.info.BasicIVs[r]; biv != nil {
+		return biv.Step, true
+	}
+	return 0, false
+}
+
+func (s flatIV) ControlInfo() (rtl.Reg, rtl.Operand, bool) {
+	if c := s.info.Control; c != nil {
+		return c.IV, c.Bound, true
+	}
+	return rtl.NoReg, rtl.Operand{}, false
+}
+
+// CoalesceMemoryAccessesFlat is CoalesceMemoryAccesses for function fi of a
+// flat program.
+func CoalesceMemoryAccessesFlat(fp *rtl.FlatProgram, fi int, m *machine.Machine, opts Options, em telemetry.Emitter) []LoopReport {
+	if !opts.Loads && !opts.Stores {
+		return nil
+	}
+	em = telemetry.OrNop(em)
+	var reports []LoopReport
+	g := cfg.NewFlat(fp, fi)
+	loops := g.FindLoops()
+	for _, l := range loops {
+		rep := coalesceLoopFlat(fp, fi, g, l, m, opts, em)
+		reports = append(reports, *rep)
+		emitLoopRemark(em, rep)
+		if rep.Applied {
+			// The CFG is stale after surgery; recompute for further loops.
+			g = cfg.NewFlat(fp, fi)
+		}
+	}
+	return reports
+}
+
+// flatBodyBlock is bodyBlock over block indices (-1 when no single body
+// block carries the references).
+func flatBodyBlock(f *rtl.FlatFn, l *cfg.FlatLoop) (int32, string) {
+	body := int32(-1)
+	for _, bi := range l.Blocks {
+		b := &f.Blocks[bi]
+		for i := b.InstrStart; i < b.InstrEnd; i++ {
+			if f.IsMem(i) {
+				if body >= 0 && body != bi {
+					return -1, "shape:refs-span-blocks"
+				}
+				body = bi
+			}
+		}
+	}
+	if body < 0 {
+		return -1, "shape:no-memory-refs"
+	}
+	return body, ""
+}
+
+// decodeFlatBlock materializes block bi as instruction views for the shared
+// read-only analyses (classification, hazard walk, check ranges). The
+// decoded values are snapshots: later preheader emission moves absolute
+// instruction offsets but never changes the body's content.
+func decodeFlatBlock(fp *rtl.FlatProgram, f *rtl.FlatFn, bi int32) []*rtl.Instr {
+	b := &f.Blocks[bi]
+	n := int(b.InstrEnd - b.InstrStart)
+	slab := make([]rtl.Instr, n)
+	views := make([]*rtl.Instr, n)
+	for j := 0; j < n; j++ {
+		i := b.InstrStart + int32(j)
+		in := &slab[j]
+		in.Op = f.Op[i]
+		in.Dst = f.Dst[i]
+		in.A = f.A[i]
+		in.B = f.B[i]
+		in.C = f.C[i]
+		in.Width = f.Width[i]
+		in.Signed = f.Signed[i]
+		in.Disp = f.Disp[i]
+		if ci := f.CallIdx[i]; ci >= 0 {
+			c := &f.Calls[ci]
+			in.Callee = fp.Syms[c.Callee]
+			in.Args = f.Args[c.ArgStart:c.ArgEnd]
+		}
+		views[j] = in
+	}
+	return views
+}
+
+func coalesceLoopFlat(fp *rtl.FlatProgram, fi int, g *cfg.FlatGraph, l *cfg.FlatLoop,
+	m *machine.Machine, opts Options, em telemetry.Emitter) *LoopReport {
+
+	f := &fp.Fns[fi]
+	rep := &LoopReport{Header: fp.Syms[f.Blocks[l.Header].Name], Fn: fp.Syms[f.Name]}
+	bodyBi, why := flatBodyBlock(f, l)
+	if bodyBi < 0 {
+		rep.Reason = why
+		return rep
+	}
+	if bodyBi == l.Header && len(l.Blocks) > 2 {
+		rep.Reason = "shape:refs-in-multi-block-header"
+		return rep
+	}
+	// The body must run exactly once per iteration.
+	if !g.Dominates(bodyBi, l.Latch) {
+		rep.Reason = "shape:body-not-dominating-latch"
+		return rep
+	}
+	info := iv.AnalyzeFlat(g, l)
+	src := flatIV{info}
+
+	body := decodeFlatBlock(fp, f, bodyBi)
+	parts := classifyPartitions(body, src)
+	if len(parts) == 0 {
+		rep.Reason = "partition:no-analyzable-bases"
+		return rep
+	}
+	chunks := findChunks(parts, m, opts)
+	if len(chunks) == 0 {
+		rep.Reason = "partition:no-consecutive-runs"
+		return rep
+	}
+	safe := filterChunks(body, chunks, parts, src, m, opts, em, rep)
+	if len(safe) == 0 {
+		return rep
+	}
+
+	if l.Preheader < 0 {
+		g.EnsurePreheader(l)
+	}
+	rep.Applied = doProfitabilityAnalysisAndModifyFlat(fp, fi, g, l, bodyBi, body, m, opts, safe, rep)
+	finishReport(em, rep, opts)
+	return rep
+}
+
+// doProfitabilityAnalysisAndModifyFlat is doProfitabilityAnalysisAndModify
+// on the flat form; see that function for the Figure 3/5 structure.
+func doProfitabilityAnalysisAndModifyFlat(fp *rtl.FlatProgram, fi int, g *cfg.FlatGraph,
+	l *cfg.FlatLoop, bodyBi int32, body []*rtl.Instr, m *machine.Machine, opts Options,
+	chunks []*chunk, rep *LoopReport) bool {
+
+	f := &fp.Fns[fi]
+	if m.MustAlign {
+		var kept []*chunk
+		for _, c := range chunks {
+			if c.part.step%int64(c.wide) == 0 {
+				kept = append(kept, c)
+			}
+		}
+		chunks = kept
+		if len(chunks) == 0 {
+			rep.Reason = "alignment:step-incompatible-with-wide-width"
+			return false
+		}
+	}
+
+	// DoReplication: the clone blocks are appended at the end of the block
+	// table, so discarding them is a truncation back to this watermark.
+	nBlocks := int32(len(f.Blocks))
+	cmap := fp.CloneRegion(fi, l.Blocks, ".coalesced")
+	bodyCopy := cmap[bodyBi]
+
+	// InsertWideReferences on the copy.
+	applyChunksFlat(f, bodyCopy, chunks, rep)
+
+	// Schedule both loops and compare.
+	var sc sched.FlatScratch
+	rep.CyclesOriginal = sched.EstimateFlat(f, bodyBi, m, &sc)
+	rep.CyclesCoalesced = sched.EstimateFlat(f, bodyCopy, m, &sc)
+	if !opts.Force && rep.CyclesCoalesced >= rep.CyclesOriginal {
+		f.TruncateBlocks(nBlocks)
+		return false
+	}
+
+	info := reanalyzeFlat(fp, fi, g, l)
+	okCond, nInstrs, nPairs, nAligns, ok := emitChecks(flatChecks{f: f, bi: l.Preheader},
+		body, m, chunks, flatIV{info})
+	if !ok {
+		f.TruncateBlocks(nBlocks)
+		rep.Reason = "checks:ungeneratable"
+		return false
+	}
+	rep.CheckInstrs = nInstrs
+	rep.AliasCheckPairs = nPairs
+	rep.AlignmentChecks = nAligns
+
+	ti, _, _ := f.TermIdx(l.Preheader)
+	copyHeader := cmap[l.Header]
+	if okCond.Kind == rtl.KindNone {
+		// Statically safe: enter the coalesced loop unconditionally; the
+		// safe loop stays in place (unreachable-block cleanup removes it).
+		if f.Target[ti] == l.Header {
+			f.Target[ti] = copyHeader
+		}
+		if f.Else[ti] == l.Header {
+			f.Else[ti] = copyHeader
+		}
+	} else {
+		br := rtl.MkInstr(rtl.Branch)
+		br.A = okCond
+		br.Target = copyHeader
+		br.Else = l.Header
+		f.SetInstr(ti, br)
+	}
+	return true
+}
+
+// reanalyzeFlat is reanalyze on the flat form: a fresh CFG (on which the
+// just-appended clone region is unreachable, exactly as on the graph side),
+// the same loop found again by header, and fresh induction info.
+func reanalyzeFlat(fp *rtl.FlatProgram, fi int, g *cfg.FlatGraph, l *cfg.FlatLoop) *iv.FlatInfo {
+	g2 := cfg.NewFlat(fp, fi)
+	for _, l2 := range g2.FindLoops() {
+		if l2.Header == l.Header {
+			l2.Preheader = l.Preheader
+			return iv.AnalyzeFlat(g2, l2)
+		}
+	}
+	return iv.AnalyzeFlat(g, l)
+}
+
+// applyChunksFlat is applyChunks on the flat copy of the body block. The
+// refs' indices are block-relative positions recorded on the original body,
+// valid in the copy because replication preserves layout; reads of the
+// replaced instructions' fields come from the decoded snapshot (identical to
+// the copy's content until the rewrite).
+func applyChunksFlat(f *rtl.FlatFn, bodyCopy int32, chunks []*chunk, rep *LoopReport) {
+	type insertion struct {
+		pos   int // index in the original instruction numbering
+		after bool
+		in    rtl.FlatInstr
+	}
+	var insertions []insertion
+	start := f.Blocks[bodyCopy].InstrStart
+
+	for _, c := range chunks {
+		base := rtl.R(c.part.base)
+		if c.isLoad {
+			wideReg := f.NewReg()
+			wl := rtl.MkInstr(rtl.Load)
+			wl.Dst = wideReg
+			wl.A = base
+			wl.Disp = c.minDisp
+			wl.Width = c.wide
+			insertions = append(insertions, insertion{pos: c.firstIndex(), in: wl})
+			for _, r := range c.refs {
+				off := r.disp - c.minDisp
+				ex := rtl.MkInstr(rtl.Extract)
+				ex.Dst = r.in.Dst
+				ex.A = rtl.R(wideReg)
+				ex.B = rtl.C(off)
+				ex.Width = c.width
+				ex.Signed = r.in.Signed
+				f.SetInstr(start+int32(r.index), ex)
+			}
+			rep.WideLoads++
+			rep.NarrowLoads += len(c.refs)
+		} else {
+			// Process stores in program order so the insert chain respects
+			// any same-slot ordering.
+			ordered := append([]ref(nil), c.refs...)
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i].index < ordered[j].index })
+			cur := rtl.Operand{Kind: rtl.KindConst, Const: 0}
+			for _, r := range ordered {
+				val := r.in.B
+				off := r.disp - c.minDisp
+				nr := f.NewReg()
+				ii := rtl.MkInstr(rtl.Insert)
+				ii.Dst = nr
+				ii.A = cur
+				ii.B = val
+				ii.C = rtl.C(off)
+				ii.Width = c.width
+				f.SetInstr(start+int32(r.index), ii)
+				cur = rtl.R(nr)
+			}
+			ws := rtl.MkInstr(rtl.Store)
+			ws.A = base
+			ws.B = cur
+			ws.Disp = c.minDisp
+			ws.Width = c.wide
+			insertions = append(insertions, insertion{pos: c.lastIndex(), after: true, in: ws})
+			rep.WideStores++
+			rep.NarrowStores += len(c.refs)
+		}
+	}
+
+	// Apply insertions from the highest position down so earlier indices
+	// stay valid.
+	sort.Slice(insertions, func(i, j int) bool {
+		if insertions[i].pos != insertions[j].pos {
+			return insertions[i].pos > insertions[j].pos
+		}
+		// At equal positions, "after" insertions go in first so a "before"
+		// at the same slot ends up earlier in the final order.
+		return insertions[i].after && !insertions[j].after
+	})
+	for _, ins := range insertions {
+		at := int32(ins.pos)
+		if ins.after {
+			at++
+		}
+		f.SpliceInstrs(bodyCopy, at, 0, []rtl.FlatInstr{ins.in})
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"macc/internal/iv"
 	"macc/internal/rtl"
 )
 
@@ -37,7 +36,7 @@ const (
 // filled), or hazardUnsafe; the second return is the machine-readable
 // verdict token ("intervening-store", "unknown-base", ...) that feeds the
 // optimization remark for the rejection.
-func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.Info) (hazardResult, string) {
+func IsHazard(body []*rtl.Instr, c *chunk, parts map[rtl.Reg]*partition, info ivSource) (hazardResult, string) {
 	lo, hi := c.firstIndex(), c.lastIndex()
 	inChunk := make(map[*rtl.Instr]bool, len(c.refs))
 	for _, r := range c.refs {
@@ -47,7 +46,7 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 	result := hazardSafe
 
 	for i := lo; i <= hi; i++ {
-		in := body.Instrs[i]
+		in := body[i]
 		if inChunk[in] {
 			continue
 		}
@@ -111,9 +110,13 @@ func IsHazard(body *rtl.Block, c *chunk, parts map[rtl.Reg]*partition, info *iv.
 // knownPartition reports whether the base register belongs to an analyzable
 // partition (invariant or basic IV), i.e. run-time range checks can be
 // generated for it.
-func knownPartition(base rtl.Reg, parts map[rtl.Reg]*partition, info *iv.Info) bool {
+func knownPartition(base rtl.Reg, parts map[rtl.Reg]*partition, info ivSource) bool {
 	if _, ok := parts[base]; ok {
 		return true
 	}
-	return info.Invariant(base) || info.BasicIVs[base] != nil
+	if info.Invariant(base) {
+		return true
+	}
+	_, isIV := info.IVStep(base)
+	return isIV
 }

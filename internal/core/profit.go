@@ -56,7 +56,8 @@ func doProfitabilityAnalysisAndModify(f *rtl.Fn, g *cfg.Graph, l *cfg.Loop,
 	// at the check branch: coalesced copy when every check passes, original
 	// safe loop otherwise.
 	info := reanalyze(f, g, l)
-	okCond, nInstrs, nPairs, nAligns, ok := emitChecks(f, l, body, m, chunks, info)
+	okCond, nInstrs, nPairs, nAligns, ok := emitChecks(graphChecks{f: f, ph: l.Preheader},
+		body.Instrs, m, chunks, graphIV{info})
 	if !ok {
 		removeClones(f, cmap)
 		rep.Reason = "checks:ungeneratable"

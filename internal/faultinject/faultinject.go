@@ -108,6 +108,96 @@ func (in *Injector) Wrap(p pipeline.Pass) pipeline.Pass {
 	return p
 }
 
+// HookFlat returns the flat-pipeline counterpart of Hook.
+func (in *Injector) HookFlat() func(pipeline.FlatPass) pipeline.FlatPass {
+	return in.WrapFlat
+}
+
+// WrapFlat is Wrap for the flat pipeline: the same faults, expressed as
+// array mutations on the struct-of-arrays form, so the flat journal's
+// catch/rollback/attribute contract is provable under identical sabotage.
+func (in *Injector) WrapFlat(p pipeline.FlatPass) pipeline.FlatPass {
+	if in.Pass != "" && p.Name != in.Pass {
+		return p
+	}
+	inner := p.Run
+	p.Run = func(fp *rtl.FlatProgram, fi int) error {
+		if inner != nil {
+			if err := inner(fp, fi); err != nil {
+				return err
+			}
+		}
+		in.applyFlat(fp, fi)
+		return nil
+	}
+	return p
+}
+
+// applyFlat corrupts function fi of fp (or panics) according to the
+// injector's kind, mutating the flat arrays directly.
+func (in *Injector) applyFlat(fp *rtl.FlatProgram, fi int) {
+	f := &fp.Fns[fi]
+	rng := rand.New(rand.NewSource(in.Seed))
+	switch in.Kind {
+	case Panic:
+		in.fired = true
+		panic(fmt.Sprintf("faultinject: injected panic in %s", fp.Syms[f.Name]))
+	case ClobberReg:
+		var cands []*rtl.Operand
+		for i := int32(0); i < int32(f.NumInstrs()); i++ {
+			f.SrcSlots(i, func(o *rtl.Operand) {
+				if o.Kind == rtl.KindReg {
+					cands = append(cands, o)
+				}
+			})
+		}
+		if len(cands) == 0 {
+			return
+		}
+		cands[rng.Intn(len(cands))].Reg = rtl.Reg(f.NumRegs() + 7)
+		in.fired = true
+	case DropTerminator:
+		bi := int32(rng.Intn(len(f.Blocks)))
+		b := &f.Blocks[bi]
+		if b.InstrEnd == b.InstrStart {
+			return
+		}
+		f.SpliceInstrs(bi, b.InstrEnd-b.InstrStart-1, 1, nil)
+		in.fired = true
+	case RetargetBranch:
+		var cands []int32
+		for i := int32(0); i < int32(f.NumInstrs()); i++ {
+			if f.Op[i] == rtl.Jump || f.Op[i] == rtl.Branch {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		// A block index past the table is the flat phantom block.
+		f.Target[cands[rng.Intn(len(cands))]] = int32(len(f.Blocks)) + 7
+		in.fired = true
+	case FlipOp:
+		flip := map[rtl.Op]rtl.Op{
+			rtl.Add: rtl.Sub, rtl.Sub: rtl.Add,
+			rtl.SetLT: rtl.SetGE, rtl.SetGE: rtl.SetLT,
+			rtl.SetEQ: rtl.SetNE, rtl.SetNE: rtl.SetEQ,
+		}
+		var cands []int32
+		for i := int32(0); i < int32(f.NumInstrs()); i++ {
+			if _, ok := flip[f.Op[i]]; ok {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		victim := cands[rng.Intn(len(cands))]
+		f.Op[victim] = flip[f.Op[victim]]
+		in.fired = true
+	}
+}
+
 // apply corrupts f (or panics) according to the injector's kind.
 func (in *Injector) apply(f *rtl.Fn) {
 	rng := rand.New(rand.NewSource(in.Seed))

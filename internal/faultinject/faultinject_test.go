@@ -202,3 +202,105 @@ func TestParseKindRoundTrip(t *testing.T) {
 		t.Error("ParseKind must reject unknown kinds")
 	}
 }
+
+// flatten wraps f in a single-function flat program.
+func flatten(t *testing.T, f *rtl.Fn) *rtl.FlatProgram {
+	t.Helper()
+	fp, err := rtl.Flatten(rtl.NewProgram(f))
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	return fp
+}
+
+// TestFlatStructuralFaultsAreCaughtAndRolledBack is the flat-pipeline twin of
+// TestStructuralFaultsAreCaughtAndRolledBack: every checkpoint-visible fault,
+// injected as a direct mutation of the struct-of-arrays form, must be caught
+// by VerifyFn, rolled back by the flat snapshot journal to a byte-identical
+// image with bit-identical behaviour, and attributed to the sabotaged pass.
+func TestFlatStructuralFaultsAreCaughtAndRolledBack(t *testing.T) {
+	kinds := []faultinject.Kind{
+		faultinject.Panic, faultinject.ClobberReg,
+		faultinject.DropTerminator, faultinject.RetargetBranch,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			fired := 0
+			for seed := int64(0); seed < 20; seed++ {
+				f := genFn(t, seed)
+				if seed == 0 {
+					f = branchyFn() // every kind has a victim here
+				}
+				want := behavior(t, f)
+				fp := flatten(t, f)
+				orig, err := fp.Unflatten()
+				if err != nil {
+					t.Fatalf("seed %d: unflatten: %v", seed, err)
+				}
+				origText := orig.String()
+
+				inj := &faultinject.Injector{Pass: "victim", Kind: kind, Seed: seed}
+				diags := &pipeline.Diagnostics{}
+				passes := []pipeline.FlatPass{
+					inj.WrapFlat(pipeline.FlatPass{Name: "victim",
+						Run: func(*rtl.FlatProgram, int) error { return nil }}),
+				}
+				if err := pipeline.RunFlat(fp, 0, passes, pipeline.Options{Diags: diags}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !inj.Fired() {
+					if diags.Degraded() {
+						t.Fatalf("seed %d: incident without an injection: %+v", seed, diags.Incidents)
+					}
+					continue
+				}
+				fired++
+				if len(diags.Incidents) != 1 || diags.Incidents[0].Pass != "victim" {
+					t.Fatalf("seed %d: fault not caught/attributed: %+v", seed, diags.Incidents)
+				}
+				back, err := fp.Unflatten()
+				if err != nil {
+					t.Fatalf("seed %d: unflatten after rollback: %v", seed, err)
+				}
+				if back.String() != origText {
+					t.Fatalf("seed %d: flat image not rolled back", seed)
+				}
+				if behavior(t, back.Fns[0]) != want {
+					t.Fatalf("seed %d: behaviour not bit-identical after rollback", seed)
+				}
+			}
+			if fired < 3 {
+				t.Fatalf("injector fired on only %d/20 seeds", fired)
+			}
+		})
+	}
+}
+
+// TestFlatFlipOpIsSilent: the semantic fault must evade the flat verifier
+// exactly as it evades the graph one — the pipeline keeps the corrupted
+// image, visible only to differential execution.
+func TestFlatFlipOpIsSilent(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := genFn(t, seed)
+		fp := flatten(t, f)
+		inj := &faultinject.Injector{Pass: "victim", Kind: faultinject.FlipOp, Seed: seed}
+		diags := &pipeline.Diagnostics{}
+		passes := []pipeline.FlatPass{
+			inj.WrapFlat(pipeline.FlatPass{Name: "victim",
+				Run: func(*rtl.FlatProgram, int) error { return nil }}),
+		}
+		if err := pipeline.RunFlat(fp, 0, passes, pipeline.Options{Diags: diags}); err != nil {
+			t.Fatal(err)
+		}
+		if diags.Degraded() {
+			t.Fatalf("seed %d: flip-op should evade the flat checkpoint, got %+v", seed, diags.Incidents)
+		}
+		if err := fp.VerifyFn(0); err != nil {
+			t.Fatalf("seed %d: flip-op must keep the image verifiable: %v", seed, err)
+		}
+		if inj.Fired() {
+			return
+		}
+	}
+	t.Fatal("no seed in 0..29 had a flippable op")
+}

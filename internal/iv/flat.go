@@ -1,0 +1,235 @@
+package iv
+
+import (
+	"macc/internal/cfg"
+	"macc/internal/rtl"
+)
+
+// Flat twins of the induction-variable analysis, mirroring Analyze over a
+// FlatFn so the flat coalescer sees exactly the IVs, invariants, and
+// control test the graph coalescer would. Instructions are identified by
+// absolute index instead of pointer.
+
+// FlatBasicIV is BasicIV with instruction indices.
+type FlatBasicIV struct {
+	Reg  rtl.Reg
+	Step int64 // net change per iteration
+	Incs []int32
+}
+
+// FlatControl is Control with instruction indices.
+type FlatControl struct {
+	Cmp    int32 // the Set* compare in the header
+	Branch int32 // the header terminator
+	IV     rtl.Reg
+	Bound  rtl.Operand // loop invariant
+	Op     rtl.Op
+	Signed bool
+}
+
+// FlatInfo is Info for one flat natural loop.
+type FlatInfo struct {
+	Loop     *cfg.FlatLoop
+	Graph    *cfg.FlatGraph
+	BasicIVs map[rtl.Reg]*FlatBasicIV
+	Control  *FlatControl
+
+	defsInLoop map[rtl.Reg]int
+}
+
+// AnalyzeFlat mirrors Analyze on the flat form.
+func AnalyzeFlat(g *cfg.FlatGraph, l *cfg.FlatLoop) *FlatInfo {
+	info := &FlatInfo{
+		Loop:       l,
+		Graph:      g,
+		BasicIVs:   make(map[rtl.Reg]*FlatBasicIV),
+		defsInLoop: make(map[rtl.Reg]int),
+	}
+	f := g.F
+	for _, bi := range l.Blocks {
+		b := &f.Blocks[bi]
+		for i := b.InstrStart; i < b.InstrEnd; i++ {
+			if d, ok := f.Def(i); ok {
+				info.defsInLoop[d]++
+			}
+		}
+	}
+	info.findBasicIVs()
+	info.findControl()
+	return info
+}
+
+// Invariant reports whether register r has no definition inside the loop.
+func (info *FlatInfo) Invariant(r rtl.Reg) bool { return info.defsInLoop[r] == 0 }
+
+// InvariantOperand reports whether operand o is a constant or an invariant
+// register.
+func (info *FlatInfo) InvariantOperand(o rtl.Operand) bool {
+	if r, ok := o.IsReg(); ok {
+		return info.Invariant(r)
+	}
+	return o.Kind == rtl.KindConst
+}
+
+// flatIVStep recognizes "r = r ± const" at instruction i.
+func flatIVStep(f *rtl.FlatFn, i int32, r rtl.Reg) (int64, bool) {
+	switch f.Op[i] {
+	case rtl.Add:
+		if ar, ok := f.A[i].IsReg(); ok && ar == r {
+			if c, ok := f.B[i].IsConst(); ok {
+				return c, true
+			}
+		}
+		if br, ok := f.B[i].IsReg(); ok && br == r {
+			if c, ok := f.A[i].IsConst(); ok {
+				return c, true
+			}
+		}
+	case rtl.Sub:
+		if ar, ok := f.A[i].IsReg(); ok && ar == r {
+			if c, ok := f.B[i].IsConst(); ok {
+				return -c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (info *FlatInfo) findBasicIVs() {
+	l, g := info.Loop, info.Graph
+	f := g.F
+	cand := make(map[rtl.Reg]*FlatBasicIV)
+	bad := make(map[rtl.Reg]bool)
+	for _, bi := range l.Blocks {
+		b := &f.Blocks[bi]
+		for i := b.InstrStart; i < b.InstrEnd; i++ {
+			d, ok := f.Def(i)
+			if !ok || bad[d] {
+				continue
+			}
+			step, isInc := flatIVStep(f, i, d)
+			// Every in-loop definition must be an increment executed once
+			// per iteration (its block dominates the latch).
+			if !isInc || !g.Dominates(bi, l.Latch) {
+				bad[d] = true
+				delete(cand, d)
+				continue
+			}
+			iv := cand[d]
+			if iv == nil {
+				iv = &FlatBasicIV{Reg: d}
+				cand[d] = iv
+			}
+			iv.Step += step
+			iv.Incs = append(iv.Incs, i)
+		}
+	}
+	for r, iv := range cand {
+		if iv.Step != 0 && !bad[r] {
+			info.BasicIVs[r] = iv
+		}
+	}
+}
+
+func (info *FlatInfo) findControl() {
+	l := info.Loop
+	f := info.Graph.F
+	ti, top, ok := f.TermIdx(l.Header)
+	if !ok || top != rtl.Branch {
+		return
+	}
+	condReg, ok := f.A[ti].IsReg()
+	if !ok {
+		return
+	}
+	// The compare must be the header's definition of the branch condition.
+	cmp := int32(-1)
+	hb := &f.Blocks[l.Header]
+	for i := hb.InstrStart; i < ti; i++ {
+		if d, ok := f.Def(i); ok && d == condReg {
+			cmp = i
+		}
+	}
+	if cmp < 0 || !f.Op[cmp].IsCompare() {
+		return
+	}
+	continueOnTrue := l.Contains(f.Target[ti]) && !l.Contains(f.Else[ti])
+	continueOnFalse := l.Contains(f.Else[ti]) && !l.Contains(f.Target[ti])
+	if !continueOnTrue && !continueOnFalse {
+		return
+	}
+	op := f.Op[cmp]
+	a, b := f.A[cmp], f.B[cmp]
+	if continueOnFalse {
+		op = negateCmp(op)
+	}
+	// See Info.findControl for the offset-of-IV acceptance rationale.
+	resolveIV := func(r rtl.Reg) (rtl.Reg, bool) {
+		if info.BasicIVs[r] != nil {
+			return r, true
+		}
+		if info.defsInLoop[r] != 1 {
+			return rtl.NoReg, false
+		}
+		for _, bi := range l.Blocks {
+			blk := &f.Blocks[bi]
+			for i := blk.InstrStart; i < blk.InstrEnd; i++ {
+				d, ok := f.Def(i)
+				if !ok || d != r {
+					continue
+				}
+				if f.Op[i] == rtl.Add || f.Op[i] == rtl.Sub {
+					if base, ok := f.A[i].IsReg(); ok && info.BasicIVs[base] != nil {
+						if _, isC := f.B[i].IsConst(); isC {
+							return base, true
+						}
+					}
+					if f.Op[i] == rtl.Add {
+						if base, ok := f.B[i].IsReg(); ok && info.BasicIVs[base] != nil {
+							if _, isC := f.A[i].IsConst(); isC {
+								return base, true
+							}
+						}
+					}
+				}
+				return rtl.NoReg, false
+			}
+		}
+		return rtl.NoReg, false
+	}
+	// Normalize the IV to the left-hand side.
+	tryIV := func(side rtl.Operand, other rtl.Operand, o rtl.Op) bool {
+		sr, ok := side.IsReg()
+		if !ok {
+			return false
+		}
+		r, ok := resolveIV(sr)
+		if !ok {
+			return false
+		}
+		iv := info.BasicIVs[r]
+		if !info.InvariantOperand(other) {
+			return false
+		}
+		switch o {
+		case rtl.SetLT, rtl.SetLE:
+			if iv.Step <= 0 {
+				return false
+			}
+		case rtl.SetGT, rtl.SetGE:
+			if iv.Step >= 0 {
+				return false
+			}
+		default:
+			return false
+		}
+		info.Control = &FlatControl{
+			Cmp: cmp, Branch: ti, IV: r, Bound: other, Op: o, Signed: f.Signed[cmp],
+		}
+		return true
+	}
+	if tryIV(a, b, op) {
+		return
+	}
+	tryIV(b, a, swapCmp(op))
+}

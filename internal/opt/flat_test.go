@@ -1,0 +1,82 @@
+package opt_test
+
+import (
+	"testing"
+
+	"macc/internal/opt"
+	"macc/internal/rtl"
+	"macc/internal/rtlgen"
+)
+
+// runTwin applies graphPass to a pointer-graph copy and flatPass to a flat
+// copy of the same generated function and requires byte-identical printed
+// RTL afterwards — the unit-level pin behind the whole-pipeline
+// differentials: each flat pass must be indistinguishable from its twin.
+func runTwin(t *testing.T, name string, graphPass func(*rtl.Fn) bool, flatPass func(*rtl.FlatProgram, int) bool) {
+	t.Helper()
+	seeds := int64(120)
+	if testing.Short() {
+		seeds = 20
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		prog := &rtl.Program{Fns: []*rtl.Fn{fn}}
+		fp, err := rtl.Flatten(prog)
+		if err != nil {
+			t.Fatalf("seed %d: flatten: %v", seed, err)
+		}
+
+		gChanged := graphPass(fn)
+		fChanged := flatPass(fp, 0)
+		if gChanged != fChanged {
+			t.Fatalf("%s seed %d: changed disagrees: graph=%v flat=%v", name, seed, gChanged, fChanged)
+		}
+		if err := fp.VerifyFn(0); err != nil {
+			t.Fatalf("%s seed %d: flat verify: %v", name, seed, err)
+		}
+		back, err := fp.Unflatten()
+		if err != nil {
+			t.Fatalf("%s seed %d: unflatten: %v", name, seed, err)
+		}
+		want, got := prog.String(), back.String()
+		if want != got {
+			t.Fatalf("%s seed %d: flat output differs:\n--- graph ---\n%s\n--- flat ---\n%s", name, seed, want, got)
+		}
+	}
+}
+
+func TestFlatPassTwins(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func(*rtl.Fn) bool
+		flat  func(*rtl.FlatProgram, int) bool
+	}{
+		{"RemoveUnreachable", opt.RemoveUnreachable, opt.FlatRemoveUnreachable},
+		{"FoldConstants", opt.FoldConstants, opt.FlatFoldConstants},
+		{"PropagateLocal", opt.PropagateLocal, opt.FlatPropagateLocal},
+		{"PropagateImmutable", opt.PropagateImmutable, opt.FlatPropagateImmutable},
+		{"LocalCSE", opt.LocalCSE, opt.FlatLocalCSE},
+		{"CollapseMovChains", opt.CollapseMovChains, opt.FlatCollapseMovChains},
+		{"Peephole", opt.Peephole, opt.FlatPeephole},
+		{"DeadCodeElim", opt.DeadCodeElim, opt.FlatDeadCodeElim},
+		{"GlobalDCE", opt.GlobalDCE, opt.FlatGlobalDCE},
+		{"EliminateDeadIVs", opt.EliminateDeadIVs, opt.FlatEliminateDeadIVs},
+		{"ThreadJumps", opt.ThreadJumps, opt.FlatThreadJumps},
+		{"NormalizeAddresses", opt.NormalizeAddresses, opt.FlatNormalizeAddresses},
+		{"Clean", opt.Clean, opt.FlatClean},
+		{"Clean+ThreadJumps", func(f *rtl.Fn) bool {
+			c := opt.Clean(f)
+			return opt.ThreadJumps(f) || c
+		}, func(fp *rtl.FlatProgram, fi int) bool {
+			c := opt.FlatClean(fp, fi)
+			return opt.FlatThreadJumps(fp, fi) || c
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) { runTwin(t, tc.name, tc.graph, tc.flat) })
+	}
+}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"runtime/debug"
+
+	"macc/internal/rtl"
+)
+
+// FlatPass is one named transformation stage over the flat (struct-of-arrays)
+// form of one function.
+type FlatPass struct {
+	// Name identifies the stage in diagnostics, dumps, and bisection; flat
+	// stages use the same names as their graph twins so incident reports and
+	// telemetry spans read identically whichever form ran.
+	Name string
+	// Run applies the transformation to function fi of fp in place.
+	Run func(fp *rtl.FlatProgram, fi int) error
+	// OnSuccess mirrors Pass.OnSuccess: called only after the verification
+	// checkpoint has accepted the result.
+	OnSuccess func()
+}
+
+// RunFlat is Run for a flat function: the same per-pass panic recovery,
+// post-pass verification checkpoint (VerifyFn), and rollback discipline, with
+// the copy-on-write block journal replaced by a flat snapshot whose restore
+// copies array ranges instead of rebuilding a block graph. Options.OnPass is
+// not invoked — it observes pointer-graph functions, and the callers that
+// set it (stage dumping) run the graph pipeline instead.
+func RunFlat(fp *rtl.FlatProgram, fi int, passes []FlatPass, opts Options) error {
+	f := &fp.Fns[fi]
+	fnName := fp.Syms[f.Name]
+	good := rtl.NewFlatSnapshot(fp, fi)
+	for _, p := range passes {
+		if opts.Recorder != nil {
+			opts.Recorder.BeginPass(p.Name, fnName, f.NumInstrs(), len(f.Blocks))
+		}
+		perr := runOneFlat(p, fp, fi, fnName)
+		if perr == nil && !opts.NoVerify {
+			if verr := fp.VerifyFn(fi); verr != nil {
+				perr = &PassError{Pass: p.Name, Fn: fnName, Err: verr}
+			}
+		}
+		if perr != nil {
+			good.Restore()
+			if opts.Recorder != nil {
+				// Retract the pass's staged remarks and metric deltas; the
+				// span survives, marked rolled back, mirroring the Incident.
+				opts.Recorder.EndPass(f.NumInstrs(), len(f.Blocks), true, perr.Error())
+			}
+			if opts.Strict {
+				return perr
+			}
+			if opts.Diags != nil {
+				opts.Diags.Incidents = append(opts.Diags.Incidents,
+					Incident{Pass: p.Name, Fn: fnName, Err: perr})
+			}
+			continue
+		}
+		dirty := good.Update()
+		if p.OnSuccess != nil {
+			p.OnSuccess()
+		}
+		if opts.Recorder != nil {
+			opts.Recorder.EndPass(f.NumInstrs(), len(f.Blocks), false, "")
+			opts.Recorder.Count("pipeline.snapshot_dirty_blocks", int64(dirty))
+		}
+	}
+	return nil
+}
+
+// runOneFlat applies one flat pass, converting a panic into a *PassError.
+func runOneFlat(p FlatPass, fp *rtl.FlatProgram, fi int, fnName string) (perr *PassError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PassError{Pass: p.Name, Fn: fnName, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := p.Run(fp, fi); err != nil {
+		return &PassError{Pass: p.Name, Fn: fnName, Err: err}
+	}
+	return nil
+}

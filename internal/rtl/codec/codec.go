@@ -223,7 +223,23 @@ func (r *reader) fail(format string, args ...any) {
 	}
 }
 
+// uvarint and varint keep their single-byte fast path small enough to
+// inline at every call site; multi-byte values and error states take the
+// out-of-line slow path. Single-byte values dominate real encodings.
+
 func (r *reader) uvarint() uint64 {
+	// The fast path skips the latched-error check to stay under the inline
+	// budget: after an error it may decode garbage, but every consumer that
+	// sizes an allocation or trusts a value re-checks r.err first.
+	if r.off < len(r.b) && r.b[r.off] < 0x80 {
+		v := uint64(r.b[r.off])
+		r.off++
+		return v
+	}
+	return r.uvarintSlow()
+}
+
+func (r *reader) uvarintSlow() uint64 {
 	if r.err != nil {
 		return 0
 	}
@@ -237,6 +253,15 @@ func (r *reader) uvarint() uint64 {
 }
 
 func (r *reader) varint() int64 {
+	if r.off < len(r.b) && r.b[r.off] < 0x80 {
+		v := int64(r.b[r.off])
+		r.off++
+		return v>>1 ^ -(v & 1) // zigzag decode
+	}
+	return r.varintSlow()
+}
+
+func (r *reader) varintSlow() int64 {
 	if r.err != nil {
 		return 0
 	}
@@ -355,9 +380,20 @@ func DecodeProgram(data []byte) (*rtl.FlatProgram, error) {
 func decodeSyms(r *reader, fp *rtl.FlatProgram) {
 	n := r.count(r.uvarint(), 1)
 	fp.Syms = make([]string, 0, n)
+	// Copy every name into one backing string and hand out substrings, so
+	// the symbol table costs two allocations instead of one per name.
+	buf := make([]byte, 0, len(r.b)-r.off)
+	ends := make([]int, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		l := r.uvarint()
-		fp.Syms = append(fp.Syms, string(r.bytes(int(l))))
+		buf = append(buf, r.bytes(int(l))...)
+		ends = append(ends, len(buf))
+	}
+	all := string(buf)
+	start := 0
+	for _, end := range ends {
+		fp.Syms = append(fp.Syms, all[start:end])
+		start = end
 	}
 }
 
@@ -417,12 +453,16 @@ func decodeFn(r *reader, f *rtl.FlatFn) {
 		f.Op[i] = rtl.Op(o)
 	}
 	f.Dst = make([]rtl.Reg, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		f.Dst[i] = rtl.Reg(r.varint())
-	}
-	f.A = decodeOperands(r, n)
-	f.B = decodeOperands(r, n)
-	f.C = decodeOperands(r, n)
+	varints(r, f.Dst)
+	// One slab backs all three operand arrays; the capacity caps make any
+	// later append copy out instead of clobbering its neighbour.
+	slab := make([]rtl.Operand, 3*n)
+	f.A = slab[:n:n]
+	f.B = slab[n : 2*n : 2*n]
+	f.C = slab[2*n : 3*n : 3*n]
+	decodeOperandsInto(r, f.A)
+	decodeOperandsInto(r, f.B)
+	decodeOperandsInto(r, f.C)
 	widths := r.bytes(n)
 	f.Width = make([]rtl.Width, n)
 	for i, w := range widths {
@@ -430,17 +470,11 @@ func decodeFn(r *reader, f *rtl.FlatFn) {
 	}
 	f.Signed = decodeBitset(r, n)
 	f.Disp = make([]int64, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		f.Disp[i] = r.varint()
-	}
+	varints(r, f.Disp)
 	f.Target = make([]int32, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		f.Target[i] = int32(r.varint())
-	}
+	varints(r, f.Target)
 	f.Else = make([]int32, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		f.Else[i] = int32(r.varint())
-	}
+	varints(r, f.Else)
 
 	f.CallIdx = make([]int32, n)
 	for i := range f.CallIdx {
@@ -471,26 +505,87 @@ func decodeFn(r *reader, f *rtl.FlatFn) {
 	}
 }
 
+// varints bulk-decodes len(dst) zigzag varints with a local cursor, so the
+// per-value cost is a branch and two shifts instead of a method call. On a
+// truncated stream it latches the error and leaves the tail zeroed, exactly
+// like a per-value r.varint() loop.
+func varints[T ~int32 | ~int64](r *reader, dst []T) {
+	if r.err != nil {
+		return
+	}
+	b, off := r.b, r.off
+	for i := range dst {
+		var v int64
+		if off < len(b) && b[off] < 0x80 {
+			v = int64(b[off])
+			v = v>>1 ^ -(v & 1)
+			off++
+		} else {
+			vv, m := binary.Varint(b[off:])
+			if m <= 0 {
+				r.off = off
+				r.fail("truncated varint at %d", off)
+				return
+			}
+			v = vv
+			off += m
+		}
+		dst[i] = T(v)
+	}
+	r.off = off
+}
+
 func decodeOperands(r *reader, n int) []rtl.Operand {
 	out := make([]rtl.Operand, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		if r.off >= len(r.b) {
+	decodeOperandsInto(r, out)
+	return out
+}
+
+func decodeOperandsInto(r *reader, out []rtl.Operand) {
+	if r.err != nil {
+		return
+	}
+	n := len(out)
+	b, off := r.b, r.off
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			r.off = off
 			r.fail("truncated operand stream")
-			return out
+			return
 		}
-		kind := rtl.OperandKind(r.b[r.off])
-		r.off++
+		kind := rtl.OperandKind(b[off])
+		off++
 		switch kind {
 		case rtl.KindNone:
-		case rtl.KindReg:
-			out[i] = rtl.Operand{Kind: rtl.KindReg, Reg: rtl.Reg(r.varint())}
-		case rtl.KindConst:
-			out[i] = rtl.Operand{Kind: rtl.KindConst, Const: r.varint()}
+		case rtl.KindReg, rtl.KindConst:
+			var v int64
+			if off < len(b) && b[off] < 0x80 {
+				v = int64(b[off])
+				v = v>>1 ^ -(v & 1)
+				off++
+			} else {
+				vv, m := binary.Varint(b[off:])
+				if m <= 0 {
+					r.off = off
+					r.fail("truncated varint at %d", off)
+					return
+				}
+				v = vv
+				off += m
+			}
+			if kind == rtl.KindReg {
+				out[i] = rtl.Operand{Kind: rtl.KindReg, Reg: rtl.Reg(v)}
+			} else {
+				out[i] = rtl.Operand{Kind: rtl.KindConst, Const: v}
+			}
 		default:
+			r.off = off
 			r.fail("bad operand kind %d", kind)
+			return
 		}
 	}
-	return out
+	r.off = off
+	return
 }
 
 func decodeBitset(r *reader, n int) []bool {

@@ -11,15 +11,33 @@ package codec_test
 //     buffers returns an error (or, for full-checksum-valid mutations, a
 //     validated program) — it never panics and never produces an image
 //     Unflatten rejects.
+//  3. Pass safety: running a flat optimization pass over any decoded image
+//     keeps it index-safe — Validate still accepts it. No pass may ever
+//     produce unparallel arrays, broken block ranges, or dangling call
+//     indices, whatever image the codec hands it.
 
 import (
 	"bytes"
 	"testing"
 
+	"macc/internal/opt"
 	"macc/internal/rtl"
 	"macc/internal/rtl/codec"
 	"macc/internal/rtlgen"
 )
+
+// runFlatPass applies one flat pass (the clean sweep, which exercises the
+// in-place rewrite, kill-marker compaction, and block-removal primitives)
+// to every function of a decoded image and asserts index safety.
+func runFlatPass(t *testing.T, fp *rtl.FlatProgram, what string) {
+	t.Helper()
+	for fi := range fp.Fns {
+		opt.FlatClean(fp, fi)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Fatalf("flat pass over %s broke index safety: %v", what, err)
+	}
+}
 
 func FuzzFlatRoundTrip(f *testing.F) {
 	for seed := int64(1); seed <= 8; seed++ {
@@ -54,6 +72,7 @@ func FuzzFlatRoundTrip(f *testing.F) {
 		if re := codec.EncodeProgram(dec); !bytes.Equal(re, enc) {
 			t.Fatal("re-encode differs from original encoding")
 		}
+		runFlatPass(t, dec, "valid decode")
 
 		// Truncations of a valid encoding must error, never panic.
 		if len(corrupt) > 0 {
@@ -74,6 +93,7 @@ func FuzzFlatRoundTrip(f *testing.F) {
 				if _, err := got.Unflatten(); err != nil {
 					t.Fatalf("decode accepted an image Unflatten rejects: %v", err)
 				}
+				runFlatPass(t, got, "accepted mutation")
 			}
 		}
 	})

@@ -469,58 +469,7 @@ func (fp *FlatProgram) Unflatten() (*Program, error) {
 		})
 	}
 	for fi := range fp.Fns {
-		ff := &fp.Fns[fi]
-		f := &Fn{
-			Name:       fp.Syms[ff.Name],
-			Params:     append([]Reg(nil), ff.Params...),
-			FrameBytes: int(ff.FrameBytes),
-			FrameReg:   ff.FrameReg,
-			nextReg:    ff.NextReg,
-			nextBlk:    int(ff.NextBlk),
-		}
-		n := ff.NumInstrs()
-		islab := make([]Instr, n) // arena: every instruction in one allocation
-		bslab := make([]Block, len(ff.Blocks))
-		blocks := make([]*Block, len(ff.Blocks))
-		for bi := range ff.Blocks {
-			blocks[bi] = &bslab[bi]
-		}
-		for bi := range ff.Blocks {
-			fb := &ff.Blocks[bi]
-			b := blocks[bi]
-			b.ID = int(fb.ID)
-			b.Name = fp.Syms[fb.Name]
-			nb := int(fb.InstrEnd - fb.InstrStart)
-			b.Instrs = make([]*Instr, nb)
-			for j := 0; j < nb; j++ {
-				i := int(fb.InstrStart) + j
-				in := &islab[i]
-				in.Op = ff.Op[i]
-				in.Dst = ff.Dst[i]
-				in.A = ff.A[i]
-				in.B = ff.B[i]
-				in.C = ff.C[i]
-				in.Width = ff.Width[i]
-				in.Signed = ff.Signed[i]
-				in.Disp = ff.Disp[i]
-				if t := ff.Target[i]; t >= 0 {
-					in.Target = blocks[t]
-				}
-				if e := ff.Else[i]; e >= 0 {
-					in.Else = blocks[e]
-				}
-				if ci := ff.CallIdx[i]; ci >= 0 {
-					c := &ff.Calls[ci]
-					in.Callee = fp.Syms[c.Callee]
-					if c.ArgEnd > c.ArgStart {
-						in.Args = append([]Operand(nil), ff.Args[c.ArgStart:c.ArgEnd]...)
-					}
-				}
-				b.Instrs[j] = in
-			}
-		}
-		f.Blocks = blocks
-		p.Add(f)
+		p.Add(fp.UnflattenFn(fi))
 	}
 	return p, nil
 }

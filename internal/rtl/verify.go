@@ -36,36 +36,41 @@ func (f *Fn) Verify() error {
 		if len(b.Instrs) == 0 {
 			return fmt.Errorf("%s/%s: empty block", f.Name, b)
 		}
+		// The location prefix is formatted only on the failure path: building
+		// it eagerly per instruction was the single hottest allocation site
+		// in a cold compile (verify checkpoints run after every pass).
+		where := func(i int, in *Instr) string {
+			return fmt.Sprintf("%s/%s[%d] %s", f.Name, b, i, in)
+		}
 		for i, in := range b.Instrs {
-			where := fmt.Sprintf("%s/%s[%d] %s", f.Name, b, i, in)
 			isLast := i == len(b.Instrs)-1
 			if in.Op.IsTerminator() != isLast {
 				if isLast {
-					return fmt.Errorf("%s: block does not end in terminator", where)
+					return fmt.Errorf("%s: block does not end in terminator", where(i, in))
 				}
-				return fmt.Errorf("%s: terminator in middle of block", where)
+				return fmt.Errorf("%s: terminator in middle of block", where(i, in))
 			}
 			if err := verifyShape(in); err != nil {
-				return fmt.Errorf("%s: %w", where, err)
+				return fmt.Errorf("%s: %w", where(i, in), err)
 			}
 			if d, ok := in.Def(); ok {
 				if err := checkReg(d); err != nil {
-					return fmt.Errorf("%s: dst: %w", where, err)
+					return fmt.Errorf("%s: dst: %w", where(i, in), err)
 				}
 			}
 			for _, o := range in.SrcOperands() {
 				if err := checkOperand(*o); err != nil {
-					return fmt.Errorf("%s: %w", where, err)
+					return fmt.Errorf("%s: %w", where(i, in), err)
 				}
 			}
 			switch in.Op {
 			case Jump:
 				if !inFn[in.Target] {
-					return fmt.Errorf("%s: jump target outside function", where)
+					return fmt.Errorf("%s: jump target outside function", where(i, in))
 				}
 			case Branch:
 				if !inFn[in.Target] || !inFn[in.Else] {
-					return fmt.Errorf("%s: branch target outside function", where)
+					return fmt.Errorf("%s: branch target outside function", where(i, in))
 				}
 			}
 		}

@@ -74,6 +74,14 @@ type Config struct {
 	// last-known-good form, records the incident in Program.Diagnostics,
 	// and continues with the remaining passes (degraded mode).
 	Strict bool
+	// GraphPipeline forces the optimizer to run on the pointer-graph IR for
+	// every pass. By default the cold path flattens the front end's output
+	// once and runs the pipeline natively on the struct-of-arrays form
+	// (bridging the few passes not yet ported per function); the two modes
+	// produce byte-identical programs — this switch exists for differential
+	// testing and as an escape hatch. It never enters the cache fingerprint,
+	// because it cannot change the compiled output.
+	GraphPipeline bool
 	// WrapPass, when non-nil, wraps every optimization pass before it
 	// runs; fault injection (internal/faultinject) and tracing hook in
 	// here.
@@ -231,9 +239,15 @@ func CompileRTLCtx(ctx context.Context, rp *rtl.Program, cfg Config) (*Program, 
 func compileProgram(ctx context.Context, rp *rtl.Program, cfg Config) (*Program, error) {
 	p := newProgram(rp, cfg.Machine)
 	p.Telemetry = cfg.Telemetry
-	for _, f := range rp.Fns {
-		if err := p.optimizeFn(f, cfg); err != nil {
-			return nil, fmt.Errorf("%s: %w", f.Name, err)
+	if cfg.useFlatPipeline() {
+		if err := p.optimizeFlat(rp, cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, f := range rp.Fns {
+			if err := p.optimizeFn(f, cfg); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
 		}
 	}
 	// Link the pipeline's per-pass spans under the request trace: children
@@ -250,6 +264,13 @@ func compileProgram(ctx context.Context, rp *rtl.Program, cfg Config) (*Program,
 // their compiles must run the real pipeline every time.
 func (cfg Config) usesCache() bool {
 	return cfg.Cache != nil && cfg.DumpStage == nil && cfg.WrapPass == nil
+}
+
+// useFlatPipeline reports whether the cold path runs the optimizer natively
+// on the flat form. DumpStage and WrapPass observe pointer-graph functions
+// pass by pass, so their compiles keep the graph pipeline.
+func (cfg Config) useFlatPipeline() bool {
+	return cfg.Optimize && !cfg.GraphPipeline && cfg.DumpStage == nil && cfg.WrapPass == nil
 }
 
 // fingerprint renders every semantics-affecting Config field canonically;
@@ -313,9 +334,13 @@ func compileCached(ctx context.Context, keySrc string, cfg Config, cold func(con
 		}
 		// The cache owns its entry outright: the flat image is a snapshot,
 		// so no later mutation through the caller's pointer can poison it.
-		// A program the flattener rejects (it should not exist past the
-		// verifier) is simply not cached.
-		if flat, ferr := rtl.Flatten(p.RTL); ferr == nil {
+		// A flat-pipeline compile already holds the final image — store it
+		// directly instead of re-flattening; otherwise a program the
+		// flattener rejects (it should not exist past the verifier) is
+		// simply not cached.
+		if p.Flat != nil {
+			snap.Flat = p.Flat
+		} else if flat, ferr := rtl.Flatten(p.RTL); ferr == nil {
 			snap.Flat = flat
 			p.Flat = flat
 		} else {
@@ -417,55 +442,14 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 		// Loop-invariant code motion, innermost-first, iterated because
 		// hoisting can expose more loops' invariants.
 		{Name: "licm", Run: func(f *rtl.Fn) error {
-			for i := 0; i < 4; i++ {
-				ensurePreheaders(f)
-				g := cfg2(f)
-				loops := g.FindLoops()
-				for _, l := range loops {
-					g.EnsurePreheader(l)
-				}
-				changed := false
-				for _, l := range loops {
-					changed = opt.HoistInvariants(f, g, l) || changed
-				}
-				if changed {
-					opt.Clean(f)
-				} else {
-					break
-				}
-			}
+			runLICM(f)
 			return nil
 		}},
 		// Induction-variable strength reduction and test replacement:
 		// gives memory references the base+displacement shape and frees
 		// the counter.
 		{Name: "strength-reduce", Run: func(f *rtl.Fn) error {
-			em := cfg.emitter()
-			ensurePreheaders(f)
-			g := cfg2(f)
-			loops := g.FindLoops()
-			for _, l := range loops {
-				g.EnsurePreheader(l)
-				du := dataflow.ComputeDefUse(f)
-				info := iv.Analyze(g, l, du)
-				em.Emit(info.Remark("strength-reduce", f.Name))
-				if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
-					replaced := info.ReplaceTest(f, ptrs)
-					em.Count("iv.pointers_strength_reduced", int64(len(ptrs)))
-					rem := telemetry.Remark{
-						Kind: telemetry.Passed, Pass: "strength-reduce",
-						Fn: f.Name, Loop: l.Header.Name, Name: "StrengthReduced",
-						Reason: "iv:pointer-ivs-materialized",
-						Args:   map[string]int64{"pointers": int64(len(ptrs))},
-					}
-					if replaced {
-						rem.Args["test_replaced"] = 1
-					}
-					em.Emit(rem)
-				}
-			}
-			opt.EliminateDeadIVs(f)
-			opt.Clean(f)
+			runStrengthReduce(f, cfg.emitter())
 			return nil
 		}},
 	}
@@ -474,47 +458,7 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 		passes = append(passes, pipeline.Pass{
 			Name: "unroll",
 			Run: func(f *rtl.Fn) error {
-				em := cfg.emitter()
-				staged = make(map[string]int)
-				ensurePreheaders(f)
-				g := cfg2(f)
-				missed := func(header, reason string) {
-					em.Emit(telemetry.Remark{
-						Kind: telemetry.Missed, Pass: "unroll", Fn: f.Name,
-						Loop: header, Name: "NotUnrolled", Reason: reason,
-					})
-				}
-				for _, l := range g.FindLoops() {
-					g.EnsurePreheader(l)
-					c, ok := unroll.Shape(l)
-					if !ok {
-						missed(l.Header.Name, "shape:not-canonical")
-						continue
-					}
-					du := dataflow.ComputeDefUse(f)
-					info := iv.Analyze(g, l, du)
-					factor := cfg.UnrollFactor
-					if factor == 0 {
-						factor = unroll.ChooseFactor(cfg.Machine, c, info)
-					}
-					if factor < 2 {
-						missed(l.Header.Name, "heuristic:factor<2")
-						continue
-					}
-					if _, err := unroll.Unroll(f, c, info, factor); err == nil {
-						staged[f.Name] = factor
-						em.Count("unroll.loops", 1)
-						em.Observe("unroll.factor", int64(factor))
-						em.Emit(telemetry.Remark{
-							Kind: telemetry.Passed, Pass: "unroll", Fn: f.Name,
-							Loop: l.Header.Name, Name: "Unrolled",
-							Reason: "heuristic:icache-bounded",
-							Args:   map[string]int64{"factor": int64(factor)},
-						})
-					} else {
-						missed(l.Header.Name, "shape:"+err.Error())
-					}
-				}
+				staged = runUnrollLoops(cfg, f)
 				opt.NormalizeAddresses(f)
 				opt.Clean(f)
 				return nil
@@ -549,6 +493,266 @@ func (p *Program) passList(cfg Config) []pipeline.Pass {
 			_, err := regalloc.Run(f, cfg.Registers)
 			return err
 		}})
+	}
+	return passes
+}
+
+// runLICM is the body of the "licm" pass, shared verbatim by the graph pass
+// list and (bridged) by the flat pass list: hoist loop invariants,
+// innermost-first, iterated because hoisting can expose more loops'
+// invariants.
+func runLICM(f *rtl.Fn) {
+	for i := 0; i < 4; i++ {
+		ensurePreheaders(f)
+		g := cfg2(f)
+		loops := g.FindLoops()
+		for _, l := range loops {
+			g.EnsurePreheader(l)
+		}
+		changed := false
+		for _, l := range loops {
+			changed = opt.HoistInvariants(f, g, l) || changed
+		}
+		if changed {
+			opt.Clean(f)
+		} else {
+			break
+		}
+	}
+}
+
+// runStrengthReduce is the body of the "strength-reduce" pass, shared by both
+// pass lists.
+func runStrengthReduce(f *rtl.Fn, em telemetry.Emitter) {
+	ensurePreheaders(f)
+	g := cfg2(f)
+	loops := g.FindLoops()
+	for _, l := range loops {
+		g.EnsurePreheader(l)
+		du := dataflow.ComputeDefUse(f)
+		info := iv.Analyze(g, l, du)
+		em.Emit(info.Remark("strength-reduce", f.Name))
+		if ptrs := info.StrengthReduce(f); len(ptrs) > 0 {
+			replaced := info.ReplaceTest(f, ptrs)
+			em.Count("iv.pointers_strength_reduced", int64(len(ptrs)))
+			rem := telemetry.Remark{
+				Kind: telemetry.Passed, Pass: "strength-reduce",
+				Fn: f.Name, Loop: l.Header.Name, Name: "StrengthReduced",
+				Reason: "iv:pointer-ivs-materialized",
+				Args:   map[string]int64{"pointers": int64(len(ptrs))},
+			}
+			if replaced {
+				rem.Args["test_replaced"] = 1
+			}
+			em.Emit(rem)
+		}
+	}
+	opt.EliminateDeadIVs(f)
+	opt.Clean(f)
+}
+
+// runUnrollLoops is the loop-replication part of the "unroll" pass, shared by
+// both pass lists; the caller finishes with address normalization and a clean
+// sweep on its own form. Returns the per-function factors to stage.
+func runUnrollLoops(cfg Config, f *rtl.Fn) map[string]int {
+	em := cfg.emitter()
+	staged := make(map[string]int)
+	ensurePreheaders(f)
+	g := cfg2(f)
+	missed := func(header, reason string) {
+		em.Emit(telemetry.Remark{
+			Kind: telemetry.Missed, Pass: "unroll", Fn: f.Name,
+			Loop: header, Name: "NotUnrolled", Reason: reason,
+		})
+	}
+	for _, l := range g.FindLoops() {
+		g.EnsurePreheader(l)
+		c, ok := unroll.Shape(l)
+		if !ok {
+			missed(l.Header.Name, "shape:not-canonical")
+			continue
+		}
+		du := dataflow.ComputeDefUse(f)
+		info := iv.Analyze(g, l, du)
+		factor := cfg.UnrollFactor
+		if factor == 0 {
+			factor = unroll.ChooseFactor(cfg.Machine, c, info)
+		}
+		if factor < 2 {
+			missed(l.Header.Name, "heuristic:factor<2")
+			continue
+		}
+		if _, err := unroll.Unroll(f, c, info, factor); err == nil {
+			staged[f.Name] = factor
+			em.Count("unroll.loops", 1)
+			em.Observe("unroll.factor", int64(factor))
+			em.Emit(telemetry.Remark{
+				Kind: telemetry.Passed, Pass: "unroll", Fn: f.Name,
+				Loop: l.Header.Name, Name: "Unrolled",
+				Reason: "heuristic:icache-bounded",
+				Args:   map[string]int64{"factor": int64(factor)},
+			})
+		} else {
+			missed(l.Header.Name, "shape:"+err.Error())
+		}
+	}
+	return staged
+}
+
+// optimizeFlat is the flat-native cold path: verify every function (the same
+// codegen checkpoint the graph path runs), flatten the front end's output
+// once, run the pass pipeline on the struct-of-arrays form function by
+// function, and materialize the pointer graph once at the end. The input
+// program is left untouched; callers read the result through p.RTL, and the
+// final flat image rides along on p.Flat for the cache and the simulator.
+func (p *Program) optimizeFlat(rp *rtl.Program, cfg Config) error {
+	for _, f := range rp.Fns {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	fp, err := rtl.Flatten(rp)
+	if err != nil {
+		return err
+	}
+	passes := p.flatPassList(cfg)
+	opts := pipeline.Options{
+		Strict:   cfg.Strict,
+		Diags:    p.Diagnostics,
+		Recorder: cfg.Telemetry,
+	}
+	for fi := range fp.Fns {
+		if err := pipeline.RunFlat(fp, fi, passes, opts); err != nil {
+			return fmt.Errorf("%s: %w", fp.Syms[fp.Fns[fi].Name], err)
+		}
+	}
+	out, err := fp.Unflatten()
+	if err != nil {
+		return err
+	}
+	p.RTL = out
+	p.Flat = fp
+	return nil
+}
+
+// OptimizeFlat runs the optimization pipeline directly over an already-flat
+// program image — e.g. one decoded from a .bin emitted by cmd/macc — mutating
+// it in place, with no Unflatten/Materialize round trip of the whole program
+// (passes not yet ported to the flat form bridge per function). The returned
+// Program carries the optimized image on Flat and a materialized view on RTL.
+func OptimizeFlat(fp *rtl.FlatProgram, cfg Config) (*Program, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Alpha()
+	}
+	p := &Program{Machine: cfg.Machine, Unrolled: make(map[string]int),
+		Diagnostics: &pipeline.Diagnostics{}, Telemetry: cfg.Telemetry}
+	if cfg.Optimize {
+		passes := p.flatPassList(cfg)
+		opts := pipeline.Options{
+			Strict:   cfg.Strict,
+			Diags:    p.Diagnostics,
+			Recorder: cfg.Telemetry,
+		}
+		for fi := range fp.Fns {
+			if err := fp.VerifyFn(fi); err != nil {
+				return nil, fmt.Errorf("%s: %w", fp.Syms[fp.Fns[fi].Name], err)
+			}
+			if err := pipeline.RunFlat(fp, fi, passes, opts); err != nil {
+				return nil, fmt.Errorf("%s: %w", fp.Syms[fp.Fns[fi].Name], err)
+			}
+		}
+	}
+	rp, err := fp.Unflatten()
+	if err != nil {
+		return nil, err
+	}
+	p.RTL = rp
+	p.Flat = fp
+	return p, nil
+}
+
+// bridgeFlat adapts a graph pass body to the flat pipeline for stages not yet
+// ported natively: materialize the one function, run the graph body, and
+// flatten the result back into the same slot. The round trip is per function
+// and per pass, never whole-program.
+func bridgeFlat(run func(f *rtl.Fn) error) func(fp *rtl.FlatProgram, fi int) error {
+	return func(fp *rtl.FlatProgram, fi int) error {
+		f := fp.UnflattenFn(fi)
+		if err := run(f); err != nil {
+			return err
+		}
+		return fp.FlattenFnInto(fi, f)
+	}
+}
+
+// flatPassList mirrors passList stage for stage on the flat form. The hot
+// stages — clean, unroll's normalize/clean tail, coalesce, schedule — run
+// natively on the arrays; licm, strength-reduce, and regalloc bridge through
+// the per-function graph round trip. Stage names, ordering, staging, and
+// OnSuccess commit semantics are identical to the graph list, so telemetry
+// spans, remarks, and incident reports read the same whichever form ran.
+func (p *Program) flatPassList(cfg Config) []pipeline.FlatPass {
+	passes := []pipeline.FlatPass{
+		{Name: "clean", Run: func(fp *rtl.FlatProgram, fi int) error {
+			opt.FlatClean(fp, fi)
+			opt.FlatThreadJumps(fp, fi)
+			return nil
+		}},
+		{Name: "licm", Run: bridgeFlat(func(f *rtl.Fn) error {
+			runLICM(f)
+			return nil
+		})},
+		{Name: "strength-reduce", Run: bridgeFlat(func(f *rtl.Fn) error {
+			runStrengthReduce(f, cfg.emitter())
+			return nil
+		})},
+	}
+	if cfg.Unroll {
+		var staged map[string]int
+		passes = append(passes, pipeline.FlatPass{
+			Name: "unroll",
+			Run: func(fp *rtl.FlatProgram, fi int) error {
+				// The replication machinery still works on the graph; the
+				// normalize/clean tail runs natively on the flattened result.
+				f := fp.UnflattenFn(fi)
+				staged = runUnrollLoops(cfg, f)
+				if err := fp.FlattenFnInto(fi, f); err != nil {
+					return err
+				}
+				opt.FlatNormalizeAddresses(fp, fi)
+				opt.FlatClean(fp, fi)
+				return nil
+			},
+			OnSuccess: func() {
+				for name, factor := range staged {
+					p.Unrolled[name] = factor
+				}
+			},
+		})
+	}
+	if cfg.Coalesce.Loads || cfg.Coalesce.Stores {
+		var staged []core.LoopReport
+		passes = append(passes, pipeline.FlatPass{
+			Name: "coalesce",
+			Run: func(fp *rtl.FlatProgram, fi int) error {
+				staged = core.CoalesceMemoryAccessesFlat(fp, fi, cfg.Machine, cfg.Coalesce, cfg.emitter())
+				opt.FlatClean(fp, fi)
+				return nil
+			},
+			OnSuccess: func() { p.Reports = append(p.Reports, staged...) },
+		})
+	}
+	if cfg.Schedule {
+		passes = append(passes, pipeline.FlatPass{Name: "schedule", Run: func(fp *rtl.FlatProgram, fi int) error {
+			sched.ScheduleFlatFn(fp, fi, cfg.Machine)
+			return nil
+		}})
+	}
+	if cfg.Registers > 0 {
+		passes = append(passes, pipeline.FlatPass{Name: "regalloc", Run: bridgeFlat(func(f *rtl.Fn) error {
+			_, err := regalloc.Run(f, cfg.Registers)
+			return err
+		})})
 	}
 	return passes
 }

@@ -1,0 +1,202 @@
+package macc_test
+
+// Differential tests for the flat pass pipeline: compiling with the default
+// flat-native cold path must be observably identical to forcing the
+// pointer-graph pipeline — byte-identical printed RTL, identical simulated
+// behaviour, and identical optimization decisions (coalescing reports and
+// unroll factors) — for every paper kernel under every config variant and
+// for a corpus of random generated programs.
+
+import (
+	"fmt"
+	"testing"
+
+	"macc"
+	"macc/internal/bench"
+	"macc/internal/core"
+	"macc/internal/machine"
+	"macc/internal/pipeline"
+	"macc/internal/rtl"
+	"macc/internal/rtl/codec"
+	"macc/internal/rtlgen"
+)
+
+// flatDiffConfigs extends the cache differential matrix with variants that
+// exercise the bridged regalloc stage and strict mode on the flat path.
+func flatDiffConfigs() map[string]macc.Config {
+	cfgs := diffConfigs()
+	ra := macc.DefaultConfig()
+	ra.Registers = 16
+	cfgs["regalloc"] = ra
+	strict := macc.DefaultConfig()
+	strict.Strict = true
+	cfgs["strict"] = strict
+	return cfgs
+}
+
+// diffReports fails if the two report slices disagree anywhere a decision
+// was made: same loops examined in the same order, same Applied verdicts,
+// same reasons, same wide/narrow counts — i.e. zero optreport flips.
+func diffReports(t *testing.T, name string, graph, flat *macc.Program) {
+	t.Helper()
+	if len(graph.Reports) != len(flat.Reports) {
+		t.Fatalf("%s: report count differs: graph %d vs flat %d",
+			name, len(graph.Reports), len(flat.Reports))
+	}
+	for i := range graph.Reports {
+		g, f := graph.Reports[i], flat.Reports[i]
+		if g != f {
+			t.Fatalf("%s: loop report %d differs:\ngraph %+v\nflat  %+v", name, i, g, f)
+		}
+	}
+	if len(graph.Unrolled) != len(flat.Unrolled) {
+		t.Fatalf("%s: unroll map size differs: %v vs %v", name, graph.Unrolled, flat.Unrolled)
+	}
+	for fn, factor := range graph.Unrolled {
+		if flat.Unrolled[fn] != factor {
+			t.Fatalf("%s: unroll factor for %s differs: graph %d vs flat %d",
+				name, fn, factor, flat.Unrolled[fn])
+		}
+	}
+}
+
+// TestFlatPipelineDifferentialKernels sweeps every paper kernel against
+// every config variant, compiled once through the flat pipeline (the
+// default) and once with GraphPipeline forced, and requires byte-identical
+// printed RTL, cycle-identical simulation, and identical optimization
+// decisions.
+func TestFlatPipelineDifferentialKernels(t *testing.T) {
+	for cfgName, cfg := range flatDiffConfigs() {
+		cfg := cfg
+		t.Run(cfgName, func(t *testing.T) {
+			for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+				flatCfg := cfg
+				flatCfg.GraphPipeline = false
+				flat, err := macc.Compile(bm.Src, flatCfg)
+				if err != nil {
+					t.Fatalf("%s: flat compile: %v", bm.Name, err)
+				}
+				if flat.Flat == nil {
+					t.Fatalf("%s: flat-pipeline compile carries no flat image", bm.Name)
+				}
+				graphCfg := cfg
+				graphCfg.GraphPipeline = true
+				graph, err := macc.Compile(bm.Src, graphCfg)
+				if err != nil {
+					t.Fatalf("%s: graph compile: %v", bm.Name, err)
+				}
+
+				gRTL, fRTL := graph.RTL.String(), flat.RTL.String()
+				if gRTL != fRTL {
+					t.Fatalf("%s: flat pipeline printed different RTL:\n--- graph ---\n%s\n--- flat ---\n%s",
+						bm.Name, gRTL, fRTL)
+				}
+				diffReports(t, bm.Name, graph, flat)
+
+				gRes, fRes := runBench(t, bm, graph), runBench(t, bm, flat)
+				if gRes.Ret != fRes.Ret || gRes.Cycles != fRes.Cycles ||
+					gRes.MemRefs() != fRes.MemRefs() {
+					t.Fatalf("%s: behaviour differs: ret %d/%d cycles %d/%d refs %d/%d",
+						bm.Name, gRes.Ret, fRes.Ret, gRes.Cycles, fRes.Cycles,
+						gRes.MemRefs(), fRes.MemRefs())
+				}
+			}
+		})
+	}
+}
+
+// TestFlatPipelineDifferentialRandomRTL drives 200 random generated
+// programs through both pipelines and compares printed RTL plus the
+// behaviour fingerprint over several argument sets.
+func TestFlatPipelineDifferentialRandomRTL(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 25
+	}
+	m := machine.Alpha()
+	argSets := [][]int64{{0, 0, 0}, {1, 2, 3}, {511, 1023, 7}}
+	for seed := int64(1); seed <= seeds; seed++ {
+		gen := func() *rtl.Program {
+			fn, err := rtlgen.Generate(seed, rtlgen.DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d: generate: %v", seed, err)
+			}
+			return &rtl.Program{Fns: []*rtl.Fn{fn}}
+		}
+		cfg := macc.DefaultConfig()
+		cfg.Machine = m
+
+		flatCfg := cfg
+		flatCfg.GraphPipeline = false
+		flat, err := macc.CompileRTL(gen(), flatCfg)
+		if err != nil {
+			t.Fatalf("seed %d: flat compile: %v", seed, err)
+		}
+		graphCfg := cfg
+		graphCfg.GraphPipeline = true
+		graph, err := macc.CompileRTL(gen(), graphCfg)
+		if err != nil {
+			t.Fatalf("seed %d: graph compile: %v", seed, err)
+		}
+
+		if got, want := flat.RTL.String(), graph.RTL.String(); got != want {
+			t.Fatalf("seed %d: flat pipeline printed different RTL:\n--- graph ---\n%s\n--- flat ---\n%s",
+				seed, want, got)
+		}
+		diffReports(t, fmt.Sprintf("seed %d", seed), graph, flat)
+
+		graphFP, err := pipeline.Behavior(graph.RTL, m, rtlgen.MemWindow*2, "f", argSets)
+		if err != nil {
+			t.Fatalf("seed %d: graph behaviour: %v", seed, err)
+		}
+		flatFP, err := pipeline.Behavior(flat.RTL, m, rtlgen.MemWindow*2, "f", argSets)
+		if err != nil {
+			t.Fatalf("seed %d: flat behaviour: %v", seed, err)
+		}
+		if graphFP != flatFP {
+			t.Fatalf("seed %d: behaviour fingerprint differs:\n%s\nvs\n%s", seed, graphFP, flatFP)
+		}
+	}
+}
+
+// TestOptimizeFlatFromDecodedImage pins the cmd/macc -in=bin -reopt path:
+// encode an unoptimized program through the binary codec, decode it, run
+// OptimizeFlat over the image, and require output byte-identical to a
+// direct source compile with the same configuration.
+func TestOptimizeFlatFromDecodedImage(t *testing.T) {
+	cfg := macc.DefaultConfig()
+	plain := cfg
+	plain.Optimize = false
+	plain.Unroll = false
+	plain.Coalesce = core.Options{}
+	plain.Schedule = false
+	for _, bm := range append(bench.Benchmarks(), bench.DotProduct()) {
+		unopt, err := macc.Compile(bm.Src, plain)
+		if err != nil {
+			t.Fatalf("%s: unoptimized compile: %v", bm.Name, err)
+		}
+		fp, err := rtl.Flatten(unopt.RTL)
+		if err != nil {
+			t.Fatalf("%s: flatten: %v", bm.Name, err)
+		}
+		dec, err := codec.DecodeProgram(codec.EncodeProgram(fp))
+		if err != nil {
+			t.Fatalf("%s: codec round trip: %v", bm.Name, err)
+		}
+		reopt, err := macc.OptimizeFlat(dec, cfg)
+		if err != nil {
+			t.Fatalf("%s: OptimizeFlat: %v", bm.Name, err)
+		}
+		direct, err := macc.Compile(bm.Src, cfg)
+		if err != nil {
+			t.Fatalf("%s: direct compile: %v", bm.Name, err)
+		}
+		if got, want := reopt.RTL.String(), direct.RTL.String(); got != want {
+			t.Fatalf("%s: re-optimized image differs from direct compile:\n--- direct ---\n%s\n--- reopt ---\n%s",
+				bm.Name, want, got)
+		}
+		if reopt.Flat == nil {
+			t.Fatalf("%s: OptimizeFlat dropped the flat image", bm.Name)
+		}
+	}
+}
